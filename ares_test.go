@@ -1,0 +1,260 @@
+package ares_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/history"
+)
+
+func treasCfg(id ares.ConfigID, prefix string, n, k, delta int) ares.Config {
+	c := ares.Config{ID: id, Algorithm: ares.TREAS, K: k, Delta: delta}
+	for i := 1; i <= n; i++ {
+		c.Servers = append(c.Servers, ares.ProcessID(fmt.Sprintf("%s-s%d", prefix, i)))
+	}
+	return c
+}
+
+func abdCfg(id ares.ConfigID, prefix string, n int) ares.Config {
+	c := ares.Config{ID: id, Algorithm: ares.ABD}
+	for i := 1; i <= n; i++ {
+		c.Servers = append(c.Servers, ares.ProcessID(fmt.Sprintf("%s-s%d", prefix, i)))
+	}
+	return c
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	t.Parallel()
+	net := ares.NewSimNetwork()
+	cluster, err := ares.NewCluster(treasCfg("c0", "q", 5, 3, 4), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, ares.Value("public api")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewClient("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ares.ReadValue(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "public api" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	t.Parallel()
+	// Full multi-process-shaped deployment over real TCP loopback: 5 TREAS
+	// servers plus 3 replacement servers, a reconfiguration mid-stream.
+	c0 := treasCfg("c0", "tcp0", 5, 3, 4)
+	c1 := abdCfg("c1", "tcp1", 3)
+
+	book := ares.AddressBook{}
+	var servers []*ares.Server
+	defer func() {
+		for _, s := range servers {
+			if err := s.Close(); err != nil {
+				t.Errorf("close %s: %v", s.ID(), err)
+			}
+		}
+	}()
+
+	allIDs := append(append([]ares.ProcessID{}, c0.Servers...), c1.Servers...)
+	// Two-phase start: bind all listeners first so the address book is
+	// complete before any server needs to dial a peer.
+	for _, id := range allIDs {
+		srv, err := ares.NewServer(id, "127.0.0.1:0", book)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		book[id] = srv.Addr()
+	}
+	for _, srv := range servers {
+		if err := srv.Install(c0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	wRPC := ares.NewTCPClient("w1", book)
+	defer wRPC.Close()
+	w, err := ares.NewRemoteClient("w1", c0, wRPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, ares.Value("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+
+	gRPC := ares.NewTCPClient("g1", book)
+	defer gRPC.Close()
+	g, err := ares.NewRemoteReconfigurer("g1", c0, gRPC, ares.ReconOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+
+	rRPC := ares.NewTCPClient("r1", book)
+	defer rRPC.Close()
+	r, err := ares.NewRemoteClient("r1", c0, rRPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := r.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pair.Value) != "over tcp" {
+		t.Fatalf("read %q after TCP reconfiguration", pair.Value)
+	}
+}
+
+// TestLinearizabilityUnderChurn is the end-to-end safety test: concurrent
+// readers and writers, server crashes within the fault bound, and live
+// reconfigurations — the recorded history must satisfy atomicity (A1–A3).
+func TestLinearizabilityUnderChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	t.Parallel()
+	c0 := treasCfg("c0", "lin0", 5, 3, 8)
+	c1 := treasCfg("c1", "lin1", 5, 3, 8)
+	c2 := abdCfg("c2", "lin2", 3)
+	net := ares.NewSimNetwork(ares.WithDelayRange(0, time.Millisecond), ares.WithSeed(11))
+	cluster, err := ares.NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []ares.Config{c1, c2} {
+		for _, s := range c.Servers {
+			cluster.AddHost(s)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	rec := history.NewRecorder()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers with unique values.
+	const writers = 3
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := ares.ProcessID(fmt.Sprintf("w%d", i))
+			client, err := cluster.NewClient(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := ares.Value(fmt.Sprintf("%s-%d", id, seq))
+				done := rec.Start(history.Write, id)
+				tag, err := client.Write(ctx, v)
+				if err != nil {
+					if ctx.Err() == nil {
+						t.Errorf("%s write: %v", id, err)
+					}
+					return
+				}
+				done(tag, v)
+			}
+		}()
+	}
+
+	// Readers.
+	const readers = 3
+	for i := 0; i < readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := ares.ProcessID(fmt.Sprintf("r%d", i))
+			client, err := cluster.NewClient(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				done := rec.Start(history.Read, id)
+				pair, err := client.Read(ctx)
+				if err != nil {
+					if ctx.Err() == nil {
+						t.Errorf("%s read: %v", id, err)
+					}
+					return
+				}
+				done(pair.Tag, pair.Value)
+			}
+		}()
+	}
+
+	// Churn: one crash within the fault bound, then two reconfigurations.
+	g, err := cluster.NewReconfigurer("g1", ares.ReconOptions{DirectTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	net.Crash(c0.Servers[4]) // f = (5-3)/2 = 1 crash allowed
+	time.Sleep(50 * time.Millisecond)
+	if _, err := g.Reconfig(ctx, c1); err != nil {
+		t.Fatalf("reconfig c1: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, err := g.Reconfig(ctx, c2); err != nil {
+		t.Fatalf("reconfig c2: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	ops := rec.Ops()
+	if len(ops) < 20 {
+		t.Fatalf("only %d operations recorded; churn starved the workload", len(ops))
+	}
+	if violations := history.Check(ops); len(violations) > 0 {
+		for _, v := range violations[:minInt(len(violations), 5)] {
+			t.Error(v)
+		}
+		t.Fatalf("%d atomicity violations in %d operations", len(violations), len(ops))
+	}
+	t.Logf("atomic history of %d operations across 3 configurations", len(ops))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+// Command ares-bench regenerates the paper's evaluation artifacts. Each
+// experiment prints the table/series the corresponding paper table, theorem,
+// or latency lemma reports, measured against this implementation.
+//
+// Usage:
+//
+//	ares-bench -exp all            # run everything (several minutes)
+//	ares-bench -exp e1,e4,f1       # selected experiments
+//	ares-bench -exp f5 -csv out/   # also write CSV series for plotting
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/ares-storage/ares/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	)
+	flag.Parse()
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		result, err := experiments.Run(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Printf("\n== %s: %s  (ran in %v)\n\n", strings.ToUpper(result.ID), result.Title, time.Since(start).Round(time.Millisecond))
+		result.Table.Render(os.Stdout)
+		for _, note := range result.Notes {
+			fmt.Printf("  • %s\n", note)
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, result.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			result.Table.RenderCSV(f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("  → %s\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command ares-cli is the client companion of ares-server: it performs a
+// write, read, or reconfiguration against a running multi-process
+// deployment.
+//
+// Usage:
+//
+//	ares-cli -id w1 -peers "s1=...,s2=...,s3=..." \
+//	  -root "id=c0;alg=treas;servers=s1,s2,s3;k=2;delta=4" \
+//	  write "hello world"
+//
+//	ares-cli -id r1 -peers ... -root ... read
+//
+//	ares-cli -id g1 -peers ... -root ... -direct \
+//	  reconfig "id=c1;alg=treas;servers=s4,s5,s6;k=2;delta=4"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.String("id", "cli", "process ID of this client")
+		peers   = flag.String("peers", "", "address book: id=addr,... (required)")
+		root    = flag.String("root", "", "bootstrap configuration spec (required)")
+		direct  = flag.Bool("direct", false, "use §5 direct state transfer for reconfig")
+		timeout = flag.Duration("timeout", 30*time.Second, "operation timeout")
+	)
+	flag.Parse()
+	if *peers == "" || *root == "" || flag.NArg() < 1 {
+		flag.Usage()
+		return fmt.Errorf("-peers, -root and an operation (write|read|reconfig) are required")
+	}
+
+	book, err := spec.ParseBook(*peers)
+	if err != nil {
+		return err
+	}
+	c0, err := spec.Parse(*root)
+	if err != nil {
+		return err
+	}
+	rpc := ares.NewTCPClient(ares.ProcessID(*id), book)
+	defer rpc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch op := flag.Arg(0); op {
+	case "write":
+		if flag.NArg() < 2 {
+			return fmt.Errorf("write requires a value argument")
+		}
+		client, err := ares.NewRemoteClient(ares.ProcessID(*id), c0, rpc)
+		if err != nil {
+			return err
+		}
+		t, err := client.Write(ctx, ares.Value(flag.Arg(1)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok tag=%v\n", t)
+	case "read":
+		client, err := ares.NewRemoteClient(ares.ProcessID(*id), c0, rpc)
+		if err != nil {
+			return err
+		}
+		pair, err := client.Read(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tag=%v value=%q\n", pair.Tag, string(pair.Value))
+	case "reconfig":
+		if flag.NArg() < 2 {
+			return fmt.Errorf("reconfig requires a configuration spec argument")
+		}
+		next, err := spec.Parse(flag.Arg(1))
+		if err != nil {
+			return err
+		}
+		g, err := ares.NewRemoteReconfigurer(ares.ProcessID(*id), c0, rpc, ares.ReconOptions{DirectTransfer: *direct})
+		if err != nil {
+			return err
+		}
+		installed, err := g.Reconfig(ctx, next)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok installed=%s sequence=%v\n", installed.ID, g.Sequence())
+	default:
+		return fmt.Errorf("unknown operation %q (want write|read|reconfig)", op)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package ares_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCmdBinariesEndToEnd builds ares-server and ares-cli and exercises a
+// real multi-process deployment over TCP loopback: three server processes,
+// a write, a read, a reconfiguration onto three more processes, and a final
+// read through the new configuration.
+func TestCmdBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	t.Parallel()
+
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	serverBin := build("ares-server")
+	cliBin := build("ares-cli")
+
+	// Fixed loopback ports for a static address book.
+	base := 17710
+	ids := []string{"s1", "s2", "s3", "s4", "s5", "s6"}
+	var bookParts []string
+	addr := make(map[string]string, len(ids))
+	for i, id := range ids {
+		addr[id] = fmt.Sprintf("127.0.0.1:%d", base+i)
+		bookParts = append(bookParts, id+"="+addr[id])
+	}
+	book := strings.Join(bookParts, ",")
+	rootSpec := "id=c0;alg=treas;servers=s1,s2,s3;k=2;delta=4"
+	nextSpec := "id=c1;alg=treas;servers=s4,s5,s6;k=2;delta=4"
+
+	var servers []*exec.Cmd
+	defer func() {
+		for _, s := range servers {
+			if s.Process != nil {
+				_ = s.Process.Kill()
+			}
+			_ = s.Wait()
+		}
+	}()
+	for _, id := range ids {
+		args := []string{"-id", id, "-listen", addr[id], "-peers", book}
+		if id == "s1" || id == "s2" || id == "s3" {
+			args = append(args, "-bootstrap", rootSpec)
+		}
+		cmd := exec.Command(serverBin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", id, err)
+		}
+		servers = append(servers, cmd)
+	}
+	// Wait for listeners.
+	time.Sleep(300 * time.Millisecond)
+
+	cli := func(clientID string, extra ...string) string {
+		args := append([]string{"-id", clientID, "-peers", book, "-root", rootSpec, "-timeout", "20s"}, extra...)
+		cmd := exec.Command(cliBin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ares-cli %v: %v\n%s", extra, err, out)
+		}
+		return string(out)
+	}
+
+	if out := cli("w1", "write", "multi process"); !strings.Contains(out, "ok tag=") {
+		t.Fatalf("write output: %s", out)
+	}
+	if out := cli("r1", "read"); !strings.Contains(out, `value="multi process"`) {
+		t.Fatalf("read output: %s", out)
+	}
+	if out := cli("g1", "-direct", "reconfig", nextSpec); !strings.Contains(out, "ok installed=c1") {
+		t.Fatalf("reconfig output: %s", out)
+	}
+	// A fresh client rooted at c0 discovers c1 and reads through it.
+	if out := cli("r2", "read"); !strings.Contains(out, `value="multi process"`) {
+		t.Fatalf("read after reconfig: %s", out)
+	}
+}

@@ -1,0 +1,126 @@
+package ares_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	ares "github.com/ares-storage/ares"
+)
+
+// Example demonstrates the basic write/read cycle against an erasure-coded
+// deployment.
+func Example() {
+	ctx := context.Background()
+	c0 := ares.Config{
+		ID:        "c0",
+		Algorithm: ares.TREAS,
+		Servers:   []ares.ProcessID{"ex-s1", "ex-s2", "ex-s3", "ex-s4", "ex-s5"},
+		K:         3,
+		Delta:     4,
+	}
+	cluster, err := ares.NewCluster(c0, ares.NewSimNetwork())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := cluster.NewClient("writer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Write(ctx, ares.Value("atomic")); err != nil {
+		log.Fatal(err)
+	}
+	r, err := cluster.NewClient("reader")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := r.Read(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (tag %v)\n", string(pair.Value), pair.Tag)
+	// Output: atomic (tag (1,writer))
+}
+
+// ExampleReconfigurer_reconfig migrates a live register from replication to
+// erasure coding without interrupting the service.
+func ExampleReconfigurer_reconfig() {
+	ctx := context.Background()
+	c0 := ares.Config{
+		ID:        "c0",
+		Algorithm: ares.ABD,
+		Servers:   []ares.ProcessID{"mg-a1", "mg-a2", "mg-a3"},
+	}
+	cluster, err := ares.NewCluster(c0, ares.NewSimNetwork())
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := cluster.NewClient("writer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Write(ctx, ares.Value("survives migration")); err != nil {
+		log.Fatal(err)
+	}
+
+	c1 := ares.Config{
+		ID:        "c1",
+		Algorithm: ares.TREAS,
+		Servers:   []ares.ProcessID{"mg-t1", "mg-t2", "mg-t3", "mg-t4", "mg-t5"},
+		K:         3,
+		Delta:     4,
+	}
+	for _, s := range c1.Servers {
+		cluster.AddHost(s)
+	}
+	g, err := cluster.NewReconfigurer("admin", ares.ReconOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	installed, err := g.Reconfig(ctx, c1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := cluster.NewClient("reader")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := r.Read(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %s: %s\n", installed.ID, string(pair.Value))
+	// Output: installed c1: survives migration
+}
+
+// ExampleObjectStore composes independent atomic registers into a key-value
+// store.
+func ExampleObjectStore() {
+	ctx := context.Background()
+	servers := []ares.ProcessID{"kv-s1", "kv-s2", "kv-s3", "kv-s4", "kv-s5"}
+	cluster, err := ares.NewCluster(ares.Config{
+		ID: "kv/root", Algorithm: ares.ABD, Servers: servers[:3],
+	}, ares.NewSimNetwork(), servers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := ares.NewObjectStore(cluster, ares.Config{
+		Algorithm: ares.TREAS,
+		Servers:   servers,
+		K:         3,
+		Delta:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Put(ctx, "greeting", ares.Value("hello")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := store.Get(ctx, "greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v))
+	// Output: hello
+}

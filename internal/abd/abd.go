@@ -1,0 +1,188 @@
+// Package abd implements the multi-writer ABD algorithm (Attiya, Bar-Noy,
+// Dolev) as a DAP implementation, following Alg. 12 of the paper's appendix.
+//
+// ABD is the replication baseline: every server stores a full copy of the
+// value together with its tag. get-data encapsulates the query phase,
+// put-data the propagation phase; quorums are majorities of the
+// configuration's servers. Its DAPs satisfy C1 and C2 (Lemmas 34–37), so the
+// A1 template over them is atomic.
+package abd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// ServiceName keys the ABD store service on nodes and in request routing.
+const ServiceName = "abd"
+
+// Message types.
+const (
+	msgQueryTag = "query-tag"
+	msgQuery    = "query"
+	msgWrite    = "write"
+)
+
+// Wire bodies. Value travels in full on every query/write: this is exactly
+// the communication cost replication pays and the paper's motivation for
+// TREAS.
+type (
+	tagResp struct {
+		Tag tag.Tag
+	}
+	pairResp struct {
+		Tag   tag.Tag
+		Value []byte
+	}
+	writeReq struct {
+		Tag   tag.Tag
+		Value []byte
+	}
+)
+
+// Service is the per-configuration server state: one tag-value pair,
+// monotonically advanced by write messages (Alg. 12 primitive handlers).
+type Service struct {
+	mu  sync.Mutex
+	tag tag.Tag
+	val types.Value
+}
+
+// NewService returns a fresh ABD store holding (t0, v0).
+func NewService() *Service {
+	return &Service{}
+}
+
+var _ node.Service = (*Service)(nil)
+
+// Handle implements node.Service.
+func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgQueryTag:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return tagResp{Tag: s.tag}, nil
+	case msgQuery:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return pairResp{Tag: s.tag, Value: s.val.Clone()}, nil
+	case msgWrite:
+		var req writeReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.tag.Less(req.Tag) {
+			s.tag = req.Tag
+			s.val = types.Value(req.Value).Clone()
+		}
+		return nil, nil // ACK
+	default:
+		return nil, fmt.Errorf("abd: unknown message type %q", msgType)
+	}
+}
+
+// StorageBytes reports the bytes of object data at rest on this server — the
+// paper's storage-cost metric (metadata excluded).
+func (s *Service) StorageBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.val)
+}
+
+// Current returns the stored pair (for tests and introspection).
+func (s *Service) Current() tag.Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tag.Pair{Tag: s.tag, Value: s.val.Clone()}
+}
+
+// Client implements dap.Client over a configuration using majority quorums.
+type Client struct {
+	cfg cfg.Configuration
+	rpc transport.Client
+}
+
+// NewClient builds the ABD DAP client for configuration c.
+func NewClient(c cfg.Configuration, rpc transport.Client) (*Client, error) {
+	if c.Algorithm != cfg.ABD {
+		return nil, fmt.Errorf("abd: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: c, rpc: rpc}, nil
+}
+
+// Factory adapts NewClient to the dap.Factory shape.
+func Factory(c cfg.Configuration, rpc transport.Client) (dap.Client, error) {
+	return NewClient(c, rpc)
+}
+
+var _ dap.Client = (*Client)(nil)
+
+// GetTag queries all servers for their tags and returns the maximum among a
+// majority quorum of responses.
+func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
+	q := c.cfg.Quorum()
+	got, err := transport.Gather(ctx, c.cfg.Servers,
+		func(ctx context.Context, dst types.ProcessID) (tagResp, error) {
+			return transport.InvokeTyped[tagResp](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgQueryTag, struct{}{})
+		},
+		transport.AtLeast[tagResp](q.Size()),
+	)
+	if err != nil {
+		return tag.Tag{}, fmt.Errorf("abd: get-tag on %s: %w", c.cfg.ID, err)
+	}
+	max := tag.Zero
+	for _, g := range got {
+		max = tag.Max(max, g.Value.Tag)
+	}
+	return max, nil
+}
+
+// GetData queries all servers and returns the pair with the maximum tag
+// among a majority quorum of responses.
+func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
+	q := c.cfg.Quorum()
+	got, err := transport.Gather(ctx, c.cfg.Servers,
+		func(ctx context.Context, dst types.ProcessID) (pairResp, error) {
+			return transport.InvokeTyped[pairResp](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgQuery, struct{}{})
+		},
+		transport.AtLeast[pairResp](q.Size()),
+	)
+	if err != nil {
+		return tag.Pair{}, fmt.Errorf("abd: get-data on %s: %w", c.cfg.ID, err)
+	}
+	best := tag.Pair{}
+	for _, g := range got {
+		best = tag.MaxPair(best, tag.Pair{Tag: g.Value.Tag, Value: g.Value.Value})
+	}
+	return best, nil
+}
+
+// PutData propagates the pair to all servers and completes once a majority
+// has acknowledged.
+func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
+	q := c.cfg.Quorum()
+	req := writeReq{Tag: p.Tag, Value: p.Value}
+	_, err := transport.Gather(ctx, c.cfg.Servers,
+		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
+			return transport.InvokeTyped[struct{}](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgWrite, req)
+		},
+		transport.AtLeast[struct{}](q.Size()),
+	)
+	if err != nil {
+		return fmt.Errorf("abd: put-data on %s: %w", c.cfg.ID, err)
+	}
+	return nil
+}

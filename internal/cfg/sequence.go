@@ -1,0 +1,133 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is one element of a configuration sequence: ⟨cfg, status⟩.
+type Entry struct {
+	Cfg    Configuration
+	Status Status
+}
+
+// Sequence is a process's local configuration sequence cseq. Index 0 holds
+// the initial configuration ⟨c0, F⟩; entries are append-only and statuses
+// only move from Pending to Finalized, mirroring the paper's invariants
+// (Lemmas 47–53: uniqueness, prefix, progress).
+//
+// Sequence values have slice semantics: Clone before sharing across
+// goroutines.
+type Sequence []Entry
+
+// NewSequence starts a sequence at the finalized initial configuration c0.
+func NewSequence(c0 Configuration) Sequence {
+	return Sequence{{Cfg: c0, Status: Finalized}}
+}
+
+// Nu (ν) is the index of the last configuration in the sequence.
+func (s Sequence) Nu() int { return len(s) - 1 }
+
+// Mu (µ) is the index of the last finalized configuration.
+func (s Sequence) Mu() int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i].Status == Finalized {
+			return i
+		}
+	}
+	return 0
+}
+
+// Last returns the final entry. It panics on an empty sequence, which cannot
+// arise: every sequence begins at c0.
+func (s Sequence) Last() Entry { return s[len(s)-1] }
+
+// Clone returns an independent copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+// Append returns s extended with entry. The receiver is not modified when
+// its backing array is shared; callers use the returned value.
+func (s Sequence) Append(e Entry) Sequence {
+	out := make(Sequence, len(s), len(s)+1)
+	copy(out, s)
+	return append(out, e)
+}
+
+// IsPrefixOf reports whether s is a configuration-wise prefix of other
+// (Definition 12/44: compared on cfg identity, not status).
+func (s Sequence) IsPrefixOf(other Sequence) bool {
+	if len(s) > len(other) {
+		return false
+	}
+	for i := range s {
+		if !s[i].Cfg.Equal(other[i].Cfg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Finalize returns s with the entry at index i marked Finalized. It returns
+// an error for out-of-range indices.
+func (s Sequence) Finalize(i int) (Sequence, error) {
+	if i < 0 || i >= len(s) {
+		return nil, fmt.Errorf("cfg: finalize index %d out of range [0, %d)", i, len(s))
+	}
+	out := s.Clone()
+	out[i].Status = Finalized
+	return out, nil
+}
+
+// Merge folds another sequence into s, keeping the longer suffix and the
+// stronger status at every index. It returns an error when the two disagree
+// on a configuration identity — impossible in correct executions
+// (Configuration Uniqueness, Lemma 47) and therefore reported loudly.
+func (s Sequence) Merge(other Sequence) (Sequence, error) {
+	longer, shorter := s, other
+	if len(other) > len(s) {
+		longer, shorter = other, s
+	}
+	out := longer.Clone()
+	for i := range shorter {
+		if !shorter[i].Cfg.Equal(out[i].Cfg) {
+			return nil, fmt.Errorf("cfg: sequences diverge at index %d: %s vs %s",
+				i, shorter[i].Cfg.ID, out[i].Cfg.ID)
+		}
+		if shorter[i].Status == Finalized {
+			out[i].Status = Finalized
+		}
+	}
+	return out, nil
+}
+
+// Validate checks sequence invariants: non-empty, entry 0 finalized at
+// bootstrap semantics, valid statuses, unique configuration IDs.
+func (s Sequence) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("cfg: empty sequence")
+	}
+	seen := make(map[ID]bool, len(s))
+	for i, e := range s {
+		if e.Status != Pending && e.Status != Finalized {
+			return fmt.Errorf("cfg: entry %d has invalid status %d", i, e.Status)
+		}
+		if seen[e.Cfg.ID] {
+			return fmt.Errorf("cfg: duplicate configuration %s at index %d", e.Cfg.ID, i)
+		}
+		seen[e.Cfg.ID] = true
+	}
+	return nil
+}
+
+// String renders the sequence as c0:F -> c1:P ... for logs.
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = fmt.Sprintf("%s:%s", e.Cfg.ID, e.Status)
+	}
+	return strings.Join(parts, " -> ")
+}

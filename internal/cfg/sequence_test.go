@@ -1,0 +1,201 @@
+package cfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkCfg(id string) Configuration {
+	return Configuration{ID: ID(id), Algorithm: ABD, Servers: servers("s1", "s2", "s3")}
+}
+
+func seqOf(entries ...Entry) Sequence { return Sequence(entries) }
+
+func TestNewSequence(t *testing.T) {
+	t.Parallel()
+	s := NewSequence(mkCfg("c0"))
+	if s.Nu() != 0 || s.Mu() != 0 {
+		t.Fatalf("ν = %d, µ = %d, want 0, 0", s.Nu(), s.Mu())
+	}
+	if s.Last().Status != Finalized {
+		t.Fatal("initial configuration must be finalized")
+	}
+}
+
+func TestMuNu(t *testing.T) {
+	t.Parallel()
+	s := seqOf(
+		Entry{Cfg: mkCfg("c0"), Status: Finalized},
+		Entry{Cfg: mkCfg("c1"), Status: Finalized},
+		Entry{Cfg: mkCfg("c2"), Status: Pending},
+		Entry{Cfg: mkCfg("c3"), Status: Pending},
+	)
+	if s.Mu() != 1 {
+		t.Fatalf("µ = %d, want 1", s.Mu())
+	}
+	if s.Nu() != 3 {
+		t.Fatalf("ν = %d, want 3", s.Nu())
+	}
+}
+
+func TestAppendDoesNotAliasReceiver(t *testing.T) {
+	t.Parallel()
+	s := NewSequence(mkCfg("c0"))
+	s2 := s.Append(Entry{Cfg: mkCfg("c1"), Status: Pending})
+	if len(s) != 1 {
+		t.Fatal("Append mutated the receiver")
+	}
+	if len(s2) != 2 || s2[1].Cfg.ID != "c1" {
+		t.Fatalf("appended sequence wrong: %v", s2)
+	}
+	// Mutating s2 must not affect s.
+	s2[0].Status = Pending
+	if s[0].Status != Finalized {
+		t.Fatal("Append shares backing array with receiver")
+	}
+}
+
+func TestIsPrefixOf(t *testing.T) {
+	t.Parallel()
+	base := seqOf(
+		Entry{Cfg: mkCfg("c0"), Status: Finalized},
+		Entry{Cfg: mkCfg("c1"), Status: Pending},
+	)
+	longer := base.Append(Entry{Cfg: mkCfg("c2"), Status: Pending})
+	if !base.IsPrefixOf(longer) {
+		t.Fatal("base must be a prefix of its extension")
+	}
+	if longer.IsPrefixOf(base) {
+		t.Fatal("longer sequence cannot be prefix of shorter")
+	}
+	if !base.IsPrefixOf(base) {
+		t.Fatal("prefix must be reflexive")
+	}
+	// Status differences do not break the prefix relation (Definition 12
+	// compares cfg identity only).
+	finalized, err := longer.Finalize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.IsPrefixOf(finalized) {
+		t.Fatal("status change broke prefix relation")
+	}
+	// Diverging configuration does.
+	diverged := seqOf(
+		Entry{Cfg: mkCfg("c0"), Status: Finalized},
+		Entry{Cfg: mkCfg("cX"), Status: Pending},
+	)
+	if base.IsPrefixOf(diverged) {
+		t.Fatal("diverging sequences reported as prefix")
+	}
+}
+
+func TestFinalize(t *testing.T) {
+	t.Parallel()
+	s := NewSequence(mkCfg("c0")).Append(Entry{Cfg: mkCfg("c1"), Status: Pending})
+	s2, err := s.Finalize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Mu() != 1 {
+		t.Fatalf("µ after finalize = %d, want 1", s2.Mu())
+	}
+	if s.Mu() != 0 {
+		t.Fatal("Finalize mutated receiver")
+	}
+	if _, err := s.Finalize(5); err == nil {
+		t.Fatal("Finalize out of range succeeded")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	t.Parallel()
+	local := seqOf(
+		Entry{Cfg: mkCfg("c0"), Status: Finalized},
+		Entry{Cfg: mkCfg("c1"), Status: Finalized},
+	)
+	remote := seqOf(
+		Entry{Cfg: mkCfg("c0"), Status: Finalized},
+		Entry{Cfg: mkCfg("c1"), Status: Pending},
+		Entry{Cfg: mkCfg("c2"), Status: Pending},
+	)
+	merged, err := local.Merge(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged length = %d, want 3", len(merged))
+	}
+	// The finalized status from local wins at index 1.
+	if merged[1].Status != Finalized {
+		t.Fatal("Merge lost a Finalized status")
+	}
+}
+
+func TestMergeDivergenceDetected(t *testing.T) {
+	t.Parallel()
+	a := seqOf(Entry{Cfg: mkCfg("c0"), Status: Finalized}, Entry{Cfg: mkCfg("c1"), Status: Pending})
+	b := seqOf(Entry{Cfg: mkCfg("c0"), Status: Finalized}, Entry{Cfg: mkCfg("cX"), Status: Pending})
+	if _, err := a.Merge(b); err == nil {
+		t.Fatal("Merge of diverging sequences succeeded")
+	}
+}
+
+func TestValidateSequence(t *testing.T) {
+	t.Parallel()
+	if err := (Sequence{}).Validate(); err == nil {
+		t.Fatal("empty sequence validated")
+	}
+	dup := seqOf(
+		Entry{Cfg: mkCfg("c0"), Status: Finalized},
+		Entry{Cfg: mkCfg("c0"), Status: Pending},
+	)
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate configuration validated")
+	}
+	bad := seqOf(Entry{Cfg: mkCfg("c0")}) // zero status
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero status validated")
+	}
+}
+
+// TestQuickPrefixInvariant mirrors the paper's Configuration Prefix lemma at
+// the data-structure level: a sequence extended by arbitrary appends always
+// has the original as a prefix, and µ never decreases under finalization.
+func TestQuickPrefixInvariant(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSequence(mkCfg("c0"))
+		orig := s.Clone()
+		muBefore := s.Mu()
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			s = s.Append(Entry{Cfg: mkCfg(string(rune('a' + i))), Status: Pending})
+			if rng.Intn(2) == 0 {
+				var err error
+				s, err = s.Finalize(rng.Intn(len(s)))
+				if err != nil {
+					return false
+				}
+			}
+		}
+		if !orig.IsPrefixOf(s) {
+			return false
+		}
+		return s.Mu() >= muBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	t.Parallel()
+	s := NewSequence(mkCfg("c0")).Append(Entry{Cfg: mkCfg("c1"), Status: Pending})
+	got := s.String()
+	if !strings.Contains(got, "c0:F") || !strings.Contains(got, "c1:P") {
+		t.Fatalf("String() = %q", got)
+	}
+}

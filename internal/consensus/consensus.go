@@ -1,0 +1,401 @@
+// Package consensus implements the external consensus service c.Con that
+// ARES attaches to every configuration (§4.1, Definition 41): a single-decree,
+// multi-proposer Paxos instance running on the configuration's servers.
+//
+// ARES uses one instance per configuration to agree on the next
+// configuration in the global sequence GL. The service guarantees:
+//
+//   - Agreement: no two processes decide different values;
+//   - Validity: a decided value was proposed by some process;
+//   - Termination: every correct proposer eventually decides (ensured here
+//     by randomized exponential backoff under contention, the standard
+//     partial-synchrony escape from the FLP impossibility).
+//
+// Values are opaque byte strings; ARES proposes gob-encoded configurations.
+package consensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/quorum"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// ServiceName keys the Paxos acceptor service on nodes.
+const ServiceName = "paxos"
+
+// Message types.
+const (
+	msgPrepare = "prepare"
+	msgAccept  = "accept"
+	msgDecide  = "decide"
+	msgLearn   = "learn"
+)
+
+// Ballot orders proposal attempts. Rounds break ties through the proposer
+// component, so concurrent proposers never share a ballot.
+type Ballot struct {
+	Round    int64
+	Proposer uint64
+}
+
+// Less orders ballots lexicographically on (Round, Proposer).
+func (b Ballot) Less(other Ballot) bool {
+	if b.Round != other.Round {
+		return b.Round < other.Round
+	}
+	return b.Proposer < other.Proposer
+}
+
+// proposerID derives a stable numeric proposer identity from a process ID.
+func proposerID(id types.ProcessID) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// Wire bodies.
+type (
+	prepareReq struct {
+		Ballot Ballot
+	}
+	prepareResp struct {
+		Promised bool
+		// HasAccepted reports a previously accepted proposal that the new
+		// proposer must adopt.
+		HasAccepted    bool
+		AcceptedBallot Ballot
+		AcceptedValue  []byte
+		// Decided short-circuits: the instance already has an outcome.
+		Decided      bool
+		DecidedValue []byte
+	}
+	acceptReq struct {
+		Ballot Ballot
+		Value  []byte
+	}
+	acceptResp struct {
+		Accepted bool
+	}
+	decideReq struct {
+		Value []byte
+	}
+	learnResp struct {
+		Decided bool
+		Value   []byte
+	}
+)
+
+// Service is the acceptor/learner state of one Paxos instance on one server.
+type Service struct {
+	mu            sync.Mutex
+	promised      Ballot
+	hasPromised   bool
+	accepted      Ballot
+	hasAccepted   bool
+	acceptedValue []byte
+	decided       bool
+	decidedValue  []byte
+}
+
+// NewService returns a fresh acceptor.
+func NewService() *Service {
+	return &Service{}
+}
+
+var _ node.Service = (*Service)(nil)
+
+// Handle implements node.Service.
+func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgPrepare:
+		var req prepareReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		return s.prepare(req), nil
+	case msgAccept:
+		var req acceptReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		return s.accept(req), nil
+	case msgDecide:
+		var req decideReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.decide(req.Value)
+		return nil, nil
+	case msgLearn:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return learnResp{Decided: s.decided, Value: s.decidedValue}, nil
+	default:
+		return nil, fmt.Errorf("consensus: unknown message type %q", msgType)
+	}
+}
+
+func (s *Service) prepare(req prepareReq) prepareResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.decided {
+		return prepareResp{Decided: true, DecidedValue: s.decidedValue}
+	}
+	if s.hasPromised && !s.promised.Less(req.Ballot) {
+		return prepareResp{Promised: false}
+	}
+	s.promised = req.Ballot
+	s.hasPromised = true
+	return prepareResp{
+		Promised:       true,
+		HasAccepted:    s.hasAccepted,
+		AcceptedBallot: s.accepted,
+		AcceptedValue:  s.acceptedValue,
+	}
+}
+
+func (s *Service) accept(req acceptReq) acceptResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.decided {
+		// An accept after decision is stale; reject so the proposer learns
+		// the decided value through its next prepare.
+		return acceptResp{Accepted: false}
+	}
+	if s.hasPromised && req.Ballot.Less(s.promised) {
+		return acceptResp{Accepted: false}
+	}
+	s.promised = req.Ballot
+	s.hasPromised = true
+	s.accepted = req.Ballot
+	s.acceptedValue = req.Value
+	s.hasAccepted = true
+	return acceptResp{Accepted: true}
+}
+
+func (s *Service) decide(value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.decided {
+		s.decided = true
+		s.decidedValue = value
+	}
+}
+
+// Decided reports this acceptor's learned outcome (for tests).
+func (s *Service) Decided() (value []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decidedValue, s.decided
+}
+
+// Proposer drives the propose protocol against one instance.
+type Proposer struct {
+	self     types.ProcessID
+	configID string
+	servers  []types.ProcessID
+	q        quorum.System
+	rpc      transport.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewProposer constructs a proposer for the instance hosted on servers,
+// keyed under configID.
+func NewProposer(self types.ProcessID, configID string, servers []types.ProcessID, rpc transport.Client) (*Proposer, error) {
+	q, err := quorum.Majority(len(servers))
+	if err != nil {
+		return nil, fmt.Errorf("consensus: %w", err)
+	}
+	seed := int64(proposerID(self)) ^ time.Now().UnixNano()
+	return &Proposer{
+		self:     self,
+		configID: configID,
+		servers:  servers,
+		q:        q,
+		rpc:      rpc,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Propose runs Paxos until a value is decided and returns it. The returned
+// value may differ from the proposal when another proposer won (Validity
+// still holds: it was proposed by someone).
+func (p *Proposer) Propose(ctx context.Context, value []byte) ([]byte, error) {
+	for attempt := int64(1); ; attempt++ {
+		decided, ok, err := p.attempt(ctx, attempt, value)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return decided, nil
+		}
+		// Contention: back off a randomized, growing amount before retrying.
+		if err := p.backoff(ctx, attempt); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// attempt runs one ballot. It returns (decidedValue, true, nil) on success
+// and (nil, false, nil) when preempted by a higher ballot.
+func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]byte, bool, error) {
+	ballot := Ballot{Round: round, Proposer: proposerID(p.self)}
+
+	// Phase 1: prepare.
+	promises, err := transport.Gather(ctx, p.servers,
+		func(ctx context.Context, dst types.ProcessID) (prepareResp, error) {
+			return transport.InvokeTyped[prepareResp](ctx, p.rpc, dst, ServiceName, p.configID, msgPrepare, prepareReq{Ballot: ballot})
+		},
+		func(got []transport.GatherResult[prepareResp]) bool {
+			// Stop early on a decided report or a promise quorum.
+			promised := 0
+			for _, g := range got {
+				if g.Value.Decided {
+					return true
+				}
+				if g.Value.Promised {
+					promised++
+				}
+			}
+			return promised >= p.q.Size()
+		},
+	)
+	if errorsIs(err, transport.ErrQuorumUnavailable) {
+		return nil, false, nil // every server answered; rejections dominate: preempted
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("consensus: prepare on %s: %w", p.configID, err)
+	}
+	chosen := value
+	var highest Ballot
+	var adopted bool
+	promisedCount := 0
+	for _, g := range promises {
+		if g.Value.Decided {
+			// Instance already decided: help spread the outcome, then done.
+			p.broadcastDecide(ctx, g.Value.DecidedValue)
+			return g.Value.DecidedValue, true, nil
+		}
+		if !g.Value.Promised {
+			continue
+		}
+		promisedCount++
+		if g.Value.HasAccepted && (!adopted || highest.Less(g.Value.AcceptedBallot)) {
+			highest = g.Value.AcceptedBallot
+			chosen = g.Value.AcceptedValue
+			adopted = true
+		}
+	}
+	if promisedCount < p.q.Size() {
+		return nil, false, nil // preempted
+	}
+
+	// Phase 2: accept.
+	accepts, err := transport.Gather(ctx, p.servers,
+		func(ctx context.Context, dst types.ProcessID) (acceptResp, error) {
+			return transport.InvokeTyped[acceptResp](ctx, p.rpc, dst, ServiceName, p.configID, msgAccept, acceptReq{Ballot: ballot, Value: chosen})
+		},
+		func(got []transport.GatherResult[acceptResp]) bool {
+			accepted := 0
+			for _, g := range got {
+				if g.Value.Accepted {
+					accepted++
+				}
+			}
+			return accepted >= p.q.Size()
+		},
+	)
+	if errorsIs(err, transport.ErrQuorumUnavailable) {
+		return nil, false, nil // preempted by a higher ballot
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("consensus: accept on %s: %w", p.configID, err)
+	}
+	acceptedCount := 0
+	for _, g := range accepts {
+		if g.Value.Accepted {
+			acceptedCount++
+		}
+	}
+	if acceptedCount < p.q.Size() {
+		return nil, false, nil // preempted
+	}
+
+	// Decided: spread the outcome.
+	p.broadcastDecide(ctx, chosen)
+	return chosen, true, nil
+}
+
+// broadcastDecide informs servers of the decision, awaiting a majority so a
+// later proposer's prepare quorum intersects a decided acceptor.
+func (p *Proposer) broadcastDecide(ctx context.Context, value []byte) {
+	_, _ = transport.Gather(ctx, p.servers,
+		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
+			return transport.InvokeTyped[struct{}](ctx, p.rpc, dst, ServiceName, p.configID, msgDecide, decideReq{Value: value})
+		},
+		transport.AtLeast[struct{}](p.q.Size()),
+	)
+}
+
+// Learn polls the servers for an existing decision without proposing.
+func (p *Proposer) Learn(ctx context.Context) ([]byte, bool, error) {
+	got, err := transport.Gather(ctx, p.servers,
+		func(ctx context.Context, dst types.ProcessID) (learnResp, error) {
+			return transport.InvokeTyped[learnResp](ctx, p.rpc, dst, ServiceName, p.configID, msgLearn, struct{}{})
+		},
+		func(got []transport.GatherResult[learnResp]) bool {
+			for _, g := range got {
+				if g.Value.Decided {
+					return true
+				}
+			}
+			return len(got) >= p.q.Size()
+		},
+	)
+	if err != nil {
+		return nil, false, fmt.Errorf("consensus: learn on %s: %w", p.configID, err)
+	}
+	for _, g := range got {
+		if g.Value.Decided {
+			return g.Value.Value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// backoff sleeps a randomized duration growing with the attempt number.
+func (p *Proposer) backoff(ctx context.Context, attempt int64) error {
+	const base = 2 * time.Millisecond
+	max := base * time.Duration(1<<min64(attempt, 6))
+	p.rngMu.Lock()
+	d := time.Duration(p.rng.Int63n(int64(max)))
+	p.rngMu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

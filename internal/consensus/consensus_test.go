@@ -1,0 +1,281 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// deploy installs a Paxos instance for configID on n servers.
+func deploy(t *testing.T, net *transport.Simnet, configID string, n int) ([]types.ProcessID, map[types.ProcessID]*Service) {
+	t.Helper()
+	var servers []types.ProcessID
+	services := make(map[types.ProcessID]*Service, n)
+	for i := 0; i < n; i++ {
+		id := types.ProcessID(fmt.Sprintf("s%d", i+1))
+		servers = append(servers, id)
+		nd := node.New(id)
+		svc := NewService()
+		nd.Install(ServiceName, configID, svc)
+		net.Register(id, nd)
+		services[id] = svc
+	}
+	return servers, services
+}
+
+func TestSingleProposerDecides(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 3)
+	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Propose(context.Background(), []byte("cfg-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cfg-1" {
+		t.Fatalf("decided %q, want cfg-1", got)
+	}
+}
+
+func TestAgreementUnderContention(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet(transport.WithDelayRange(0, 2*time.Millisecond), transport.WithSeed(42))
+	servers, _ := deploy(t, net, "c0", 5)
+
+	const proposers = 6
+	results := make([][]byte, proposers)
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < proposers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := types.ProcessID(fmt.Sprintf("g%d", i))
+			p, err := NewProposer(id, "c0", servers, net.Client(id))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := p.Propose(ctx, []byte(fmt.Sprintf("proposal-%d", i)))
+			if err != nil {
+				t.Errorf("proposer %d: %v", i, err)
+				return
+			}
+			results[i] = got
+		}()
+	}
+	wg.Wait()
+
+	// Agreement: all proposers decided the same value.
+	for i := 1; i < proposers; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatalf("proposer 0 decided %q, proposer %d decided %q: agreement violated", results[0], i, results[i])
+		}
+	}
+	// Validity: the decided value is one of the proposals.
+	valid := false
+	for i := 0; i < proposers; i++ {
+		if string(results[0]) == fmt.Sprintf("proposal-%d", i) {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decided %q was never proposed: validity violated", results[0])
+	}
+}
+
+func TestDecisionSurvivesProposerCrashMidway(t *testing.T) {
+	t.Parallel()
+	// Proposer 1 gets a value accepted by a majority but crashes before
+	// broadcasting the decision (we simulate by running only the attempt).
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 3)
+	p1, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Run a full attempt (accepts land) but drop the decide by cancelling
+	// right after: emulate via attempt() directly.
+	if _, ok, err := p1.attempt(ctx, 1, []byte("from-g1")); err != nil || !ok {
+		t.Fatalf("attempt: ok=%v err=%v", ok, err)
+	}
+
+	// A second proposer must decide the same value (it adopts the accepted
+	// proposal from the promise quorum).
+	p2, err := NewProposer("g2", "c0", servers, net.Client("g2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Propose(ctx, []byte("from-g2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-g1" {
+		t.Fatalf("second proposer decided %q, want from-g1 (agreement with accepted value)", got)
+	}
+}
+
+func TestToleratesMinorityCrash(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 5)
+	net.Crash(servers[0])
+	net.Crash(servers[1])
+	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := p.Propose(ctx, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("decided %q", got)
+	}
+}
+
+func TestBlocksWithoutMajority(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 3)
+	net.Crash(servers[0])
+	net.Crash(servers[1])
+	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := p.Propose(ctx, []byte("v")); err == nil {
+		t.Fatal("Propose succeeded without a majority")
+	}
+}
+
+func TestLearn(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 3)
+	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Nothing decided yet.
+	if _, ok, err := p.Learn(ctx); err != nil || ok {
+		t.Fatalf("Learn before decision: ok=%v err=%v", ok, err)
+	}
+	if _, err := p.Propose(ctx, []byte("decided")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := p.Learn(ctx)
+	if err != nil || !ok || string(v) != "decided" {
+		t.Fatalf("Learn after decision: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestBallotOrdering(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b Ballot
+		want bool
+	}{
+		{Ballot{1, 5}, Ballot{2, 1}, true},
+		{Ballot{2, 1}, Ballot{1, 5}, false},
+		{Ballot{1, 1}, Ballot{1, 2}, true},
+		{Ballot{1, 2}, Ballot{1, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Less(tc.b); got != tc.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAcceptorRejectsStaleBallots(t *testing.T) {
+	t.Parallel()
+	svc := NewService()
+	newer := Ballot{Round: 5, Proposer: 1}
+	older := Ballot{Round: 3, Proposer: 9}
+
+	resp := svc.prepare(prepareReq{Ballot: newer})
+	if !resp.Promised {
+		t.Fatal("fresh prepare rejected")
+	}
+	if got := svc.prepare(prepareReq{Ballot: older}); got.Promised {
+		t.Fatal("stale prepare promised")
+	}
+	if got := svc.accept(acceptReq{Ballot: older, Value: []byte("x")}); got.Accepted {
+		t.Fatal("stale accept accepted")
+	}
+	if got := svc.accept(acceptReq{Ballot: newer, Value: []byte("y")}); !got.Accepted {
+		t.Fatal("promised-ballot accept rejected")
+	}
+}
+
+func TestDecideIsIdempotentAndSticky(t *testing.T) {
+	t.Parallel()
+	svc := NewService()
+	svc.decide([]byte("first"))
+	svc.decide([]byte("second")) // must be ignored
+	v, ok := svc.Decided()
+	if !ok || string(v) != "first" {
+		t.Fatalf("Decided = %q ok=%v, want first", v, ok)
+	}
+	// prepare after decision reports the decision.
+	resp := svc.prepare(prepareReq{Ballot: Ballot{Round: 99}})
+	if !resp.Decided || string(resp.DecidedValue) != "first" {
+		t.Fatalf("prepare after decide = %+v", resp)
+	}
+}
+
+func TestSequentialInstancesIndependent(t *testing.T) {
+	t.Parallel()
+	// Two consensus instances for different configurations on the same
+	// servers must not interfere.
+	net := transport.NewSimnet()
+	var servers []types.ProcessID
+	for i := 0; i < 3; i++ {
+		id := types.ProcessID(fmt.Sprintf("s%d", i+1))
+		servers = append(servers, id)
+		nd := node.New(id)
+		nd.Install(ServiceName, "c0", NewService())
+		nd.Install(ServiceName, "c1", NewService())
+		net.Register(id, nd)
+	}
+	ctx := context.Background()
+	p0, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := NewProposer("g1", "c1", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := p0.Propose(ctx, []byte("for-c0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := p1.Propose(ctx, []byte("for-c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v0) != "for-c0" || string(v1) != "for-c1" {
+		t.Fatalf("instances interfered: %q %q", v0, v1)
+	}
+}

@@ -1,0 +1,110 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/transport"
+)
+
+func TestProposerBlockedByPartitionResumesAfterHeal(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 3)
+
+	// Partition the proposer from two of three acceptors: no majority.
+	net.BlockLink("g1", servers[0])
+	net.BlockLink("g1", servers[1])
+	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockedCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	if _, err := p.Propose(blockedCtx, []byte("v")); err == nil {
+		cancel()
+		t.Fatal("Propose succeeded across a majority partition")
+	}
+	cancel()
+
+	// Heal and retry: the instance decides.
+	net.UnblockLink("g1", servers[0])
+	net.UnblockLink("g1", servers[1])
+	got, err := p.Propose(context.Background(), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("decided %q", got)
+	}
+}
+
+func TestDecisionVisibleAcrossPartitionedLearner(t *testing.T) {
+	t.Parallel()
+	// One proposer decides while a second is partitioned away; after the
+	// heal the second proposer must learn (not overwrite) the decision.
+	net := transport.NewSimnet()
+	servers, _ := deploy(t, net, "c0", 5)
+	p1, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range servers {
+		net.BlockLink("g2", s)
+	}
+	decided, err := p1.Propose(context.Background(), []byte("winner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range servers {
+		net.UnblockLink("g2", s)
+	}
+	p2, err := NewProposer("g2", "c0", servers, net.Client("g2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Propose(context.Background(), []byte("loser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, decided) {
+		t.Fatalf("late proposer decided %q, want %q", got, decided)
+	}
+}
+
+func TestDecideSpreadsToLateAcceptors(t *testing.T) {
+	t.Parallel()
+	// An acceptor partitioned during the decide broadcast still converges:
+	// a later Learn through any proposer finds the decision via the others,
+	// and broadcastDecide re-spreads it.
+	net := transport.NewSimnet()
+	servers, services := deploy(t, net, "c0", 3)
+	late := servers[2]
+	net.BlockLink("g1", late)
+	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Propose(context.Background(), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := services[late].Decided(); ok {
+		t.Fatal("partitioned acceptor learned the decision impossibly")
+	}
+	net.UnblockLink("g1", late)
+
+	// A second proposer's prepare hits the decided majority and re-broadcasts.
+	p2, err := NewProposer("g2", "c0", servers, net.Client("g2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Propose(context.Background(), []byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("decided %q", got)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/recon"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/treas"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Client is an ARES reader/writer process (Alg. 7). A client discovers the
+// current configuration sequence through the reconfiguration service's
+// read-config action, queries every configuration from the last finalized
+// one onward, and propagates the freshest pair into the newest configuration
+// until no further configuration appears.
+type Client struct {
+	self types.ProcessID
+	rpc  transport.Client
+	daps *dap.Registry
+	rec  *recon.Client
+
+	mu   sync.Mutex
+	cseq cfg.Sequence
+
+	// retryInterval paces get-data retries while a TREAS tag is transiently
+	// undecodable (Theorem 9 guarantees progress within the δ bound).
+	retryInterval time.Duration
+}
+
+// NewClient constructs a reader/writer booted from configuration c0.
+func NewClient(self types.ProcessID, c0 cfg.Configuration, rpc transport.Client, registry *dap.Registry) (*Client, error) {
+	rec, err := recon.NewClient(self, c0, rpc, registry, nil, recon.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		self:          self,
+		rpc:           rpc,
+		daps:          registry,
+		rec:           rec,
+		cseq:          cfg.NewSequence(c0),
+		retryInterval: 2 * time.Millisecond,
+	}, nil
+}
+
+// Sequence returns a copy of the client's local configuration sequence.
+func (c *Client) Sequence() cfg.Sequence {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cseq.Clone()
+}
+
+func (c *Client) localSeq() cfg.Sequence {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cseq.Clone()
+}
+
+func (c *Client) storeSeq(seq cfg.Sequence) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged, err := c.cseq.Merge(seq)
+	if err != nil {
+		return err
+	}
+	c.cseq = merged
+	return nil
+}
+
+// Write performs the ARES write operation (Alg. 7 lines 7–23): discover the
+// sequence, collect the maximum tag over configurations µ..ν, increment it,
+// and repeatedly put-data into the last configuration until the sequence
+// stops growing. It returns the tag assigned to the written value.
+func (c *Client) Write(ctx context.Context, value types.Value) (tag.Tag, error) {
+	seq, err := c.rec.ReadConfig(ctx, c.localSeq())
+	if err != nil {
+		return tag.Tag{}, fmt.Errorf("core: write read-config: %w", err)
+	}
+	maxTag := tag.Zero
+	for i := seq.Mu(); i <= seq.Nu(); i++ {
+		client, err := c.daps.New(seq[i].Cfg, c.rpc)
+		if err != nil {
+			return tag.Tag{}, err
+		}
+		t, err := client.GetTag(ctx)
+		if err != nil {
+			return tag.Tag{}, fmt.Errorf("core: write get-tag on %s: %w", seq[i].Cfg.ID, err)
+		}
+		maxTag = tag.Max(maxTag, t)
+	}
+	newTag := maxTag.Next(c.self)
+	seq, err = c.propagate(ctx, seq, tag.Pair{Tag: newTag, Value: value})
+	if err != nil {
+		return tag.Tag{}, err
+	}
+	if err := c.storeSeq(seq); err != nil {
+		return tag.Tag{}, err
+	}
+	return newTag, nil
+}
+
+// Read performs the ARES read operation (Alg. 7 lines 24–45): discover the
+// sequence, collect the maximum tag-value pair over configurations µ..ν,
+// and repeatedly put-data that pair into the last configuration until the
+// sequence stops growing.
+func (c *Client) Read(ctx context.Context) (tag.Pair, error) {
+	seq, err := c.rec.ReadConfig(ctx, c.localSeq())
+	if err != nil {
+		return tag.Pair{}, fmt.Errorf("core: read read-config: %w", err)
+	}
+	best := tag.Pair{}
+	for i := seq.Mu(); i <= seq.Nu(); i++ {
+		pair, err := c.getDataRetry(ctx, seq[i].Cfg)
+		if err != nil {
+			return tag.Pair{}, fmt.Errorf("core: read get-data on %s: %w", seq[i].Cfg.ID, err)
+		}
+		best = tag.MaxPair(best, pair)
+	}
+	seq, err = c.propagate(ctx, seq, best)
+	if err != nil {
+		return tag.Pair{}, err
+	}
+	if err := c.storeSeq(seq); err != nil {
+		return tag.Pair{}, err
+	}
+	return best, nil
+}
+
+// WriteValue is Write discarding the assigned tag — the surface workload
+// drivers and simple applications want.
+func (c *Client) WriteValue(ctx context.Context, value types.Value) error {
+	_, err := c.Write(ctx, value)
+	return err
+}
+
+// ReadValue is Read returning only the value.
+func (c *Client) ReadValue(ctx context.Context) (types.Value, error) {
+	pair, err := c.Read(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return pair.Value, nil
+}
+
+// getDataRetry runs get-data, retrying while a TREAS read is transiently
+// undecodable. The paper's read simply does not complete until decodable;
+// the context bounds the wait.
+func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.Pair, error) {
+	client, err := c.daps.New(conf, c.rpc)
+	if err != nil {
+		return tag.Pair{}, err
+	}
+	for {
+		pair, err := client.GetData(ctx)
+		if err == nil {
+			return pair, nil
+		}
+		if !errors.Is(err, treas.ErrNotDecodable) {
+			return tag.Pair{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return tag.Pair{}, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
+		case <-time.After(c.retryInterval):
+		}
+	}
+}
+
+// propagate is the shared tail of read and write (Alg. 7 lines 14–22 /
+// 36–44): put-data into the last configuration, re-read the sequence, and
+// repeat whenever a new configuration appeared meanwhile.
+func (c *Client) propagate(ctx context.Context, seq cfg.Sequence, p tag.Pair) (cfg.Sequence, error) {
+	for {
+		last := seq.Last().Cfg
+		client, err := c.daps.New(last, c.rpc)
+		if err != nil {
+			return nil, err
+		}
+		if err := client.PutData(ctx, p); err != nil {
+			return nil, fmt.Errorf("core: put-data on %s: %w", last.ID, err)
+		}
+		next, err := c.rec.ReadConfig(ctx, seq)
+		if err != nil {
+			return nil, fmt.Errorf("core: propagate read-config: %w", err)
+		}
+		if next.Nu() == seq.Nu() {
+			return next, nil
+		}
+		seq = next
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ares-storage/ares/internal/abd"
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/consensus"
+	"github.com/ares-storage/ares/internal/ldr"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/recon"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/treas"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Control-service constants: every host exposes a node-level "ctl" service
+// through which reconfiguration clients provision configurations remotely.
+const (
+	CtlServiceName = "ctl"
+	// CtlConfigKey is the pseudo-configuration the control service is keyed
+	// under (it is node-scoped, not configuration-scoped).
+	CtlConfigKey = "node"
+	msgInstall   = "install"
+)
+
+type installReq struct {
+	Cfg cfg.Configuration
+}
+
+// Host is a server process: a node plus its own network endpoint, able to
+// instantiate per-configuration services on demand. Creating a host installs
+// the control service; the caller registers the host's node as the process's
+// transport handler.
+type Host struct {
+	node *node.Node
+	rpc  transport.Client
+
+	mu     sync.Mutex
+	stores []storageReporter
+}
+
+// storageReporter is satisfied by every store service; it reports the bytes
+// of object data at rest (the paper's storage-cost metric).
+type storageReporter interface {
+	StorageBytes() int
+}
+
+// NewHost wraps a node and its outbound endpoint. rpc is used by TREAS
+// stores for the §5 server-to-server forwarding.
+func NewHost(n *node.Node, rpc transport.Client) *Host {
+	h := &Host{node: n, rpc: rpc}
+	n.Install(CtlServiceName, CtlConfigKey, node.ServiceFunc(h.handleCtl))
+	return h
+}
+
+// Node returns the underlying node (the transport handler to register).
+func (h *Host) Node() *node.Node { return h.node }
+
+// ID returns the host's process ID.
+func (h *Host) ID() types.ProcessID { return h.node.ID() }
+
+func (h *Host) handleCtl(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgInstall:
+		var req installReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		return nil, h.InstallConfiguration(req.Cfg)
+	default:
+		return nil, fmt.Errorf("core: ctl: unknown message type %q", msgType)
+	}
+}
+
+// InstallConfiguration instantiates configuration c's services on this host:
+// the store service matching c.Algorithm, the reconfiguration pointer
+// service, and the consensus acceptor. Non-members install nothing.
+// Installation is idempotent (node.Install keeps the first instance).
+func (h *Host) InstallConfiguration(c cfg.Configuration) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("core: installing %s on %s: %w", c.ID, h.ID(), err)
+	}
+	member := false
+	if _, ok := c.ServerIndex(h.ID()); ok {
+		member = true
+		store, name, err := h.buildStore(c)
+		if err != nil {
+			return err
+		}
+		if h.node.Install(name, string(c.ID), store) {
+			if r, ok := store.(storageReporter); ok {
+				h.mu.Lock()
+				h.stores = append(h.stores, r)
+				h.mu.Unlock()
+			}
+		}
+		h.node.Install(recon.ServiceName, string(c.ID), recon.NewService())
+		h.node.Install(consensus.ServiceName, string(c.ID), consensus.NewService())
+	}
+	// LDR directory servers may coincide with or differ from the replica
+	// set; install the directory service on directory members.
+	if c.Algorithm == cfg.LDR {
+		for _, d := range c.Directories {
+			if d == h.ID() {
+				h.node.Install(ldr.DirectoryServiceName, string(c.ID), ldr.NewDirectoryService())
+				member = true
+			}
+		}
+	}
+	_ = member
+	return nil
+}
+
+// StorageBytes sums the object-data bytes at rest across every store
+// service installed on this host.
+func (h *Host) StorageBytes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for _, s := range h.stores {
+		total += s.StorageBytes()
+	}
+	return total
+}
+
+// buildStore constructs the algorithm-specific store service for c.
+func (h *Host) buildStore(c cfg.Configuration) (node.Service, string, error) {
+	switch c.Algorithm {
+	case cfg.ABD:
+		return abd.NewService(), abd.ServiceName, nil
+	case cfg.TREAS:
+		svc, err := treas.NewService(c, h.ID(), h.rpc)
+		if err != nil {
+			return nil, "", err
+		}
+		return svc, treas.ServiceName, nil
+	case cfg.LDR:
+		return ldr.NewReplicaService(), ldr.ReplicaServiceName, nil
+	default:
+		return nil, "", fmt.Errorf("core: no store for algorithm %q", c.Algorithm)
+	}
+}
+
+// RemoteInstaller returns a recon.Installer that provisions a configuration
+// by sending install commands to its servers' control services over rpc. It
+// requires an acknowledgement from every directory member and a quorum of
+// servers (crashed servers cannot be provisioned, and quorums suffice for
+// every subsequent protocol step).
+func RemoteInstaller(rpc transport.Client) recon.Installer {
+	return func(ctx context.Context, c cfg.Configuration) error {
+		targets := append([]types.ProcessID(nil), c.Servers...)
+		for _, d := range c.Directories {
+			if _, ok := c.ServerIndex(d); !ok {
+				targets = append(targets, d)
+			}
+		}
+		need := c.Quorum().Size()
+		req := installReq{Cfg: c}
+		// Prefer provisioning every member, but do not hang forever on
+		// crashed ones: bound the all-targets wait and settle for a quorum.
+		installCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		got, err := transport.Gather(installCtx, targets,
+			func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
+				return transport.InvokeTyped[struct{}](ctx, rpc, dst, CtlServiceName, CtlConfigKey, msgInstall, req)
+			},
+			transport.AtLeast[struct{}](len(targets)),
+		)
+		if err != nil && len(got) < need {
+			return fmt.Errorf("core: installing %s: %d/%d acks: %w", c.ID, len(got), need, err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/abd"
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/consensus"
+	"github.com/ares-storage/ares/internal/ldr"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/recon"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/treas"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func TestInstallConfigurationServices(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	h := NewHost(node.New("s1"), net.Client("s1"))
+
+	c := treasConfig("c9", "hx", 3, 2, 1)
+	c.Servers[0] = "s1" // make this host a member
+	if err := h.InstallConfiguration(c); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{treas.ServiceName, recon.ServiceName, consensus.ServiceName} {
+		if _, ok := h.Node().Lookup(svc, string(c.ID)); !ok {
+			t.Errorf("service %s not installed", svc)
+		}
+	}
+}
+
+func TestInstallSkipsNonMembers(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	h := NewHost(node.New("outsider"), net.Client("outsider"))
+	c := abdConfig("c1", "nm", 3)
+	if err := h.InstallConfiguration(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Node().Lookup(abd.ServiceName, string(c.ID)); ok {
+		t.Fatal("non-member installed a store service")
+	}
+	// Only the ctl service is present.
+	if h.Node().Services() != 1 {
+		t.Fatalf("services = %d, want 1 (ctl)", h.Node().Services())
+	}
+}
+
+func TestInstallLDRDirectoryOnlyMember(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	h := NewHost(node.New("dir-1"), net.Client("dir-1"))
+	c := cfg.Configuration{
+		ID:          "cl",
+		Algorithm:   cfg.LDR,
+		Servers:     []types.ProcessID{"rep-1", "rep-2", "rep-3"},
+		Directories: []types.ProcessID{"dir-1", "dir-2", "dir-3"},
+		FReplicas:   1,
+	}
+	if err := h.InstallConfiguration(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Node().Lookup(ldr.DirectoryServiceName, string(c.ID)); !ok {
+		t.Fatal("directory service not installed on directory member")
+	}
+	if _, ok := h.Node().Lookup(ldr.ReplicaServiceName, string(c.ID)); ok {
+		t.Fatal("replica service installed on a directory-only member")
+	}
+}
+
+func TestInstallRejectsInvalidConfiguration(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	h := NewHost(node.New("s1"), net.Client("s1"))
+	bad := cfg.Configuration{ID: "bad", Algorithm: "nope", Servers: []types.ProcessID{"s1"}}
+	if err := h.InstallConfiguration(bad); err == nil {
+		t.Fatal("invalid configuration installed")
+	}
+}
+
+func TestCtlServiceInstallOverWire(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	h := NewHost(node.New("s1"), net.Client("s1"))
+	net.Register("s1", h.Node())
+
+	c := abdConfig("cw", "wire", 3)
+	c.Servers[0] = "s1"
+	installer := RemoteInstaller(net.Client("g1"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Two of the three members do not exist on the network; the installer
+	// needs a quorum (2) and can only get 1, so it must fail.
+	if err := installer(ctx, c); err == nil {
+		t.Fatal("install with only 1/3 members reachable succeeded")
+	}
+
+	// Add a second member: quorum reachable, install succeeds.
+	h2 := NewHost(node.New(c.Servers[1]), net.Client(c.Servers[1]))
+	net.Register(c.Servers[1], h2.Node())
+	h3 := NewHost(node.New(c.Servers[2]), net.Client(c.Servers[2]))
+	net.Register(c.Servers[2], h3.Node())
+	if err := installer(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Node().Lookup(abd.ServiceName, string(c.ID)); !ok {
+		t.Fatal("store service missing after remote install")
+	}
+}
+
+func TestCtlRejectsUnknownMessage(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	h := NewHost(node.New("s1"), net.Client("s1"))
+	resp := h.Node().HandleRequest("x", transport.Request{
+		Service: CtlServiceName, Config: CtlConfigKey, Type: "bogus",
+	})
+	if resp.OK || !strings.Contains(resp.Err, "unknown message") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestHostStorageBytesAggregates(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	c0 := abdConfig("c0", "st", 3)
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(context.Background(), make(types.Value, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	h, _ := cluster.Host(c0.Servers[0])
+	if got := h.StorageBytes(); got != 2048 {
+		t.Fatalf("StorageBytes = %d, want 2048", got)
+	}
+}
+
+func TestDirectTransferFallsBackForABDTarget(t *testing.T) {
+	t.Parallel()
+	// DirectTransfer requested but the target is ABD: recon must fall back
+	// to the Alg. 5 value transfer and still move the state.
+	c0 := treasConfig("c0", "fb0", 5, 3, 2)
+	c1 := abdConfig("c1", "fb1", 3)
+	net := transport.NewSimnet()
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addHosts(cluster, c1)
+	ctx := context.Background()
+	w, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, types.Value("fallback")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cluster.NewReconfigurer("g1", recon.Options{DirectTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewClient("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := r.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pair.Value) != "fallback" {
+		t.Fatalf("read %q", pair.Value)
+	}
+}
+
+func TestDirectTransferFromABDSourceFallsBack(t *testing.T) {
+	t.Parallel()
+	// Source holding the freshest tag is ABD, target TREAS: direct transfer
+	// cannot forward replicated state as coded elements — fallback applies.
+	c0 := abdConfig("c0", "fs0", 3)
+	c1 := treasConfig("c1", "fs1", 5, 3, 2)
+	net := transport.NewSimnet()
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addHosts(cluster, c1)
+	ctx := context.Background()
+	w, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, types.Value("from-abd")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cluster.NewReconfigurer("g1", recon.Options{DirectTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewClient("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := r.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pair.Value) != "from-abd" {
+		t.Fatalf("read %q", pair.Value)
+	}
+}

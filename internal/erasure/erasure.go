@@ -1,0 +1,216 @@
+// Package erasure implements the [n, k] linear MDS codes over GF(2^8) that
+// TREAS stores values with (§2, "Background on Erasure coding").
+//
+// A Code splits a value v into k equal elements v1..vk and produces n coded
+// elements c1..cn = Φ([v1..vk]); any k of the n coded elements reconstruct
+// v (the MDS property). Each coded element has size ⌈|v|/k⌉, so the total
+// storage across n servers is (n/k)·|v|, the quantity all the paper's cost
+// theorems are expressed in.
+//
+// The code is systematic: the first k coded elements are the data elements
+// themselves, obtained by transforming an extended Vandermonde matrix so its
+// top k×k block is the identity. Decoding from an arbitrary k-subset inverts
+// the corresponding k rows of the encode matrix.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/gf256"
+)
+
+// Code is an [n, k] systematic MDS Reed–Solomon code. It is safe for
+// concurrent use; decode-matrix inversions are cached per shard subset.
+type Code struct {
+	n, k int
+	enc  matrix // n×k encode matrix, top k×k block = identity.
+
+	mu        sync.Mutex
+	decodeLRU map[string]matrix // cached inverted submatrices keyed by row set
+	maxCached int
+}
+
+// Limits on code parameters: GF(2^8) Vandermonde construction supports up to
+// 255 total shards; the paper's protocols need 1 <= k <= n.
+const maxShards = 255
+
+// New constructs an [n, k] code. It returns an error when the parameters are
+// out of range; k == 1 degenerates to n-way replication and is permitted so
+// replication-based configurations can share the code path.
+func New(n, k int) (*Code, error) {
+	switch {
+	case k < 1:
+		return nil, fmt.Errorf("erasure: k = %d must be at least 1", k)
+	case n < k:
+		return nil, fmt.Errorf("erasure: n = %d must be at least k = %d", n, k)
+	case n > maxShards:
+		return nil, fmt.Errorf("erasure: n = %d exceeds the GF(2^8) limit of %d", n, maxShards)
+	}
+	vm := vandermonde(n, k)
+	top := vm.subMatrix(seq(k))
+	topInv, err := top.invert()
+	if err != nil {
+		// Vandermonde top blocks are always invertible; reaching here is a bug.
+		return nil, fmt.Errorf("erasure: building systematic matrix: %w", err)
+	}
+	return &Code{
+		n:         n,
+		k:         k,
+		enc:       vm.mul(topInv),
+		decodeLRU: make(map[string]matrix),
+		maxCached: 64,
+	}, nil
+}
+
+// Must constructs a code and panics on invalid parameters. Intended for
+// tests and package-level examples with constant parameters.
+func Must(n, k int) *Code {
+	c, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the total number of coded elements produced per value.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of elements sufficient to reconstruct a value.
+func (c *Code) K() int { return c.k }
+
+// ShardSize returns the size in bytes of each coded element for a value of
+// valueLen bytes: ⌈valueLen/k⌉ (zero-padded striping).
+func (c *Code) ShardSize(valueLen int) int {
+	return (valueLen + c.k - 1) / c.k
+}
+
+// Encode produces the n coded elements Φ(v). The returned shards each have
+// ShardSize(len(v)) bytes; shard i is Φ_i(v), destined for server i. The
+// input is not retained; for a systematic code, shards 0..k-1 alias freshly
+// allocated copies of the data stripes.
+func (c *Code) Encode(v []byte) ([][]byte, error) {
+	shardLen := c.ShardSize(len(v))
+	if shardLen == 0 {
+		shardLen = 1 // Encode empty values as single zero bytes so protocols
+		// can round-trip v0 = "" through the coded path.
+	}
+	// Split into k data stripes, zero-padded.
+	data := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		stripe := make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(v) {
+			end := start + shardLen
+			if end > len(v) {
+				end = len(v)
+			}
+			copy(stripe, v[start:end])
+		}
+		data[i] = stripe
+	}
+	out := make([][]byte, c.n)
+	for r := 0; r < c.n; r++ {
+		row := make([]byte, shardLen)
+		for i := 0; i < c.k; i++ {
+			if coef := c.enc[r][i]; coef != 0 {
+				gf256.MulSlice(coef, data[i], row)
+			}
+		}
+		out[r] = row
+	}
+	return out, nil
+}
+
+// ErrInsufficientShards reports a decode attempt with fewer than k distinct
+// coded elements, the condition under which a TREAS read cannot complete.
+var ErrInsufficientShards = errors.New("erasure: fewer than k shards available")
+
+// Decode reconstructs the original value of length valueLen from coded
+// elements keyed by shard index. At least k entries are required; extras are
+// ignored deterministically (lowest indices win).
+func (c *Code) Decode(shards map[int][]byte, valueLen int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficientShards, len(shards), c.k)
+	}
+	shardLen := c.ShardSize(valueLen)
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	rows := make([]int, 0, c.k)
+	for i := 0; i < c.n && len(rows) < c.k; i++ {
+		if s, ok := shards[i]; ok {
+			if len(s) != shardLen {
+				return nil, fmt.Errorf("erasure: shard %d has %d bytes, want %d", i, len(s), shardLen)
+			}
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) < c.k {
+		return nil, fmt.Errorf("%w: have %d valid indices, need %d", ErrInsufficientShards, len(rows), c.k)
+	}
+	dec, err := c.decodeMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, c.k*shardLen)
+	for i := 0; i < c.k; i++ {
+		stripe := out[i*shardLen : (i+1)*shardLen]
+		for j, r := range rows {
+			if coef := dec[i][j]; coef != 0 {
+				gf256.MulSlice(coef, shards[r], stripe)
+			}
+		}
+	}
+	if valueLen > len(out) {
+		return nil, fmt.Errorf("erasure: valueLen %d exceeds decoded capacity %d", valueLen, len(out))
+	}
+	return out[:valueLen], nil
+}
+
+// decodeMatrix returns the inverse of the encode-matrix rows selected by the
+// (sorted, distinct) indices in rows, memoizing the result.
+func (c *Code) decodeMatrix(rows []int) (matrix, error) {
+	key := rowKey(rows)
+	c.mu.Lock()
+	if m, ok := c.decodeLRU[key]; ok {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+
+	sub := newMatrix(c.k, c.k)
+	for i, r := range rows {
+		copy(sub[i], c.enc[r])
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decoding rows %v: %w", rows, err)
+	}
+
+	c.mu.Lock()
+	if len(c.decodeLRU) >= c.maxCached {
+		// Simple reset eviction; decode subsets are few in steady state.
+		c.decodeLRU = make(map[string]matrix)
+	}
+	c.decodeLRU[key] = inv
+	c.mu.Unlock()
+	return inv, nil
+}
+
+func rowKey(rows []int) string {
+	b := make([]byte, len(rows))
+	for i, r := range rows {
+		b[i] = byte(r)
+	}
+	return string(b)
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

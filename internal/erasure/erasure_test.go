@@ -1,0 +1,321 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidatesParameters(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		n, k    int
+		wantErr bool
+	}{
+		{name: "valid 5-3", n: 5, k: 3, wantErr: false},
+		{name: "replication k=1", n: 3, k: 1, wantErr: false},
+		{name: "n equals k", n: 4, k: 4, wantErr: false},
+		{name: "k zero", n: 3, k: 0, wantErr: true},
+		{name: "k negative", n: 3, k: -1, wantErr: true},
+		{name: "n less than k", n: 2, k: 3, wantErr: true},
+		{name: "n too large", n: 300, k: 3, wantErr: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := New(tc.n, tc.k)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(%d, %d) error = %v, wantErr = %v", tc.n, tc.k, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodeIsSystematic(t *testing.T) {
+	t.Parallel()
+	c := Must(6, 4)
+	v := make([]byte, 4*10)
+	for i := range v {
+		v[i] = byte(i)
+	}
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(shards[i], v[i*10:(i+1)*10]) {
+			t.Errorf("shard %d is not the raw data stripe", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripAllSubsets(t *testing.T) {
+	t.Parallel()
+	c := Must(5, 3)
+	v := []byte("the quick brown fox jumps over the lazy dog")
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 3-subset of the 5 shards must reconstruct v.
+	n := c.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for d := b + 1; d < n; d++ {
+				sub := map[int][]byte{a: shards[a], b: shards[b], d: shards[d]}
+				got, err := c.Decode(sub, len(v))
+				if err != nil {
+					t.Fatalf("Decode(%d,%d,%d): %v", a, b, d, err)
+				}
+				if !bytes.Equal(got, v) {
+					t.Fatalf("Decode(%d,%d,%d) mismatch", a, b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeInsufficientShards(t *testing.T) {
+	t.Parallel()
+	c := Must(5, 3)
+	v := []byte("hello world")
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Decode(map[int][]byte{0: shards[0], 4: shards[4]}, len(v))
+	if !errors.Is(err, ErrInsufficientShards) {
+		t.Fatalf("Decode with 2 shards: error = %v, want ErrInsufficientShards", err)
+	}
+}
+
+func TestDecodeWrongShardLength(t *testing.T) {
+	t.Parallel()
+	c := Must(4, 2)
+	v := []byte("0123456789")
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[int][]byte{0: shards[0], 1: shards[1][:1]}
+	if _, err := c.Decode(bad, len(v)); err == nil {
+		t.Fatal("Decode with truncated shard succeeded, want error")
+	}
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	t.Parallel()
+	c := Must(3, 2)
+	shards, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	got, err := c.Decode(map[int][]byte{1: shards[1], 2: shards[2]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d bytes from empty value, want 0", len(got))
+	}
+}
+
+func TestShardSize(t *testing.T) {
+	t.Parallel()
+	c := Must(5, 3)
+	cases := []struct {
+		valueLen, want int
+	}{
+		{0, 0}, {1, 1}, {3, 1}, {4, 2}, {9, 3}, {10, 4},
+	}
+	for _, tc := range cases {
+		if got := c.ShardSize(tc.valueLen); got != tc.want {
+			t.Errorf("ShardSize(%d) = %d, want %d", tc.valueLen, got, tc.want)
+		}
+	}
+}
+
+func TestUnalignedValueLengths(t *testing.T) {
+	t.Parallel()
+	c := Must(7, 5)
+	for length := 0; length <= 41; length++ {
+		v := make([]byte, length)
+		for i := range v {
+			v[i] = byte(i*7 + 3)
+		}
+		shards, err := c.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := map[int][]byte{2: shards[2], 3: shards[3], 4: shards[4], 5: shards[5], 6: shards[6]}
+		got, err := c.Decode(sub, length)
+		if err != nil {
+			t.Fatalf("length %d: %v", length, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("length %d: round trip mismatch", length)
+		}
+	}
+}
+
+// TestQuickRoundTrip is the property test: for random (n, k, value) and a
+// random k-subset of shards, decode recovers the value.
+func TestQuickRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(n)
+		c, err := New(n, k)
+		if err != nil {
+			return false
+		}
+		v := make([]byte, rng.Intn(1024))
+		rng.Read(v)
+		shards, err := c.Encode(v)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)[:k]
+		sub := make(map[int][]byte, k)
+		for _, idx := range perm {
+			sub[idx] = shards[idx]
+		}
+		got, err := c.Decode(sub, len(v))
+		return err == nil && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMDSProperty checks that losing any n-k shards never prevents
+// reconstruction (the Maximum Distance Separable property).
+func TestQuickMDSProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		k := 1 + rng.Intn(n-1)
+		c, err := New(n, k)
+		if err != nil {
+			return false
+		}
+		v := make([]byte, 64+rng.Intn(256))
+		rng.Read(v)
+		shards, err := c.Encode(v)
+		if err != nil {
+			return false
+		}
+		// Erase exactly n-k random shards.
+		sub := make(map[int][]byte, k)
+		for _, idx := range rng.Perm(n)[:k] {
+			sub[idx] = shards[idx]
+		}
+		got, err := c.Decode(sub, len(v))
+		return err == nil && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicationDegenerateCase(t *testing.T) {
+	t.Parallel()
+	c := Must(3, 1)
+	v := []byte("replicated")
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		if !bytes.Equal(s, v) {
+			t.Errorf("shard %d = %q, want full copy %q (k=1 replication)", i, s, v)
+		}
+	}
+	got, err := c.Decode(map[int][]byte{2: shards[2]}, len(v))
+	if err != nil || !bytes.Equal(got, v) {
+		t.Fatalf("Decode from single replica: %v", err)
+	}
+}
+
+func TestStorageOverheadRatio(t *testing.T) {
+	t.Parallel()
+	// §1 motivating example: [3,2] coding stores 1.5x, vs 3x for replication.
+	c := Must(3, 2)
+	v := make([]byte, 1000)
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != 1500 {
+		t.Fatalf("total coded bytes = %d, want 1500 (n/k = 1.5x of 1000)", total)
+	}
+}
+
+func TestDecodeMatrixCacheConcurrency(t *testing.T) {
+	t.Parallel()
+	c := Must(6, 3)
+	v := make([]byte, 300)
+	shards, err := c.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			sub := map[int][]byte{
+				g % 6:       shards[g%6],
+				(g + 1) % 6: shards[(g+1)%6],
+				(g + 2) % 6: shards[(g+2)%6],
+			}
+			_, err := c.Decode(sub, len(v))
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode1MiB(b *testing.B) {
+	c := Must(5, 3)
+	v := make([]byte, 1<<20)
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode1MiB(b *testing.B) {
+	c := Must(5, 3)
+	v := make([]byte, 1<<20)
+	shards, err := c.Encode(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := map[int][]byte{2: shards[2], 3: shards[3], 4: shards[4]}
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(sub, len(v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ares-storage/ares/internal/gf256"
+)
+
+// matrix is a row-major byte matrix over GF(2^8).
+type matrix [][]byte
+
+// errSingular reports an attempt to invert a singular matrix. For Vandermonde
+// submatrices this cannot happen with distinct evaluation points; it guards
+// against corrupted shard indices.
+var errSingular = errors.New("erasure: matrix is singular")
+
+// newMatrix allocates a zero rows×cols matrix.
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	backing := make([]byte, rows*cols)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// identityMatrix returns the n×n identity.
+func identityMatrix(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// vandermonde builds the rows×cols Vandermonde matrix with row i equal to
+// [1, a_i, a_i^2, ...] for a_i = generator^i. Any k of its rows are linearly
+// independent when rows <= 255, which yields the MDS property.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		base := gf256.Exp(r)
+		acc := byte(1)
+		for c := 0; c < cols; c++ {
+			m[r][c] = acc
+			acc = gf256.Mul(acc, base)
+		}
+	}
+	return m
+}
+
+// mul returns the matrix product m × other.
+func (m matrix) mul(other matrix) matrix {
+	rows, inner, cols := len(m), len(other), len(other[0])
+	out := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < inner; i++ {
+			if m[r][i] == 0 {
+				continue
+			}
+			gf256.MulSlice(m[r][i], other[i], out[r])
+		}
+	}
+	_ = inner
+	return out
+}
+
+// subMatrix returns the matrix formed by the given rows of m.
+func (m matrix) subMatrix(rows []int) matrix {
+	out := make(matrix, len(rows))
+	for i, r := range rows {
+		out[i] = m[r]
+	}
+	return out
+}
+
+// invert returns the inverse of square matrix m via Gauss–Jordan elimination.
+func (m matrix) invert() (matrix, error) {
+	n := len(m)
+	if n == 0 || len(m[0]) != n {
+		return nil, fmt.Errorf("erasure: cannot invert %dx%d matrix", n, len(m[0]))
+	}
+	// Work on an augmented copy [m | I].
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work[r], m[r])
+		work[r][n+r] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errSingular
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		// Scale the pivot row to make the pivot 1.
+		if p := work[col][col]; p != 1 {
+			inv := gf256.Inv(p)
+			gf256.MulSliceAssign(inv, work[col], work[col])
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			gf256.MulSlice(work[r][col], work[col], work[r])
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out[r], work[r][n:])
+	}
+	return out, nil
+}

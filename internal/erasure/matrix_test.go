@@ -1,0 +1,134 @@
+package erasure
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ares-storage/ares/internal/gf256"
+)
+
+func TestIdentityMatrix(t *testing.T) {
+	t.Parallel()
+	m := identityMatrix(3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m[r][c] != want {
+				t.Errorf("I[%d][%d] = %d, want %d", r, c, m[r][c], want)
+			}
+		}
+	}
+}
+
+func TestInvertIdentity(t *testing.T) {
+	t.Parallel()
+	m := identityMatrix(4)
+	inv, err := m.invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := m.mul(inv)
+	for r := range prod {
+		for c := range prod[r] {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if prod[r][c] != want {
+				t.Fatalf("product not identity at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	t.Parallel()
+	m := newMatrix(2, 2)
+	m[0][0], m[0][1] = 1, 2
+	m[1][0], m[1][1] = 1, 2 // duplicate row
+	if _, err := m.invert(); !errors.Is(err, errSingular) {
+		t.Fatalf("invert singular: error = %v, want errSingular", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	t.Parallel()
+	m := newMatrix(2, 3)
+	if _, err := m.invert(); err == nil {
+		t.Fatal("inverting non-square matrix succeeded, want error")
+	}
+}
+
+func TestQuickInvertRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		// Random Vandermonde submatrix: always invertible.
+		vm := vandermonde(16, n)
+		rows := rng.Perm(16)[:n]
+		m := newMatrix(n, n)
+		for i, r := range rows {
+			copy(m[i], vm[r])
+		}
+		inv, err := m.invert()
+		if err != nil {
+			return false
+		}
+		prod := m.mul(inv)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod[r][c] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVandermondeStructure(t *testing.T) {
+	t.Parallel()
+	m := vandermonde(4, 3)
+	for r := 0; r < 4; r++ {
+		base := gf256.Exp(r)
+		acc := byte(1)
+		for c := 0; c < 3; c++ {
+			if m[r][c] != acc {
+				t.Errorf("vm[%d][%d] = %#x, want %#x", r, c, m[r][c], acc)
+			}
+			acc = gf256.Mul(acc, base)
+		}
+	}
+}
+
+func TestMatrixMulAgainstManual(t *testing.T) {
+	t.Parallel()
+	a := newMatrix(2, 2)
+	a[0][0], a[0][1] = 1, 2
+	a[1][0], a[1][1] = 3, 4
+	b := newMatrix(2, 2)
+	b[0][0], b[0][1] = 5, 6
+	b[1][0], b[1][1] = 7, 8
+	got := a.mul(b)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			want := gf256.Add(gf256.Mul(a[r][0], b[0][c]), gf256.Mul(a[r][1], b[1][c]))
+			if got[r][c] != want {
+				t.Errorf("(a·b)[%d][%d] = %#x, want %#x", r, c, got[r][c], want)
+			}
+		}
+	}
+}

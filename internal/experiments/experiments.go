@@ -1,0 +1,73 @@
+// Package experiments regenerates the paper's evaluation artifacts: each
+// exported Run* function reproduces one table or figure (see DESIGN.md §3
+// for the experiment index) and returns the rows the paper reports —
+// measured on this implementation, alongside the closed-form predictions
+// where the paper gives them.
+//
+// The arXiv text's "tables" are its cost theorems (Theorem 3) and its
+// "figures" the latency-analysis constructions (Lemmas 55–60); we also
+// include the ICDCS-style performance sweeps the introduction motivates.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ares-storage/ares/internal/benchutil"
+)
+
+// Result is one experiment's regenerated artifact.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e1..e6, f1..f8).
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Table holds the measured rows.
+	Table *benchutil.Table
+	// Notes carries observations to record in EXPERIMENTS.md (who wins, by
+	// what factor, where crossovers fall).
+	Notes []string
+}
+
+// Runner produces a Result.
+type Runner func() (*Result, error)
+
+// registry maps experiment IDs to runners. Built explicitly (no init).
+func registry() map[string]Runner {
+	return map[string]Runner{
+		"e1": E1StorageCost,
+		"e2": E2WriteCommCost,
+		"e3": E3ReadCommCost,
+		"e4": E4CostComparison,
+		"e5": E5DirectTransfer,
+		"e6": E6ActionDelays,
+		"f1": F1LatencyVsSize,
+		"f2": F2LatencyVsServers,
+		"f3": F3WriterConcurrency,
+		"f4": F4ReaderConcurrency,
+		"f5": F5ReconfigChurn,
+		"f6": F6ReconPipeline,
+		"f7": F7CatchUp,
+		"f8": F8TerminationThreshold,
+	}
+}
+
+// IDs returns all experiment identifiers in order.
+func IDs() []string {
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string) (*Result, error) {
+	r, ok := registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r()
+}

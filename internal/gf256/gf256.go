@@ -1,0 +1,115 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8), the
+// base field for the [n, k] MDS Reed–Solomon codes used by TREAS (§2,
+// "Background on Erasure coding"). Elements are bytes; addition is XOR and
+// multiplication is carried out through logarithm/antilogarithm tables built
+// from a generator of the field's multiplicative group.
+package gf256
+
+// poly is the irreducible polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the
+// conventional choice for Reed–Solomon over GF(2^8).
+const poly = 0x11d
+
+// generator is a primitive element of GF(2^8) under poly.
+const generator = 2
+
+var (
+	expTable [512]byte // expTable[i] = generator^i, doubled to skip mod 255.
+	logTable [256]byte // logTable[x] = i such that generator^i = x, x != 0.
+)
+
+// buildTables populates the log/exp tables. Called lazily through tablesOnce
+// from newTables; kept as a plain function so tests can validate it directly.
+func buildTables() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[byte(x)] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// The tables are cheap to build; do it eagerly at package load via a
+// package-level variable assignment (not init(), per style guidance) so all
+// operations are branch-free on the hot path.
+var _ = func() struct{} {
+	buildTables()
+	return struct{}{}
+}()
+
+// Add returns a + b in GF(2^8) (XOR). Subtraction is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). Division by zero panics: it indicates a
+// programming error in matrix manipulation, never a data-dependent state.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	diff := int(logTable[a]) - int(logTable[b])
+	if diff < 0 {
+		diff += 255
+	}
+	return expTable[diff]
+}
+
+// Inv returns the multiplicative inverse of a. Inverting zero panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns generator^n for n >= 0.
+func Exp(n int) byte {
+	return expTable[n%255]
+}
+
+// MulSlice computes dst[i] ^= c * src[i] for all i, the inner loop of
+// matrix-vector products in encode/decode. dst and src must be equal length.
+func MulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// MulSliceAssign computes dst[i] = c * src[i] for all i.
+func MulSliceAssign(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[s])]
+		}
+	}
+}

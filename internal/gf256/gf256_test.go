@@ -1,0 +1,185 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0x53, 0xca, 0x99},
+		{0xff, 0x0f, 0xf0},
+	}
+	for _, tc := range cases {
+		if got := Add(tc.a, tc.b); got != tc.want {
+			t.Errorf("Add(%#x, %#x) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b, want byte
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 0xab, 0xab},
+		{2, 2, 4},
+		{0x80, 2, 0x1d}, // overflow wraps through the reduction polynomial
+	}
+	for _, tc := range cases {
+		if got := Mul(tc.a, tc.b); got != tc.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	t.Parallel()
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	t.Parallel()
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributivity(t *testing.T) {
+	t.Parallel()
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDivRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	t.Parallel()
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a * Inv(a) = %#x for a=%#x, want 1", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(x, 0) did not panic")
+		}
+	}()
+	Div(7, 0)
+}
+
+func TestExpCycle(t *testing.T) {
+	t.Parallel()
+	// generator^255 = 1, and the powers 0..254 enumerate all non-zero elements.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator powers produced %d distinct elements, want 255", len(seen))
+	}
+	if Exp(255) != 1 {
+		t.Fatalf("Exp(255) = %#x, want 1", Exp(255))
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	t.Parallel()
+	src := []byte{1, 2, 3, 0, 0xff}
+	dst := []byte{0, 0, 0, 0, 0}
+	MulSlice(3, src, dst)
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Errorf("dst[%d] = %#x, want %#x", i, dst[i], Mul(3, src[i]))
+		}
+	}
+	// A second application XORs in the same product, cancelling to zero.
+	MulSlice(3, src, dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Errorf("dst[%d] = %#x after double apply, want 0", i, dst[i])
+		}
+	}
+}
+
+func TestMulSliceZeroCoefficient(t *testing.T) {
+	t.Parallel()
+	src := []byte{9, 9, 9}
+	dst := []byte{1, 2, 3}
+	MulSlice(0, src, dst)
+	want := []byte{1, 2, 3}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %#x, want unchanged %#x", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulSliceAssign(t *testing.T) {
+	t.Parallel()
+	src := []byte{1, 2, 3, 0}
+	dst := make([]byte, 4)
+	MulSliceAssign(7, src, dst)
+	for i := range src {
+		if dst[i] != Mul(7, src[i]) {
+			t.Errorf("dst[%d] = %#x, want %#x", i, dst[i], Mul(7, src[i]))
+		}
+	}
+	MulSliceAssign(0, src, dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Errorf("dst[%d] = %#x after zero assign, want 0", i, dst[i])
+		}
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice(0xa7, src, dst)
+	}
+}

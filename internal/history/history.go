@@ -1,0 +1,225 @@
+// Package history records operation histories of the replicated register
+// and checks them against the atomicity definition of §2 (properties A1–A3).
+//
+// The checker exploits the tag structure of every algorithm in this library
+// (Lemma 20): each completed operation carries the tag it wrote or returned.
+// Atomicity of a tag-based history reduces to:
+//
+//   - Real-time/tag consistency: if π1 completes before π2 begins, then
+//     tag(π1) ≤ tag(π2), strictly when π1 is a write (A1, A2).
+//   - Write-tag uniqueness: distinct writes carry distinct tags (A2).
+//   - Read validity: a read's value is the value written by the write
+//     carrying the same tag, or the initial value at t0 (A3).
+//
+// Recording is concurrency-safe; checking runs after the fact.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+// Operation kinds. Enums start at one to catch zero-value misuse.
+const (
+	Read Kind = iota + 1
+	Write
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation in a history.
+type Op struct {
+	Kind    Kind
+	Client  types.ProcessID
+	Invoke  time.Time
+	Respond time.Time
+	Tag     tag.Tag
+	Value   types.Value
+}
+
+// Recorder accumulates completed operations from concurrent clients.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Start stamps an invocation and returns a closure that records the
+// completed operation with its response time. Usage:
+//
+//	done := rec.Start(history.Write, "w1")
+//	tag, err := client.Write(ctx, v)
+//	if err == nil { done(tag, v) }
+func (r *Recorder) Start(kind Kind, client types.ProcessID) func(tag.Tag, types.Value) {
+	invoke := time.Now()
+	return func(t tag.Tag, v types.Value) {
+		op := Op{
+			Kind:    kind,
+			Client:  client,
+			Invoke:  invoke,
+			Respond: time.Now(),
+			Tag:     t,
+			Value:   v.Clone(),
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.ops = append(r.ops, op)
+	}
+}
+
+// Ops returns a snapshot of the recorded operations.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Violation describes one atomicity violation found in a history.
+type Violation struct {
+	Rule   string
+	Detail string
+	First  Op
+	Second Op
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("atomicity violation (%s): %s", v.Rule, v.Detail)
+}
+
+// Check verifies the recorded history against A1–A3 and returns every
+// violation found (empty means the history is atomic).
+func Check(ops []Op) []Violation {
+	var violations []Violation
+
+	// Sort by invocation time for deterministic reporting; correctness uses
+	// the precedes relation, not this order.
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Invoke.Before(sorted[j].Invoke) })
+
+	// A2 half: distinct writes carry distinct tags.
+	writesByTag := make(map[tag.Tag]Op)
+	for _, op := range sorted {
+		if op.Kind != Write {
+			continue
+		}
+		if prev, ok := writesByTag[op.Tag]; ok {
+			violations = append(violations, Violation{
+				Rule:   "write-tag-uniqueness",
+				Detail: fmt.Sprintf("writes by %s and %s share tag %v", prev.Client, op.Client, op.Tag),
+				First:  prev,
+				Second: op,
+			})
+			continue
+		}
+		writesByTag[op.Tag] = op
+	}
+
+	// A3: every read returns the value of the write with its tag (or the
+	// initial value at t0).
+	for _, op := range sorted {
+		if op.Kind != Read {
+			continue
+		}
+		if op.Tag == tag.Zero {
+			if len(op.Value) != 0 {
+				violations = append(violations, Violation{
+					Rule:   "read-validity",
+					Detail: fmt.Sprintf("read by %s returned tag t0 with non-initial value %q", op.Client, op.Value),
+					First:  op,
+				})
+			}
+			continue
+		}
+		w, ok := writesByTag[op.Tag]
+		if !ok {
+			// The write may be incomplete (its writer crashed or is still
+			// running): a read is allowed to return a concurrent write's
+			// value. Only flag tags no write could have produced — those
+			// with an empty writer ID.
+			if op.Tag.W == "" {
+				violations = append(violations, Violation{
+					Rule:   "read-validity",
+					Detail: fmt.Sprintf("read by %s returned tag %v with no possible writer", op.Client, op.Tag),
+					First:  op,
+				})
+			}
+			continue
+		}
+		if !w.Value.Equal(op.Value) {
+			violations = append(violations, Violation{
+				Rule:   "read-validity",
+				Detail: fmt.Sprintf("read by %s returned %q for tag %v, but the write stored %q", op.Client, op.Value, op.Tag, w.Value),
+				First:  w,
+				Second: op,
+			})
+		}
+	}
+
+	// A1/A2 real-time order: for π1 → π2 (π1 responds before π2 invokes),
+	// tag(π1) ≤ tag(π2); strict when π1 is a write (Lemma 20).
+	for i, first := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			second := sorted[j]
+			if !first.Respond.Before(second.Invoke) {
+				continue // concurrent: no constraint
+			}
+			switch {
+			case first.Kind == Write && !first.Tag.Less(second.Tag) && second.Kind == Write:
+				violations = append(violations, Violation{
+					Rule:   "real-time-order",
+					Detail: fmt.Sprintf("write %v precedes write %v but tags do not increase", first.Tag, second.Tag),
+					First:  first,
+					Second: second,
+				})
+			case first.Kind == Write && second.Kind == Read && second.Tag.Less(first.Tag):
+				violations = append(violations, Violation{
+					Rule:   "real-time-order",
+					Detail: fmt.Sprintf("read returned tag %v older than preceding write %v", second.Tag, first.Tag),
+					First:  first,
+					Second: second,
+				})
+			case first.Kind == Read && second.Tag.Less(first.Tag):
+				violations = append(violations, Violation{
+					Rule:   "real-time-order",
+					Detail: fmt.Sprintf("%s returned tag %v older than preceding read's %v", second.Kind, second.Tag, first.Tag),
+					First:  first,
+					Second: second,
+				})
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,298 @@
+// Package ldr implements the LDR algorithm (Fan & Lynch) as a DAP
+// implementation, following Alg. 13 in the paper's appendix.
+//
+// LDR targets large objects by decoupling metadata from data: directory
+// servers maintain the latest tag and the locations (replica set) holding
+// its value, while replica servers store the values themselves. put-data
+// writes the value to 2f+1 replicas (awaiting f+1 acks) and then publishes
+// ⟨tag, locations⟩ to a majority of directories; get-data reads the freshest
+// ⟨tag, locations⟩ from a directory majority, writes the metadata back, and
+// fetches the value from the recorded replicas.
+//
+// LDR's DAPs satisfy C1, C2 and C3, so it supports the A2 template whose
+// reads skip the propagation phase.
+package ldr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/quorum"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Service names: directories and replicas are distinct roles, possibly
+// hosted on distinct server subsets.
+const (
+	DirectoryServiceName = "ldr-dir"
+	ReplicaServiceName   = "ldr-rep"
+)
+
+// Message types.
+const (
+	msgQueryTagLocation = "query-tag-location"
+	msgPutMetadata      = "put-metadata"
+	msgGetData          = "get-data"
+	msgPutData          = "put-data"
+)
+
+// Wire bodies.
+type (
+	tagLocationResp struct {
+		Tag tag.Tag
+		Loc []types.ProcessID
+	}
+	putMetadataReq struct {
+		Tag tag.Tag
+		Loc []types.ProcessID
+	}
+	getDataReq struct {
+		Tag tag.Tag
+	}
+	pairResp struct {
+		Tag   tag.Tag
+		Value []byte
+	}
+	putDataReq struct {
+		Tag   tag.Tag
+		Value []byte
+	}
+)
+
+// DirectoryService holds ⟨tag, locations⟩ metadata on a directory server.
+type DirectoryService struct {
+	mu  sync.Mutex
+	tag tag.Tag
+	loc []types.ProcessID
+}
+
+// NewDirectoryService returns a directory with the initial tag t0 and no
+// locations (the initial value is known everywhere by convention).
+func NewDirectoryService() *DirectoryService {
+	return &DirectoryService{}
+}
+
+// Handle implements node.Service.
+func (s *DirectoryService) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgQueryTagLocation:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return tagLocationResp{Tag: s.tag, Loc: append([]types.ProcessID(nil), s.loc...)}, nil
+	case msgPutMetadata:
+		var req putMetadataReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.tag.Less(req.Tag) {
+			s.tag = req.Tag
+			s.loc = append([]types.ProcessID(nil), req.Loc...)
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("ldr: directory: unknown message type %q", msgType)
+	}
+}
+
+// Current returns the directory's metadata (for tests).
+func (s *DirectoryService) Current() (tag.Tag, []types.ProcessID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tag, append([]types.ProcessID(nil), s.loc...)
+}
+
+// ReplicaService stores the value for the latest tag this replica has seen.
+type ReplicaService struct {
+	mu  sync.Mutex
+	tag tag.Tag
+	val types.Value
+}
+
+// NewReplicaService returns a replica holding (t0, v0).
+func NewReplicaService() *ReplicaService {
+	return &ReplicaService{}
+}
+
+// Handle implements node.Service.
+func (s *ReplicaService) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgGetData:
+		var req getDataReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return pairResp{Tag: s.tag, Value: s.val.Clone()}, nil
+	case msgPutData:
+		var req putDataReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.tag.Less(req.Tag) {
+			s.tag = req.Tag
+			s.val = types.Value(req.Value).Clone()
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("ldr: replica: unknown message type %q", msgType)
+	}
+}
+
+// StorageBytes reports the value bytes at rest on this replica.
+func (s *ReplicaService) StorageBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.val)
+}
+
+// Client implements dap.Client with the LDR protocols.
+type Client struct {
+	cfg  cfg.Configuration
+	rpc  transport.Client
+	dirQ quorum.System
+}
+
+// NewClient builds the LDR DAP client for configuration c. c.Servers are the
+// replicas and c.Directories the directory servers.
+func NewClient(c cfg.Configuration, rpc transport.Client) (*Client, error) {
+	if c.Algorithm != cfg.LDR {
+		return nil, fmt.Errorf("ldr: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dirQ, err := quorum.Majority(len(c.Directories))
+	if err != nil {
+		return nil, err
+	}
+	return &Client{cfg: c, rpc: rpc, dirQ: dirQ}, nil
+}
+
+// Factory adapts NewClient to the dap.Factory shape.
+func Factory(c cfg.Configuration, rpc transport.Client) (dap.Client, error) {
+	return NewClient(c, rpc)
+}
+
+var _ dap.Client = (*Client)(nil)
+
+// GetTag queries a majority of directories and returns the maximum tag.
+func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
+	got, err := c.queryDirectories(ctx)
+	if err != nil {
+		return tag.Tag{}, fmt.Errorf("ldr: get-tag on %s: %w", c.cfg.ID, err)
+	}
+	best := tag.Zero
+	for _, g := range got {
+		best = tag.Max(best, g.Value.Tag)
+	}
+	return best, nil
+}
+
+// GetData reads the freshest ⟨tag, locations⟩ from a directory majority,
+// writes the metadata back (which is what gives LDR property C3), and then
+// fetches the value from the recorded replica set.
+func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
+	got, err := c.queryDirectories(ctx)
+	if err != nil {
+		return tag.Pair{}, fmt.Errorf("ldr: get-data directories on %s: %w", c.cfg.ID, err)
+	}
+	best := tagLocationResp{}
+	for _, g := range got {
+		if best.Tag.Less(g.Value.Tag) {
+			best = g.Value
+		}
+	}
+	if best.Tag == tag.Zero {
+		return tag.Pair{Tag: tag.Zero, Value: nil}, nil // initial value
+	}
+	// Propagate the metadata to a directory majority before reading data.
+	if err := c.putMetadata(ctx, best.Tag, best.Loc); err != nil {
+		return tag.Pair{}, fmt.Errorf("ldr: get-data put-metadata on %s: %w", c.cfg.ID, err)
+	}
+	// Fetch from the recorded locations; any response with tag >= τmax
+	// carries a valid (written) pair at least as fresh as τmax.
+	req := getDataReq{Tag: best.Tag}
+	results, err := transport.Gather(ctx, best.Loc,
+		func(ctx context.Context, dst types.ProcessID) (pairResp, error) {
+			resp, err := transport.InvokeTyped[pairResp](ctx, c.rpc, dst, ReplicaServiceName, string(c.cfg.ID), msgGetData, req)
+			if err != nil {
+				return pairResp{}, err
+			}
+			if resp.Tag.Less(best.Tag) {
+				return pairResp{}, fmt.Errorf("ldr: replica %s behind tag %v", dst, best.Tag)
+			}
+			return resp, nil
+		},
+		transport.AtLeast[pairResp](1),
+	)
+	if err != nil {
+		return tag.Pair{}, fmt.Errorf("ldr: get-data replicas on %s: %w", c.cfg.ID, err)
+	}
+	freshest := results[0].Value
+	for _, g := range results[1:] {
+		if freshest.Tag.Less(g.Value.Tag) {
+			freshest = g.Value
+		}
+	}
+	return tag.Pair{Tag: freshest.Tag, Value: freshest.Value}, nil
+}
+
+// PutData writes the value to 2f+1 replicas (awaiting f+1 acks, recorded as
+// the location set U) and then publishes ⟨tag, U⟩ to a directory majority.
+func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
+	// Choose 2f+1 replicas deterministically: the first ones in the
+	// configuration's (stable) server order.
+	targets := c.cfg.Servers
+	if want := 2*c.cfg.FReplicas + 1; len(targets) > want {
+		targets = targets[:want]
+	}
+	req := putDataReq{Tag: p.Tag, Value: p.Value}
+	acked, err := transport.Gather(ctx, targets,
+		func(ctx context.Context, dst types.ProcessID) (types.ProcessID, error) {
+			_, err := transport.InvokeTyped[struct{}](ctx, c.rpc, dst, ReplicaServiceName, string(c.cfg.ID), msgPutData, req)
+			return dst, err
+		},
+		transport.AtLeast[types.ProcessID](c.cfg.FReplicas+1),
+	)
+	if err != nil {
+		return fmt.Errorf("ldr: put-data replicas on %s: %w", c.cfg.ID, err)
+	}
+	locations := make([]types.ProcessID, 0, len(acked))
+	for _, g := range acked {
+		locations = append(locations, g.Value)
+	}
+	if err := c.putMetadata(ctx, p.Tag, locations); err != nil {
+		return fmt.Errorf("ldr: put-data metadata on %s: %w", c.cfg.ID, err)
+	}
+	return nil
+}
+
+func (c *Client) queryDirectories(ctx context.Context) ([]transport.GatherResult[tagLocationResp], error) {
+	return transport.Gather(ctx, c.cfg.Directories,
+		func(ctx context.Context, dst types.ProcessID) (tagLocationResp, error) {
+			return transport.InvokeTyped[tagLocationResp](ctx, c.rpc, dst, DirectoryServiceName, string(c.cfg.ID), msgQueryTagLocation, struct{}{})
+		},
+		transport.AtLeast[tagLocationResp](c.dirQ.Size()),
+	)
+}
+
+func (c *Client) putMetadata(ctx context.Context, t tag.Tag, loc []types.ProcessID) error {
+	req := putMetadataReq{Tag: t, Loc: loc}
+	_, err := transport.Gather(ctx, c.cfg.Directories,
+		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
+			return transport.InvokeTyped[struct{}](ctx, c.rpc, dst, DirectoryServiceName, string(c.cfg.ID), msgPutMetadata, req)
+		},
+		transport.AtLeast[struct{}](c.dirQ.Size()),
+	)
+	return err
+}

@@ -1,0 +1,261 @@
+package ldr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// deploy sets up an LDR configuration: nReplicas replica servers and nDirs
+// directory servers (disjoint process sets, as the LDR design intends).
+func deploy(t *testing.T, nReplicas, nDirs, f int) (cfg.Configuration, *transport.Simnet, map[types.ProcessID]*ReplicaService) {
+	t.Helper()
+	net := transport.NewSimnet()
+	c := cfg.Configuration{ID: "c0", Algorithm: cfg.LDR, FReplicas: f}
+	replicas := make(map[types.ProcessID]*ReplicaService)
+	for i := 1; i <= nReplicas; i++ {
+		id := types.ProcessID(fmt.Sprintf("rep%d", i))
+		c.Servers = append(c.Servers, id)
+		nd := node.New(id)
+		svc := NewReplicaService()
+		nd.Install(ReplicaServiceName, string(c.ID), svc)
+		net.Register(id, nd)
+		replicas[id] = svc
+	}
+	for i := 1; i <= nDirs; i++ {
+		id := types.ProcessID(fmt.Sprintf("dir%d", i))
+		c.Directories = append(c.Directories, id)
+		nd := node.New(id)
+		nd.Install(DirectoryServiceName, string(c.ID), NewDirectoryService())
+		net.Register(id, nd)
+	}
+	return c, net, replicas
+}
+
+func TestWriteThenReadA2(t *testing.T) {
+	t.Parallel()
+	c, net, _ := deploy(t, 3, 3, 1)
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	wTag, err := dap.WriteA1(ctx, client, "w1", types.Value("large object"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LDR satisfies C3, so the A2 read (no propagation phase) is safe.
+	pair, err := dap.ReadA2(ctx, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Tag != wTag || string(pair.Value) != "large object" {
+		t.Fatalf("read (%v, %q)", pair.Tag, pair.Value)
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	t.Parallel()
+	c, net, _ := deploy(t, 3, 3, 1)
+	client, err := NewClient(c, net.Client("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := dap.ReadA2(context.Background(), client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Tag != tag.Zero || len(pair.Value) != 0 {
+		t.Fatalf("initial read = (%v, %q)", pair.Tag, pair.Value)
+	}
+}
+
+func TestPutDataWritesOnly2fPlus1Replicas(t *testing.T) {
+	t.Parallel()
+	// 5 replicas with f=1: put-data targets only 2f+1 = 3 of them — this is
+	// LDR's bandwidth saving for large objects.
+	c, net, replicas := deploy(t, 5, 3, 1)
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := client.PutData(ctx, tag.Pair{Tag: tag.Tag{Z: 1, W: "w1"}, Value: types.Value("v")}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let stragglers land
+	holding := 0
+	for _, svc := range replicas {
+		if svc.StorageBytes() > 0 {
+			holding++
+		}
+	}
+	if holding > 3 {
+		t.Fatalf("%d replicas hold the value, want <= 2f+1 = 3", holding)
+	}
+	if holding < 2 {
+		t.Fatalf("%d replicas hold the value, want >= f+1 = 2", holding)
+	}
+}
+
+// TestDAPPropertyC3 is LDR's extra property: sequential get-datas return
+// non-decreasing tags (what permits template A2 reads).
+func TestDAPPropertyC3(t *testing.T) {
+	t.Parallel()
+	c, net, _ := deploy(t, 3, 3, 1)
+	w, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewClient(c, net.Client("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewClient(c, net.Client("r2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	prev := tag.Zero
+	for i := 1; i <= 5; i++ {
+		if err := w.PutData(ctx, tag.Pair{Tag: tag.Tag{Z: int64(i), W: "w1"}, Value: types.Value(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		p1, err := r1.GetData(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := r2.GetData(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.Tag.Less(prev) || p2.Tag.Less(p1.Tag) {
+			t.Fatalf("C3 violated: %v then %v then %v", prev, p1.Tag, p2.Tag)
+		}
+		prev = p2.Tag
+	}
+}
+
+func TestDAPPropertyC1(t *testing.T) {
+	t.Parallel()
+	c, net, _ := deploy(t, 3, 3, 1)
+	w, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewClient(c, net.Client("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	written := tag.Tag{Z: 7, W: "w1"}
+	if err := w.PutData(ctx, tag.Pair{Tag: written, Value: types.Value("x")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.GetTag(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Less(written) {
+		t.Fatalf("get-tag %v < put tag %v: C1 violated", got, written)
+	}
+}
+
+func TestToleratesDirectoryMinorityCrash(t *testing.T) {
+	t.Parallel()
+	c, net, _ := deploy(t, 3, 5, 1)
+	net.Crash("dir1")
+	net.Crash("dir2")
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := dap.WriteA1(ctx, client, "w1", types.Value("v")); err != nil {
+		t.Fatalf("write with 2/5 directories down: %v", err)
+	}
+	pair, err := dap.ReadA2(ctx, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pair.Value) != "v" {
+		t.Fatalf("read %q", pair.Value)
+	}
+}
+
+func TestToleratesFReplicaCrashes(t *testing.T) {
+	t.Parallel()
+	c, net, _ := deploy(t, 3, 3, 1)
+	net.Crash("rep1") // f = 1 of the 2f+1 = 3 targeted replicas
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := dap.WriteA1(ctx, client, "w1", types.Value("v")); err != nil {
+		t.Fatalf("write with f replica crashes: %v", err)
+	}
+	pair, err := dap.ReadA2(ctx, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pair.Value) != "v" {
+		t.Fatalf("read %q", pair.Value)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	good, net, _ := deploy(t, 3, 3, 1)
+	if _, err := NewClient(good, net.Client("x")); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Algorithm = cfg.ABD
+	if _, err := NewClient(bad, nil); err == nil {
+		t.Fatal("NewClient accepted ABD configuration")
+	}
+	bad = good
+	bad.Directories = nil
+	if _, err := NewClient(bad, nil); err == nil {
+		t.Fatal("NewClient accepted no directories")
+	}
+}
+
+func TestServiceUnknownMessages(t *testing.T) {
+	t.Parallel()
+	if _, err := NewDirectoryService().Handle("x", "bogus", nil); err == nil {
+		t.Fatal("directory accepted unknown message")
+	}
+	if _, err := NewReplicaService().Handle("x", "bogus", nil); err == nil {
+		t.Fatal("replica accepted unknown message")
+	}
+}
+
+func TestDirectoryMonotone(t *testing.T) {
+	t.Parallel()
+	svc := NewDirectoryService()
+	newer := putMetadataReq{Tag: tag.Tag{Z: 5, W: "w"}, Loc: []types.ProcessID{"rep1"}}
+	older := putMetadataReq{Tag: tag.Tag{Z: 2, W: "w"}, Loc: []types.ProcessID{"rep9"}}
+	if _, err := svc.Handle("x", msgPutMetadata, transport.MustMarshal(newer)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Handle("x", msgPutMetadata, transport.MustMarshal(older)); err != nil {
+		t.Fatal(err)
+	}
+	gotTag, gotLoc := svc.Current()
+	if gotTag.Z != 5 || len(gotLoc) != 1 || gotLoc[0] != "rep1" {
+		t.Fatalf("directory regressed: %v %v", gotTag, gotLoc)
+	}
+}

@@ -1,0 +1,120 @@
+// Package node implements the server process: a container that hosts one
+// service instance per (service, configuration) pair and dispatches inbound
+// requests to them.
+//
+// ARES separates client processes (readers, writers, reconfigurers) from
+// server processes (§4: "ARES adopts a client-server architecture"). A
+// single node participates in many configurations at once during a
+// reconfiguration, so services are keyed by configuration identifier.
+// Installing a configuration on its member nodes instantiates the store
+// service (ABD/TREAS/LDR), the reconfiguration pointer service, and the
+// consensus acceptor.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Service handles the messages of one protocol instance on one node.
+// Implementations must be safe for concurrent use: the transport invokes
+// handlers from many goroutines.
+type Service interface {
+	// Handle processes a message of the given type and returns the response
+	// body to be encoded, or an error surfaced to the caller.
+	Handle(from types.ProcessID, msgType string, payload []byte) (any, error)
+}
+
+// ServiceFunc adapts a function to Service.
+type ServiceFunc func(from types.ProcessID, msgType string, payload []byte) (any, error)
+
+// Handle implements Service.
+func (f ServiceFunc) Handle(from types.ProcessID, msgType string, payload []byte) (any, error) {
+	return f(from, msgType, payload)
+}
+
+// ErrNoService reports a request for a service instance the node does not
+// host — typically a configuration not yet installed here.
+var ErrNoService = errors.New("node: no such service instance")
+
+// Node is a server process hosting service instances.
+type Node struct {
+	id types.ProcessID
+
+	mu       sync.RWMutex
+	services map[serviceKey]Service
+}
+
+type serviceKey struct {
+	service string
+	config  string
+}
+
+// New constructs an empty node for process id.
+func New(id types.ProcessID) *Node {
+	return &Node{
+		id:       id,
+		services: make(map[serviceKey]Service),
+	}
+}
+
+// ID returns the node's process identifier.
+func (n *Node) ID() types.ProcessID { return n.id }
+
+// Install registers svc as the handler for (service, configID). Installing
+// over an existing instance is ignored and reported false: configuration
+// installation is idempotent, and the first installation wins so state is
+// never silently discarded.
+func (n *Node) Install(service string, configID string, svc Service) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := serviceKey{service: service, config: configID}
+	if _, exists := n.services[key]; exists {
+		return false
+	}
+	n.services[key] = svc
+	return true
+}
+
+// Lookup returns the installed service instance, if any.
+func (n *Node) Lookup(service, configID string) (Service, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	svc, ok := n.services[serviceKey{service: service, config: configID}]
+	return svc, ok
+}
+
+// Services returns the number of installed service instances (for tests and
+// introspection).
+func (n *Node) Services() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.services)
+}
+
+var _ transport.Handler = (*Node)(nil)
+
+// HandleRequest implements transport.Handler by dispatching to the addressed
+// service instance.
+func (n *Node) HandleRequest(from types.ProcessID, req transport.Request) transport.Response {
+	svc, ok := n.Lookup(req.Service, req.Config)
+	if !ok {
+		return transport.ErrResponse(fmt.Errorf("%w: %s/%s at %s", ErrNoService, req.Service, req.Config, n.id))
+	}
+	body, err := svc.Handle(from, req.Type, req.Payload)
+	if err != nil {
+		return transport.ErrResponse(err)
+	}
+	if body == nil {
+		return transport.OKResponse(nil)
+	}
+	payload, err := transport.Marshal(body)
+	if err != nil {
+		return transport.ErrResponse(err)
+	}
+	return transport.OKResponse(payload)
+}

@@ -1,0 +1,136 @@
+package node
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func TestDispatch(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	n.Install("svc", "c0", ServiceFunc(func(from types.ProcessID, msgType string, payload []byte) (any, error) {
+		return struct{ Echo string }{Echo: msgType + ":" + string(payload)}, nil
+	}))
+
+	resp := n.HandleRequest("c1", transport.Request{Service: "svc", Config: "c0", Type: "ping", Payload: []byte("x")})
+	if !resp.OK {
+		t.Fatalf("response not ok: %s", resp.Err)
+	}
+	var out struct{ Echo string }
+	if err := transport.Unmarshal(resp.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Echo != "ping:x" {
+		t.Fatalf("echo = %q", out.Echo)
+	}
+}
+
+func TestDispatchUnknownService(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	resp := n.HandleRequest("c1", transport.Request{Service: "ghost", Config: "c9", Type: "x"})
+	if resp.OK {
+		t.Fatal("request to missing service succeeded")
+	}
+	if !strings.Contains(resp.Err, "no such service") {
+		t.Fatalf("error = %q", resp.Err)
+	}
+}
+
+func TestDispatchServiceError(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	n.Install("svc", "c0", ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+		return nil, errors.New("store offline")
+	}))
+	resp := n.HandleRequest("c1", transport.Request{Service: "svc", Config: "c0"})
+	if resp.OK || !strings.Contains(resp.Err, "store offline") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestNilBodyMeansEmptyOK(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	n.Install("svc", "c0", ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+		return nil, nil // plain ACK
+	}))
+	resp := n.HandleRequest("c1", transport.Request{Service: "svc", Config: "c0"})
+	if !resp.OK || len(resp.Payload) != 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestInstallIdempotent(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	first := ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+		return struct{ V int }{1}, nil
+	})
+	second := ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+		return struct{ V int }{2}, nil
+	})
+	if !n.Install("svc", "c0", first) {
+		t.Fatal("first install reported false")
+	}
+	if n.Install("svc", "c0", second) {
+		t.Fatal("second install reported true; must not replace state")
+	}
+	resp := n.HandleRequest("c1", transport.Request{Service: "svc", Config: "c0"})
+	var out struct{ V int }
+	if err := transport.Unmarshal(resp.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.V != 1 {
+		t.Fatal("second install replaced the first service instance")
+	}
+}
+
+func TestPerConfigIsolation(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	for _, c := range []string{"c0", "c1"} {
+		c := c
+		n.Install("svc", c, ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+			return struct{ C string }{C: c}, nil
+		}))
+	}
+	resp := n.HandleRequest("x", transport.Request{Service: "svc", Config: "c1"})
+	var out struct{ C string }
+	if err := transport.Unmarshal(resp.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.C != "c1" {
+		t.Fatalf("dispatched to config %q, want c1", out.C)
+	}
+	if n.Services() != 2 {
+		t.Fatalf("Services() = %d, want 2", n.Services())
+	}
+}
+
+func TestConcurrentInstallAndDispatch(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfgID := string(rune('a' + i))
+			n.Install("svc", cfgID, ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+				return nil, nil
+			}))
+			resp := n.HandleRequest("c", transport.Request{Service: "svc", Config: cfgID})
+			if !resp.OK {
+				t.Errorf("dispatch to %s failed: %s", cfgID, resp.Err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+// Package quorum implements the quorum systems configurations declare (§2):
+// majority quorums for replication-based algorithms and the reconfiguration
+// service, and ⌈(n+k)/2⌉ threshold quorums for the erasure-coded TREAS
+// algorithm.
+//
+// A System answers two questions: how many responses suffice for an action
+// to complete, and how many server crashes the system tolerates.
+package quorum
+
+import (
+	"fmt"
+)
+
+// System describes a quorum system over n servers.
+type System struct {
+	n    int
+	size int
+}
+
+// Majority returns the majority quorum system over n servers: quorums of
+// ⌊n/2⌋+1, tolerating f = ⌈n/2⌉-1 crashes. Any two quorums intersect.
+func Majority(n int) (System, error) {
+	if n < 1 {
+		return System{}, fmt.Errorf("quorum: n = %d must be positive", n)
+	}
+	return System{n: n, size: n/2 + 1}, nil
+}
+
+// Threshold returns the ⌈(n+k)/2⌉ quorum system TREAS uses (Alg. 2): any two
+// quorums intersect in at least k servers, which is what makes a tag written
+// to one quorum decodable by any subsequent reader quorum.
+func Threshold(n, k int) (System, error) {
+	if n < 1 || k < 1 || k > n {
+		return System{}, fmt.Errorf("quorum: invalid threshold parameters n=%d k=%d", n, k)
+	}
+	return System{n: n, size: (n + k + 1) / 2}, nil
+}
+
+// MustMajority is Majority that panics on invalid n; for constant parameters.
+func MustMajority(n int) System {
+	s, err := Majority(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustThreshold is Threshold that panics on invalid parameters.
+func MustThreshold(n, k int) System {
+	s, err := Threshold(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the total number of servers the system is defined over.
+func (s System) N() int { return s.n }
+
+// Size returns the number of responses that constitute a quorum.
+func (s System) Size() int { return s.size }
+
+// Tolerates returns the maximum number of crash failures under which a
+// quorum remains available: n - size.
+func (s System) Tolerates() int { return s.n - s.size }
+
+// Intersection returns the guaranteed overlap between any two quorums:
+// 2·size - n. For Majority this is >= 1; for Threshold(n, k) it is >= k.
+func (s System) Intersection() int { return 2*s.size - s.n }
+
+// Satisfied reports whether got responses complete a quorum access.
+func (s System) Satisfied(got int) bool { return got >= s.size }
+
+// String renders the system for logs and errors.
+func (s System) String() string {
+	return fmt.Sprintf("quorum(n=%d, size=%d)", s.n, s.size)
+}

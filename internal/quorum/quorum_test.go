@@ -1,0 +1,133 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMajoritySizes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n, size, tolerates int
+	}{
+		{1, 1, 0}, {2, 2, 0}, {3, 2, 1}, {4, 3, 1}, {5, 3, 2}, {7, 4, 3}, {11, 6, 5},
+	}
+	for _, tc := range cases {
+		s, err := Majority(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() != tc.size {
+			t.Errorf("Majority(%d).Size() = %d, want %d", tc.n, s.Size(), tc.size)
+		}
+		if s.Tolerates() != tc.tolerates {
+			t.Errorf("Majority(%d).Tolerates() = %d, want %d", tc.n, s.Tolerates(), tc.tolerates)
+		}
+	}
+}
+
+func TestMajorityIntersects(t *testing.T) {
+	t.Parallel()
+	for n := 1; n <= 50; n++ {
+		s := MustMajority(n)
+		if s.Intersection() < 1 {
+			t.Errorf("Majority(%d) intersection = %d, want >= 1", n, s.Intersection())
+		}
+	}
+}
+
+func TestThresholdSizes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n, k, size int
+	}{
+		{3, 2, 3}, // ⌈5/2⌉
+		{5, 3, 4}, // ⌈8/2⌉
+		{5, 4, 5}, // ⌈9/2⌉
+		{9, 6, 8}, // ⌈15/2⌉
+		{11, 8, 10},
+	}
+	for _, tc := range cases {
+		s, err := Threshold(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() != tc.size {
+			t.Errorf("Threshold(%d,%d).Size() = %d, want %d", tc.n, tc.k, s.Size(), tc.size)
+		}
+	}
+}
+
+// TestThresholdIntersectionProperty verifies the key TREAS safety fact: any
+// two ⌈(n+k)/2⌉ quorums overlap in at least k servers, so a tag written to
+// one quorum appears in >= k lists of any later quorum (Lemma 5's counting).
+func TestThresholdIntersectionProperty(t *testing.T) {
+	t.Parallel()
+	f := func(nRaw, kRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		k := 1 + int(kRaw)%n
+		s, err := Threshold(n, k)
+		if err != nil {
+			return false
+		}
+		return s.Intersection() >= k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThresholdFaultTolerance checks Theorem 9's resilience: with k > n/3,
+// the system tolerates f <= (n-k)/2 crashes.
+func TestThresholdFaultTolerance(t *testing.T) {
+	t.Parallel()
+	for n := 2; n <= 30; n++ {
+		for k := 1; k <= n; k++ {
+			s := MustThreshold(n, k)
+			if want := (n - k) / 2; s.Tolerates() != want {
+				t.Errorf("Threshold(%d,%d).Tolerates() = %d, want %d", n, k, s.Tolerates(), want)
+			}
+		}
+	}
+}
+
+func TestInvalidParameters(t *testing.T) {
+	t.Parallel()
+	if _, err := Majority(0); err == nil {
+		t.Error("Majority(0) succeeded")
+	}
+	if _, err := Threshold(3, 0); err == nil {
+		t.Error("Threshold(3,0) succeeded")
+	}
+	if _, err := Threshold(3, 4); err == nil {
+		t.Error("Threshold(3,4) succeeded")
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	t.Parallel()
+	s := MustMajority(5)
+	if s.Satisfied(2) {
+		t.Error("2 of 5 satisfied a majority")
+	}
+	if !s.Satisfied(3) {
+		t.Error("3 of 5 did not satisfy a majority")
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMajority(0) did not panic")
+		}
+	}()
+	MustMajority(0)
+}
+
+func TestString(t *testing.T) {
+	t.Parallel()
+	if got := MustMajority(3).String(); got != "quorum(n=3, size=2)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

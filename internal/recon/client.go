@@ -1,0 +1,371 @@
+package recon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/consensus"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/treas"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Installer prepares a configuration's servers to serve it: instantiate the
+// store service, the recon pointer service, and the consensus acceptor on
+// every member node. Deployments wire this to their provisioning path (the
+// core package installs over the wire through each node's control service).
+// Installation must be idempotent.
+type Installer func(ctx context.Context, c cfg.Configuration) error
+
+// Options configures a reconfiguration client.
+type Options struct {
+	// DirectTransfer selects the §5 update-config: coded elements move
+	// directly between server sets and never through this client. It
+	// applies to TREAS→TREAS configuration pairs; other pairs fall back to
+	// the Alg. 5 transfer.
+	DirectTransfer bool
+}
+
+// Client implements the reconfiguration protocol for one reconfigurer
+// process (a member of the paper's set G).
+type Client struct {
+	self    types.ProcessID
+	rpc     transport.Client
+	daps    *dap.Registry
+	install Installer
+	opts    Options
+
+	mu        sync.Mutex
+	cseq      cfg.Sequence
+	proposers map[cfg.ID]*consensus.Proposer
+}
+
+// NewClient constructs a reconfiguration client booted from the initial
+// configuration c0. install may be nil when every configuration's services
+// are provisioned out of band (as tests do).
+func NewClient(
+	self types.ProcessID,
+	c0 cfg.Configuration,
+	rpc transport.Client,
+	registry *dap.Registry,
+	install Installer,
+	opts Options,
+) (*Client, error) {
+	if err := c0.Validate(); err != nil {
+		return nil, fmt.Errorf("recon: initial configuration: %w", err)
+	}
+	return &Client{
+		self:      self,
+		rpc:       rpc,
+		daps:      registry,
+		install:   install,
+		opts:      opts,
+		cseq:      cfg.NewSequence(c0),
+		proposers: make(map[cfg.ID]*consensus.Proposer),
+	}, nil
+}
+
+// Sequence returns a copy of the client's local configuration sequence.
+func (cl *Client) Sequence() cfg.Sequence {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.cseq.Clone()
+}
+
+// setSequence merges seq into the local sequence.
+func (cl *Client) setSequence(seq cfg.Sequence) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	merged, err := cl.cseq.Merge(seq)
+	if err != nil {
+		return err
+	}
+	cl.cseq = merged
+	return nil
+}
+
+// ReadNextConfig is get-next-config/read-next-config (Alg. 4 lines 13–22):
+// query a quorum of c's servers for their nextC pointers; prefer a finalized
+// pointer, then a pending one, else report no successor.
+func (cl *Client) ReadNextConfig(ctx context.Context, c cfg.Configuration) (cfg.Entry, bool, error) {
+	q := c.Quorum()
+	got, err := transport.Gather(ctx, c.Servers,
+		func(ctx context.Context, dst types.ProcessID) (readConfigResp, error) {
+			return transport.InvokeTyped[readConfigResp](ctx, cl.rpc, dst, ServiceName, string(c.ID), msgReadConfig, struct{}{})
+		},
+		transport.AtLeast[readConfigResp](q.Size()),
+	)
+	if err != nil {
+		return cfg.Entry{}, false, fmt.Errorf("recon: read-next-config on %s: %w", c.ID, err)
+	}
+	var pending cfg.Entry
+	var havePending bool
+	for _, g := range got {
+		if !g.Value.HasNext {
+			continue
+		}
+		if g.Value.Next.Status == cfg.Finalized {
+			return g.Value.Next, true, nil
+		}
+		pending, havePending = g.Value.Next, true
+	}
+	if havePending {
+		return pending, true, nil
+	}
+	return cfg.Entry{}, false, nil
+}
+
+// PutConfig is put-config (Alg. 4 lines 23–26): propagate the successor
+// entry to a quorum of c's servers.
+func (cl *Client) PutConfig(ctx context.Context, c cfg.Configuration, next cfg.Entry) error {
+	q := c.Quorum()
+	req := writeConfigReq{Next: next}
+	_, err := transport.Gather(ctx, c.Servers,
+		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
+			return transport.InvokeTyped[struct{}](ctx, cl.rpc, dst, ServiceName, string(c.ID), msgWriteConfig, req)
+		},
+		transport.AtLeast[struct{}](q.Size()),
+	)
+	if err != nil {
+		return fmt.Errorf("recon: put-config on %s: %w", c.ID, err)
+	}
+	return nil
+}
+
+// ReadConfig is read-config (Alg. 4 lines 1–12): starting from the last
+// finalized configuration in seq, follow nextC pointers to the end of the
+// global sequence, propagating each discovered link to the previous
+// configuration's servers so later traversals find it.
+func (cl *Client) ReadConfig(ctx context.Context, seq cfg.Sequence) (cfg.Sequence, error) {
+	out := seq.Clone()
+	i := out.Mu()
+	for {
+		next, ok, err := cl.ReadNextConfig(ctx, out[i].Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if i+1 < len(out) {
+			// Known configuration; promote its status if now finalized
+			// (statuses only strengthen: P → F).
+			if next.Status == cfg.Finalized {
+				out[i+1].Status = cfg.Finalized
+			}
+		} else {
+			out = out.Append(next)
+		}
+		// Alg. 4 line 8: inform a quorum of the previous configuration.
+		if err := cl.PutConfig(ctx, out[i].Cfg, out[i+1]); err != nil {
+			return nil, err
+		}
+		i++
+	}
+}
+
+// proposer returns (building if needed) the consensus proposer for the
+// instance attached to configuration c.
+func (cl *Client) proposer(c cfg.Configuration) (*consensus.Proposer, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if p, ok := cl.proposers[c.ID]; ok {
+		return p, nil
+	}
+	p, err := consensus.NewProposer(cl.self, string(c.ID), c.Servers, cl.rpc)
+	if err != nil {
+		return nil, err
+	}
+	cl.proposers[c.ID] = p
+	return p, nil
+}
+
+// ErrSameConfiguration reports a proposal to reconfigure into a
+// configuration already present in the sequence.
+var ErrSameConfiguration = errors.New("recon: configuration already installed")
+
+// Reconfig is the reconfig(c) operation (Alg. 5): read-config, add-config
+// (consensus), update-config (state transfer), finalize-config. It returns
+// the configuration actually installed — another reconfigurer's proposal
+// when consensus decides differently — plus the resulting sequence.
+func (cl *Client) Reconfig(ctx context.Context, proposal cfg.Configuration) (cfg.Configuration, error) {
+	if err := proposal.Validate(); err != nil {
+		return cfg.Configuration{}, fmt.Errorf("recon: proposal: %w", err)
+	}
+
+	// Phase 1: read-config.
+	seq, err := cl.ReadConfig(ctx, cl.Sequence())
+	if err != nil {
+		return cfg.Configuration{}, err
+	}
+	for _, e := range seq {
+		if e.Cfg.Equal(proposal) {
+			return cfg.Configuration{}, fmt.Errorf("%w: %s", ErrSameConfiguration, proposal.ID)
+		}
+	}
+
+	// Phase 2: add-config — run consensus on the last configuration.
+	seq, decided, err := cl.addConfig(ctx, seq, proposal)
+	if err != nil {
+		return cfg.Configuration{}, err
+	}
+
+	// Phase 3: update-config — transfer the freshest tag/value forward.
+	if err := cl.updateConfig(ctx, seq); err != nil {
+		return cfg.Configuration{}, err
+	}
+
+	// Phase 4: finalize-config.
+	seq, err = cl.finalizeConfig(ctx, seq)
+	if err != nil {
+		return cfg.Configuration{}, err
+	}
+	if err := cl.setSequence(seq); err != nil {
+		return cfg.Configuration{}, err
+	}
+	return decided, nil
+}
+
+// addConfig is Alg. 5 lines 13–20: propose on the last configuration's
+// consensus instance, adopt the decided configuration, and link it with
+// put-config.
+func (cl *Client) addConfig(ctx context.Context, seq cfg.Sequence, proposal cfg.Configuration) (cfg.Sequence, cfg.Configuration, error) {
+	last := seq.Last().Cfg
+	p, err := cl.proposer(last)
+	if err != nil {
+		return nil, cfg.Configuration{}, err
+	}
+	encoded, err := transport.Marshal(proposal)
+	if err != nil {
+		return nil, cfg.Configuration{}, err
+	}
+	decidedBytes, err := p.Propose(ctx, encoded)
+	if err != nil {
+		return nil, cfg.Configuration{}, fmt.Errorf("recon: add-config consensus on %s: %w", last.ID, err)
+	}
+	var decided cfg.Configuration
+	if err := transport.Unmarshal(decidedBytes, &decided); err != nil {
+		return nil, cfg.Configuration{}, err
+	}
+
+	// Provision the decided configuration's servers before making the
+	// configuration reachable.
+	if cl.install != nil {
+		if err := cl.install(ctx, decided); err != nil {
+			return nil, cfg.Configuration{}, fmt.Errorf("recon: installing %s: %w", decided.ID, err)
+		}
+	}
+
+	entry := cfg.Entry{Cfg: decided, Status: cfg.Pending}
+	seq = seq.Append(entry)
+	if err := cl.PutConfig(ctx, last, entry); err != nil {
+		return nil, cfg.Configuration{}, err
+	}
+	return seq, decided, nil
+}
+
+// updateConfig is Alg. 5 lines 21–30 (or Alg. 8 under DirectTransfer):
+// collect the maximum tag-value among configurations µ..ν and write it into
+// the configuration at ν.
+func (cl *Client) updateConfig(ctx context.Context, seq cfg.Sequence) error {
+	mu, nu := seq.Mu(), seq.Nu()
+	target := seq[nu].Cfg
+
+	if cl.opts.DirectTransfer {
+		if err := cl.updateConfigDirect(ctx, seq, mu, nu); err == nil {
+			return nil
+		} else if !errors.Is(err, errDirectUnsupported) {
+			return err
+		}
+		// Unsupported pair: fall through to the value transfer.
+	}
+
+	// Alg. 5: gather ⟨tag, value⟩ from every configuration in [µ, ν].
+	best := tag.Pair{}
+	for i := mu; i <= nu; i++ {
+		client, err := cl.daps.New(seq[i].Cfg, cl.rpc)
+		if err != nil {
+			return err
+		}
+		pair, err := client.GetData(ctx)
+		if err != nil {
+			// A configuration mid-write may be transiently undecodable
+			// (TREAS); the freshest finalized state is still covered by the
+			// remaining configurations. Skip only that failure mode.
+			if errors.Is(err, treas.ErrNotDecodable) {
+				continue
+			}
+			return fmt.Errorf("recon: update-config get-data on %s: %w", seq[i].Cfg.ID, err)
+		}
+		best = tag.MaxPair(best, pair)
+	}
+	targetClient, err := cl.daps.New(target, cl.rpc)
+	if err != nil {
+		return err
+	}
+	if err := targetClient.PutData(ctx, best); err != nil {
+		return fmt.Errorf("recon: update-config put-data on %s: %w", target.ID, err)
+	}
+	return nil
+}
+
+// errDirectUnsupported reports a configuration pair the §5 path cannot
+// serve (non-TREAS source or target).
+var errDirectUnsupported = errors.New("recon: direct transfer unsupported for configuration pair")
+
+// updateConfigDirect is the §5/Alg. 8 update: discover the maximum tag and
+// the configuration holding it using get-tag only, then have that
+// configuration's servers forward coded elements directly to the new
+// configuration's servers.
+func (cl *Client) updateConfigDirect(ctx context.Context, seq cfg.Sequence, mu, nu int) error {
+	target := seq[nu].Cfg
+	if target.Algorithm != cfg.TREAS {
+		return errDirectUnsupported
+	}
+
+	bestTag := tag.Zero
+	bestIdx := mu
+	for i := mu; i <= nu; i++ {
+		client, err := cl.daps.New(seq[i].Cfg, cl.rpc)
+		if err != nil {
+			return err
+		}
+		t, err := client.GetTag(ctx)
+		if err != nil {
+			return fmt.Errorf("recon: direct update get-tag on %s: %w", seq[i].Cfg.ID, err)
+		}
+		if bestTag.Less(t) {
+			bestTag, bestIdx = t, i
+		}
+	}
+	src := seq[bestIdx].Cfg
+	if src.Equal(target) {
+		return nil // freshest tag already lives in the new configuration
+	}
+	if src.Algorithm != cfg.TREAS {
+		return errDirectUnsupported
+	}
+	if err := treas.RequestForward(ctx, cl.rpc, cl.self, src, target, bestTag); err != nil {
+		return fmt.Errorf("recon: forward-code-element %s → %s: %w", src.ID, target.ID, err)
+	}
+	return nil
+}
+
+// finalizeConfig is Alg. 5 lines 31–35: mark the last configuration
+// finalized and tell the previous configuration's servers.
+func (cl *Client) finalizeConfig(ctx context.Context, seq cfg.Sequence) (cfg.Sequence, error) {
+	nu := seq.Nu()
+	seq, err := seq.Finalize(nu)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.PutConfig(ctx, seq[nu-1].Cfg, seq[nu]); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}

@@ -1,0 +1,170 @@
+package recon
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/consensus"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/treas"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// treasWorld extends testWorld with TREAS provisioning.
+func (w *testWorld) installTreas(t *testing.T, c cfg.Configuration) {
+	t.Helper()
+	for _, s := range c.Servers {
+		n := w.ensureNode(s)
+		svc, err := treas.NewService(c, s, w.net.Client(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Install(treas.ServiceName, string(c.ID), svc)
+		n.Install(ServiceName, string(c.ID), NewService())
+		n.Install(consensus.ServiceName, string(c.ID), consensus.NewService())
+	}
+}
+
+func treasCfg(id cfg.ID, prefix string, n, k, delta int) cfg.Configuration {
+	c := cfg.Configuration{ID: id, Algorithm: cfg.TREAS, K: k, Delta: delta}
+	for i := 1; i <= n; i++ {
+		c.Servers = append(c.Servers, types.ProcessID(fmt.Sprintf("%s%d", prefix, i)))
+	}
+	return c
+}
+
+// newTreasWorld builds a world whose installer provisions TREAS configs.
+func newTreasWorld(t *testing.T) (*testWorld, Installer) {
+	t.Helper()
+	w := newWorld()
+	w.reg.Register(cfg.TREAS, treas.Factory)
+	installer := func(_ context.Context, c cfg.Configuration) error {
+		switch c.Algorithm {
+		case cfg.TREAS:
+			w.installTreas(t, c)
+		default:
+			w.installLocal(c)
+		}
+		return nil
+	}
+	return w, installer
+}
+
+func TestReconfigDirectTransferAtReconLevel(t *testing.T) {
+	t.Parallel()
+	w, installer := newTreasWorld(t)
+	c0 := treasCfg("c0", "dx-a", 5, 3, 2)
+	c1 := treasCfg("c1", "dx-b", 7, 5, 2)
+	w.installTreas(t, c0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Seed c0 with a value through its DAP.
+	d0, err := w.reg.New(c0, w.net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make(types.Value, 20*1024)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	written := tag.Pair{Tag: tag.Tag{Z: 5, W: "w1"}, Value: payload}
+	if err := d0.PutData(ctx, written); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := NewClient("g1", c0, w.net.Client("g1"), w.reg, installer, Options{DirectTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new configuration holds the value and serves it natively.
+	d1, err := w.reg.New(c1, w.net.Client("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := readRetry(ctx, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Tag != written.Tag || !pair.Value.Equal(payload) {
+		t.Fatalf("new config holds (%v, %d bytes)", pair.Tag, len(pair.Value))
+	}
+}
+
+func TestReconfigDirectSkipsWhenFreshestIsTarget(t *testing.T) {
+	t.Parallel()
+	// When the maximum tag already lives in the newly added configuration
+	// (e.g. a concurrent write landed there first), direct update transfers
+	// nothing and must still finalize correctly.
+	w, installer := newTreasWorld(t)
+	c0 := treasCfg("c0", "dy-a", 3, 2, 2)
+	c1 := treasCfg("c1", "dy-b", 3, 2, 2)
+	w.installTreas(t, c0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl, err := NewClient("g1", c0, w.net.Client("g1"), w.reg, installer, Options{DirectTransfer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c0 holds only t0; after the reconfig the last finalized configuration
+	// must serve t0's initial value.
+	if _, err := cl.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := w.reg.New(c1, w.net.Client("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := readRetry(ctx, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Tag != tag.Zero || len(pair.Value) != 0 {
+		t.Fatalf("fresh chain returned (%v, %q)", pair.Tag, pair.Value)
+	}
+}
+
+func TestSequenceAccessorsAndMergeErrors(t *testing.T) {
+	t.Parallel()
+	w, _ := newTreasWorld(t)
+	c0 := treasCfg("c0", "dz-a", 3, 2, 1)
+	w.installTreas(t, c0)
+	cl, err := NewClient("g1", c0, w.net.Client("g1"), w.reg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := cl.Sequence()
+	if seq.Nu() != 0 || seq[0].Cfg.ID != "c0" {
+		t.Fatalf("initial sequence %v", seq)
+	}
+	// setSequence with a diverging history must be rejected.
+	bad := cfg.NewSequence(treasCfg("cX", "dz-x", 3, 2, 1))
+	if err := cl.setSequence(bad); err == nil {
+		t.Fatal("diverging sequence merged")
+	}
+}
+
+// readRetry retries get-data while a TREAS decode is transiently impossible.
+func readRetry(ctx context.Context, c dap.Client) (tag.Pair, error) {
+	for {
+		pair, err := c.GetData(ctx)
+		if err == nil {
+			return pair, nil
+		}
+		select {
+		case <-ctx.Done():
+			return tag.Pair{}, err
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package recon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/abd"
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/consensus"
+	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// testWorld is a minimal deployment for recon tests: nodes indexed by ID
+// with an installer that provisions ABD configurations locally.
+type testWorld struct {
+	net   *transport.Simnet
+	nodes map[types.ProcessID]*node.Node
+	reg   *dap.Registry
+}
+
+func newWorld() *testWorld {
+	r := dap.NewRegistry()
+	r.Register(cfg.ABD, abd.Factory)
+	return &testWorld{
+		net:   transport.NewSimnet(),
+		nodes: make(map[types.ProcessID]*node.Node),
+		reg:   r,
+	}
+}
+
+func (w *testWorld) ensureNode(id types.ProcessID) *node.Node {
+	if n, ok := w.nodes[id]; ok {
+		return n
+	}
+	n := node.New(id)
+	w.nodes[id] = n
+	w.net.Register(id, n)
+	return n
+}
+
+// installLocal provisions an ABD configuration's services directly.
+func (w *testWorld) installLocal(c cfg.Configuration) {
+	for _, s := range c.Servers {
+		n := w.ensureNode(s)
+		n.Install(abd.ServiceName, string(c.ID), abd.NewService())
+		n.Install(ServiceName, string(c.ID), NewService())
+		n.Install(consensus.ServiceName, string(c.ID), consensus.NewService())
+	}
+}
+
+func (w *testWorld) installer() Installer {
+	return func(_ context.Context, c cfg.Configuration) error {
+		w.installLocal(c)
+		return nil
+	}
+}
+
+func abdCfg(id cfg.ID, prefix string, n int) cfg.Configuration {
+	c := cfg.Configuration{ID: id, Algorithm: cfg.ABD}
+	for i := 1; i <= n; i++ {
+		c.Servers = append(c.Servers, types.ProcessID(fmt.Sprintf("%s%d", prefix, i)))
+	}
+	return c
+}
+
+func newTestClient(t *testing.T, w *testWorld, id types.ProcessID, c0 cfg.Configuration) *Client {
+	t.Helper()
+	cl, err := NewClient(id, c0, w.net.Client(id), w.reg, w.installer(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestReadConfigOnFreshSystem(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	w.installLocal(c0)
+	cl := newTestClient(t, w, "g1", c0)
+	seq, err := cl.ReadConfig(context.Background(), cl.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Nu() != 0 || seq[0].Cfg.ID != "c0" {
+		t.Fatalf("seq = %v", seq)
+	}
+}
+
+func TestReconfigAppendsAndFinalizes(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	c1 := abdCfg("c1", "b", 3)
+	w.installLocal(c0)
+	cl := newTestClient(t, w, "g1", c0)
+
+	installed, err := cl.Reconfig(context.Background(), c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed.ID != "c1" {
+		t.Fatalf("installed %s", installed.ID)
+	}
+	seq := cl.Sequence()
+	if seq.Nu() != 1 || seq[1].Status != cfg.Finalized {
+		t.Fatalf("seq = %v, want c1 finalized", seq)
+	}
+
+	// The old configuration's servers point at ⟨c1, F⟩ (Lemma 46 makes the
+	// pointer immutable from here).
+	entry, ok, err := cl.ReadNextConfig(context.Background(), c0)
+	if err != nil || !ok {
+		t.Fatalf("ReadNextConfig: ok=%v err=%v", ok, err)
+	}
+	if entry.Cfg.ID != "c1" || entry.Status != cfg.Finalized {
+		t.Fatalf("nextC = %v %v", entry.Cfg.ID, entry.Status)
+	}
+}
+
+func TestReconfigTransfersState(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	c1 := abdCfg("c1", "b", 3)
+	w.installLocal(c0)
+	ctx := context.Background()
+
+	// Put a value directly into c0 via the DAP.
+	dapClient, err := w.reg.New(c0, w.net.Client("w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := tag.Pair{Tag: tag.Tag{Z: 9, W: "w1"}, Value: types.Value("carried")}
+	if err := dapClient.PutData(ctx, written); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := newTestClient(t, w, "g1", c0)
+	if _, err := cl.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new configuration must hold the value (update-config moved it).
+	newDap, err := w.reg.New(c1, w.net.Client("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := newDap.GetData(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Tag != written.Tag || string(pair.Value) != "carried" {
+		t.Fatalf("new config holds (%v, %q)", pair.Tag, pair.Value)
+	}
+}
+
+func TestReconfigRejectsDuplicate(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	w.installLocal(c0)
+	cl := newTestClient(t, w, "g1", c0)
+	if _, err := cl.Reconfig(context.Background(), c0); !errors.Is(err, ErrSameConfiguration) {
+		t.Fatalf("err = %v, want ErrSameConfiguration", err)
+	}
+}
+
+func TestReconfigInvalidProposal(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	w.installLocal(c0)
+	cl := newTestClient(t, w, "g1", c0)
+	bad := cfg.Configuration{ID: "broken", Algorithm: "nope"}
+	if _, err := cl.Reconfig(context.Background(), bad); err == nil {
+		t.Fatal("invalid proposal accepted")
+	}
+}
+
+func TestSequentialReconfigsChainPointers(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	w.installLocal(c0)
+	cl := newTestClient(t, w, "g1", c0)
+	ctx := context.Background()
+
+	var chain []cfg.Configuration
+	for i := 1; i <= 4; i++ {
+		c := abdCfg(cfg.ID(fmt.Sprintf("c%d", i)), fmt.Sprintf("p%d-", i), 3)
+		chain = append(chain, c)
+		if _, err := cl.Reconfig(ctx, c); err != nil {
+			t.Fatalf("reconfig %d: %v", i, err)
+		}
+	}
+	// A fresh client starting from c0 discovers the whole chain.
+	fresh := newTestClient(t, w, "g2", c0)
+	seq, err := fresh.ReadConfig(ctx, fresh.Sequence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Nu() != len(chain) {
+		t.Fatalf("fresh traversal found %d configurations, want %d", seq.Nu(), len(chain))
+	}
+	for i, c := range chain {
+		if seq[i+1].Cfg.ID != c.ID {
+			t.Fatalf("seq[%d] = %s, want %s", i+1, seq[i+1].Cfg.ID, c.ID)
+		}
+	}
+}
+
+func TestConcurrentReconfigsUniqueSuccessor(t *testing.T) {
+	t.Parallel()
+	// Lemma 47 end-to-end: many concurrent reconfigurers, one successor per
+	// slot, all sequences agree per index.
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	w.installLocal(c0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const contenders = 4
+	clients := make([]*Client, contenders)
+	for i := range clients {
+		clients[i] = newTestClient(t, w, types.ProcessID(fmt.Sprintf("g%d", i)), c0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			proposal := abdCfg(cfg.ID(fmt.Sprintf("cand-%d", i)), fmt.Sprintf("q%d-", i), 3)
+			if _, err := clients[i].Reconfig(ctx, proposal); err != nil {
+				t.Errorf("reconfigurer %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Compare sequences pairwise on shared prefixes.
+	for i := 1; i < contenders; i++ {
+		a, b := clients[0].Sequence(), clients[i].Sequence()
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for j := 0; j < n; j++ {
+			if a[j].Cfg.ID != b[j].Cfg.ID {
+				t.Fatalf("sequences diverge at %d: %s vs %s", j, a[j].Cfg.ID, b[j].Cfg.ID)
+			}
+		}
+	}
+}
+
+func TestServicePointerRules(t *testing.T) {
+	t.Parallel()
+	svc := NewService()
+	entryP := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Pending}
+	entryF := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Finalized}
+
+	// ⊥ → P allowed.
+	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryP})); err != nil {
+		t.Fatal(err)
+	}
+	// P → F allowed.
+	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryF})); err != nil {
+		t.Fatal(err)
+	}
+	// F is immutable: write-back of P leaves F in place.
+	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryP})); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := svc.Next()
+	if !ok || got.Status != cfg.Finalized {
+		t.Fatalf("nextC = %+v ok=%v, want finalized", got, ok)
+	}
+}
+
+func TestServiceRejectsConflictingSuccessor(t *testing.T) {
+	t.Parallel()
+	svc := NewService()
+	first := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Pending}
+	conflicting := cfg.Entry{Cfg: abdCfg("cX", "y", 3), Status: cfg.Pending}
+	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: first})); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: conflicting}))
+	if err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("err = %v, want conflict report", err)
+	}
+}
+
+func TestServiceUnknownMessage(t *testing.T) {
+	t.Parallel()
+	svc := NewService()
+	if _, err := svc.Handle("q", "bogus", nil); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+}
+
+func TestReadNextConfigPrefersFinalized(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	w.installLocal(c0)
+	cl := newTestClient(t, w, "g1", c0)
+	ctx := context.Background()
+
+	next := abdCfg("c1", "b", 3)
+	// Hand-plant mixed pointer states: one server sees F, others P.
+	entryP := cfg.Entry{Cfg: next, Status: cfg.Pending}
+	entryF := cfg.Entry{Cfg: next, Status: cfg.Finalized}
+	for i, s := range c0.Servers {
+		svc, _ := w.nodes[s].Lookup(ServiceName, string(c0.ID))
+		e := entryP
+		if i == 0 {
+			e = entryF
+		}
+		if _, err := svc.Handle("test", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: e})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entry, ok, err := cl.ReadNextConfig(ctx, c0)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// With all three servers responding, the finalized pointer must win.
+	// (A quorum that misses server 0 legitimately returns P; gather waits
+	// for a quorum = 2 here, so allow P but require the right config.)
+	if entry.Cfg.ID != "c1" {
+		t.Fatalf("next = %s", entry.Cfg.ID)
+	}
+}
+
+func TestReconfigWithoutInstallerFailsCleanly(t *testing.T) {
+	t.Parallel()
+	w := newWorld()
+	c0 := abdCfg("c0", "a", 3)
+	c1 := abdCfg("c1", "uninstalled-", 3)
+	w.installLocal(c0)
+	// Client with nil installer: new servers exist on the network but have
+	// no services; update-config on c1 must fail rather than hang forever.
+	cl, err := NewClient("g1", c0, w.net.Client("g1"), w.reg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c1.Servers {
+		w.ensureNode(s) // nodes exist, services do not
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cl.Reconfig(ctx, c1); err == nil {
+		t.Fatal("reconfig to unprovisioned configuration succeeded")
+	}
+}

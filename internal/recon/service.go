@@ -1,0 +1,92 @@
+// Package recon implements the ARES reconfiguration service (§4.1): the
+// server-side nextC pointer protocol (Alg. 6), the sequence-traversal
+// actions read-next-config / put-config / read-config (Alg. 4), and the
+// four-phase reconfig operation (Alg. 5) with both the value-through-client
+// state transfer of Alg. 5 and the direct server-to-server transfer of §5
+// (ARES-TREAS).
+package recon
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// ServiceName keys the reconfiguration pointer service on nodes.
+const ServiceName = "recon"
+
+// Message types (Alg. 6).
+const (
+	msgReadConfig  = "read-config"
+	msgWriteConfig = "write-config"
+)
+
+// Wire bodies.
+type (
+	readConfigResp struct {
+		HasNext bool
+		Next    cfg.Entry
+	}
+	writeConfigReq struct {
+		Next cfg.Entry
+	}
+)
+
+// Service holds one server's nextC variable for one configuration: the
+// pointer to the following configuration in the global sequence GL, with its
+// status. nextC starts at ⊥ and, once finalized, never changes (Lemma 46).
+type Service struct {
+	mu      sync.Mutex
+	hasNext bool
+	next    cfg.Entry
+}
+
+// NewService returns a pointer service with nextC = ⊥.
+func NewService() *Service {
+	return &Service{}
+}
+
+var _ node.Service = (*Service)(nil)
+
+// Handle implements node.Service.
+func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgReadConfig:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return readConfigResp{HasNext: s.hasNext, Next: s.next}, nil
+	case msgWriteConfig:
+		var req writeConfigReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		// Alg. 6 lines 10–11: accept when nextC is ⊥ or still pending. A
+		// finalized pointer is immutable.
+		if !s.hasNext || s.next.Status == cfg.Pending {
+			if s.hasNext && !s.next.Cfg.Equal(req.Next.Cfg) {
+				// Consensus guarantees a unique successor; a different
+				// configuration here is a protocol violation worth surfacing.
+				return nil, fmt.Errorf("recon: conflicting next configuration %s (have %s)",
+					req.Next.Cfg.ID, s.next.Cfg.ID)
+			}
+			s.next = req.Next
+			s.hasNext = true
+		}
+		return nil, nil // ACK
+	default:
+		return nil, fmt.Errorf("recon: unknown message type %q", msgType)
+	}
+}
+
+// Next reports the current pointer (for tests).
+func (s *Service) Next() (cfg.Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next, s.hasNext
+}

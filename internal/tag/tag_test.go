@@ -1,0 +1,155 @@
+package tag
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func TestLessOrdering(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		a, b Tag
+		want bool
+	}{
+		{"zero before any", Zero, Tag{Z: 1, W: "w1"}, true},
+		{"integer dominates", Tag{Z: 1, W: "z"}, Tag{Z: 2, W: "a"}, true},
+		{"writer breaks ties", Tag{Z: 3, W: "w1"}, Tag{Z: 3, W: "w2"}, true},
+		{"equal not less", Tag{Z: 3, W: "w1"}, Tag{Z: 3, W: "w1"}, false},
+		{"reverse", Tag{Z: 4, W: "a"}, Tag{Z: 3, W: "z"}, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tc.a.Less(tc.b); got != tc.want {
+				t.Errorf("%v.Less(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTotalOrder(t *testing.T) {
+	t.Parallel()
+	// Antisymmetry + totality: for any pair exactly one of <, ==, > holds.
+	f := func(z1, z2 int64, w1, w2 string) bool {
+		a := Tag{Z: z1, W: types.ProcessID(w1)}
+		b := Tag{Z: z2, W: types.ProcessID(w2)}
+		less, greater, equal := a.Less(b), b.Less(a), a == b
+		count := 0
+		for _, v := range []bool{less, greater, equal} {
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	t.Parallel()
+	f := func(z1, z2, z3 int64, w1, w2, w3 string) bool {
+		a := Tag{Z: z1 % 4, W: types.ProcessID(w1)}
+		b := Tag{Z: z2 % 4, W: types.ProcessID(w2)}
+		c := Tag{Z: z3 % 4, W: types.ProcessID(w3)}
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNext(t *testing.T) {
+	t.Parallel()
+	base := Tag{Z: 7, W: "w9"}
+	next := base.Next("w1")
+	if next.Z != 8 || next.W != "w1" {
+		t.Fatalf("Next = %v, want (8, w1)", next)
+	}
+	if !base.Less(next) {
+		t.Fatal("Next must be strictly greater than its base")
+	}
+	// Two writers incrementing the same tag produce distinct, ordered tags.
+	n1, n2 := base.Next("w1"), base.Next("w2")
+	if n1 == n2 {
+		t.Fatal("distinct writers produced identical tags")
+	}
+	if !n1.Less(n2) {
+		t.Fatal("w1's tag must order before w2's at equal Z")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	t.Parallel()
+	a := Tag{Z: 1, W: "a"}
+	b := Tag{Z: 2, W: "a"}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare results inconsistent")
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	t.Parallel()
+	if got := MaxOf(); got != Zero {
+		t.Fatalf("MaxOf() = %v, want Zero", got)
+	}
+	tags := []Tag{{Z: 1, W: "b"}, {Z: 3, W: "a"}, {Z: 2, W: "z"}, {Z: 3, W: "c"}}
+	want := Tag{Z: 3, W: "c"}
+	if got := MaxOf(tags...); got != want {
+		t.Fatalf("MaxOf = %v, want %v", got, want)
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	t.Parallel()
+	a := Tag{Z: 5, W: "w"}
+	if !a.LessEq(a) {
+		t.Fatal("a.LessEq(a) must hold")
+	}
+	if !Zero.LessEq(a) || a.LessEq(Zero) {
+		t.Fatal("LessEq ordering wrong")
+	}
+}
+
+func TestMaxPair(t *testing.T) {
+	t.Parallel()
+	p1 := Pair{Tag: Tag{Z: 1, W: "a"}, Value: types.Value("old")}
+	p2 := Pair{Tag: Tag{Z: 2, W: "a"}, Value: types.Value("new")}
+	if got := MaxPair(p1, p2); string(got.Value) != "new" {
+		t.Fatalf("MaxPair picked %q, want new", got.Value)
+	}
+	if got := MaxPair(p2, p1); string(got.Value) != "new" {
+		t.Fatalf("MaxPair order-dependent: got %q", got.Value)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	t.Parallel()
+	tags := []Tag{
+		{Z: 2, W: "b"}, {Z: 1, W: "a"}, {Z: 2, W: "a"}, {Z: 0, W: ""},
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].Less(tags[j]) })
+	want := []Tag{{Z: 0, W: ""}, {Z: 1, W: "a"}, {Z: 2, W: "a"}, {Z: 2, W: "b"}}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, tags[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	t.Parallel()
+	got := Tag{Z: 3, W: "w1"}.String()
+	if got != "(3,w1)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

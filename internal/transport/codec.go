@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Marshal gob-encodes a message body for use as a Request or Response
+// payload. Bodies are concrete structs owned by each protocol package.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustMarshal is Marshal for bodies that cannot fail to encode (plain
+// structs of basic types). It panics on error, which indicates a programming
+// bug, never bad input.
+func MustMarshal(v any) []byte {
+	b, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Unmarshal decodes a payload produced by Marshal into v.
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decoding %T: %w", v, err)
+	}
+	return nil
+}

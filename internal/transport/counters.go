@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"sort"
+	"sync"
+)
+
+// Message direction labels used in counter keys.
+const (
+	dirRequest  = "req"
+	dirResponse = "resp"
+)
+
+// Counter aggregates traffic for one (service, type, direction) tuple.
+type Counter struct {
+	// Messages is the number of messages observed.
+	Messages int64
+	// Bytes is the total payload bytes carried. Metadata-only messages
+	// contribute their (small) encoded size; the paper's cost model counts
+	// only object data, so experiments subtract a measured metadata baseline.
+	Bytes int64
+}
+
+// Counters records wire traffic per message kind, implementing the
+// communication-cost metric of §2 ("the size of the total data that gets
+// transmitted in the messages sent as part of the operation").
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]Counter
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]Counter)}
+}
+
+// Record adds one message of the given size.
+func (c *Counters) Record(service, msgType, dir string, bytes int) {
+	key := service + "/" + msgType + "/" + dir
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cnt := c.m[key]
+	cnt.Messages++
+	cnt.Bytes += int64(bytes)
+	c.m[key] = cnt
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Counter, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]Counter)
+}
+
+// TotalBytes sums payload bytes over every counter whose key has the given
+// service prefix; an empty prefix sums everything.
+func (c *Counters) TotalBytes(servicePrefix string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for k, v := range c.m {
+		if servicePrefix == "" || hasPrefix(k, servicePrefix+"/") {
+			total += v.Bytes
+		}
+	}
+	return total
+}
+
+// TotalMessages sums message counts over every counter with the given
+// service prefix.
+func (c *Counters) TotalMessages(servicePrefix string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for k, v := range c.m {
+		if servicePrefix == "" || hasPrefix(k, servicePrefix+"/") {
+			total += v.Messages
+		}
+	}
+	return total
+}
+
+// Keys returns the sorted counter keys, for stable test and report output.
+func (c *Counters) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

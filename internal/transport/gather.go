@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// ErrQuorumUnavailable reports that every destination responded or failed
+// without the gather predicate being satisfied.
+var ErrQuorumUnavailable = errors.New("transport: quorum predicate unsatisfiable")
+
+// GatherResult couples one destination's reply with its origin.
+type GatherResult[T any] struct {
+	From  types.ProcessID
+	Value T
+}
+
+// Gather invokes call concurrently against every destination and accumulates
+// successful results until enough reports the set is sufficient. It then
+// cancels outstanding calls and returns the accumulated results.
+//
+// This is the client-side quorum pattern every DAP and the reconfiguration
+// service are built on: "send to all servers, await responses from ⌈(n+k)/2⌉
+// servers / a quorum" (Alg. 2, 4, 12).
+//
+// Gather returns ErrQuorumUnavailable when all calls have completed (some
+// possibly failed) without satisfying enough, and ctx.Err() when the caller's
+// context expires first — the behaviour of an operation that never completes
+// because too many servers crashed.
+func Gather[T any](
+	ctx context.Context,
+	dsts []types.ProcessID,
+	call func(ctx context.Context, dst types.ProcessID) (T, error),
+	enough func(got []GatherResult[T]) bool,
+) ([]GatherResult[T], error) {
+	subCtx, cancel := context.WithCancel(ctx)
+
+	type outcome struct {
+		from types.ProcessID
+		val  T
+		err  error
+	}
+	ch := make(chan outcome, len(dsts))
+	var wg sync.WaitGroup
+	for _, dst := range dsts {
+		dst := dst
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := call(subCtx, dst)
+			select {
+			case ch <- outcome{from: dst, val: v, err: err}:
+			case <-subCtx.Done():
+			}
+		}()
+	}
+	// Ensure no goroutine leaks: cancel outstanding calls first, then drain.
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	var got []GatherResult[T]
+	var failures int
+	for {
+		select {
+		case out := <-ch:
+			if out.err != nil {
+				failures++
+				if failures+len(got) == len(dsts) && !enough(got) {
+					return got, ErrQuorumUnavailable
+				}
+				continue
+			}
+			got = append(got, GatherResult[T]{From: out.from, Value: out.val})
+			if enough(got) {
+				return got, nil
+			}
+			if failures+len(got) == len(dsts) {
+				return got, ErrQuorumUnavailable
+			}
+		case <-ctx.Done():
+			return got, ctx.Err()
+		}
+	}
+}
+
+// AtLeast returns a predicate satisfied once n results have arrived — the
+// common "await responses from n servers" rule.
+func AtLeast[T any](n int) func([]GatherResult[T]) bool {
+	return func(got []GatherResult[T]) bool { return len(got) >= n }
+}
+
+// InvokeTyped sends a request whose body encodes to reqBody and decodes the
+// response payload into a fresh RespT. It folds transport and service-level
+// failures into a single error, the shape every protocol client wants.
+func InvokeTyped[RespT any](
+	ctx context.Context,
+	c Client,
+	dst types.ProcessID,
+	service, config, msgType string,
+	reqBody any,
+) (RespT, error) {
+	var zero RespT
+	payload, err := Marshal(reqBody)
+	if err != nil {
+		return zero, err
+	}
+	resp, err := c.Invoke(ctx, dst, Request{
+		Service: service,
+		Config:  config,
+		Type:    msgType,
+		Payload: payload,
+	})
+	if err != nil {
+		return zero, err
+	}
+	if err := ResponseError(resp); err != nil {
+		return zero, err
+	}
+	var out RespT
+	if len(resp.Payload) > 0 {
+		if err := Unmarshal(resp.Payload, &out); err != nil {
+			return zero, err
+		}
+	}
+	return out, nil
+}

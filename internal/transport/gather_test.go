@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func ids(n int) []types.ProcessID {
+	out := make([]types.ProcessID, n)
+	for i := range out {
+		out[i] = types.ProcessID(fmt.Sprintf("s%d", i+1))
+	}
+	return out
+}
+
+func TestGatherMajority(t *testing.T) {
+	t.Parallel()
+	dsts := ids(5)
+	got, err := Gather(context.Background(), dsts,
+		func(_ context.Context, dst types.ProcessID) (string, error) {
+			return string(dst), nil
+		},
+		AtLeast[string](3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 3 {
+		t.Fatalf("gathered %d results, want >= 3", len(got))
+	}
+}
+
+func TestGatherToleratesFailures(t *testing.T) {
+	t.Parallel()
+	dsts := ids(5)
+	got, err := Gather(context.Background(), dsts,
+		func(_ context.Context, dst types.ProcessID) (int, error) {
+			if dst == "s1" || dst == "s2" {
+				return 0, errors.New("crashed")
+			}
+			return 1, nil
+		},
+		AtLeast[int](3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("gathered %d, want 3", len(got))
+	}
+}
+
+func TestGatherQuorumUnavailable(t *testing.T) {
+	t.Parallel()
+	dsts := ids(5)
+	_, err := Gather(context.Background(), dsts,
+		func(_ context.Context, dst types.ProcessID) (int, error) {
+			if dst != "s5" {
+				return 0, errors.New("down")
+			}
+			return 1, nil
+		},
+		AtLeast[int](3),
+	)
+	if !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("err = %v, want ErrQuorumUnavailable", err)
+	}
+}
+
+func TestGatherContextExpiry(t *testing.T) {
+	t.Parallel()
+	dsts := ids(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := Gather(ctx, dsts,
+		func(ctx context.Context, _ types.ProcessID) (int, error) {
+			<-ctx.Done() // all servers hang
+			return 0, ctx.Err()
+		},
+		AtLeast[int](2),
+	)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestGatherCancelsStragglers(t *testing.T) {
+	t.Parallel()
+	var cancelled atomic.Int32
+	dsts := ids(5)
+	_, err := Gather(context.Background(), dsts,
+		func(ctx context.Context, dst types.ProcessID) (int, error) {
+			if dst == "s5" {
+				// Straggler: should be cancelled once quorum is reached.
+				<-ctx.Done()
+				cancelled.Add(1)
+				return 0, ctx.Err()
+			}
+			return 1, nil
+		},
+		AtLeast[int](4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gather waits for its goroutines before returning, so the straggler has
+	// observed cancellation by now.
+	if cancelled.Load() != 1 {
+		t.Fatalf("straggler cancelled %d times, want 1", cancelled.Load())
+	}
+}
+
+func TestGatherCustomPredicate(t *testing.T) {
+	t.Parallel()
+	// A predicate that needs results from two specific servers, regardless of
+	// count — exercising non-threshold quorums.
+	dsts := ids(4)
+	need := map[types.ProcessID]bool{"s2": true, "s3": true}
+	got, err := Gather(context.Background(), dsts,
+		func(_ context.Context, dst types.ProcessID) (types.ProcessID, error) {
+			return dst, nil
+		},
+		func(got []GatherResult[types.ProcessID]) bool {
+			seen := 0
+			for _, g := range got {
+				if need[g.From] {
+					seen++
+				}
+			}
+			return seen == len(need)
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("gathered %d", len(got))
+	}
+}
+
+func TestInvokeTyped(t *testing.T) {
+	t.Parallel()
+	type reqBody struct{ X int }
+	type respBody struct{ Y int }
+	net := NewSimnet()
+	net.Register("s1", HandlerFunc(func(_ types.ProcessID, req Request) Response {
+		var in reqBody
+		if err := Unmarshal(req.Payload, &in); err != nil {
+			return ErrResponse(err)
+		}
+		return OKResponse(MustMarshal(respBody{Y: in.X * 2}))
+	}))
+	out, err := InvokeTyped[respBody](context.Background(), net.Client("c1"), "s1", "svc", "cfg", "op", reqBody{X: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Y != 42 {
+		t.Fatalf("Y = %d, want 42", out.Y)
+	}
+}
+
+func TestInvokeTypedServiceError(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
+		return ErrResponse(errors.New("nope"))
+	}))
+	_, err := InvokeTyped[struct{}](context.Background(), net.Client("c1"), "s1", "svc", "cfg", "op", struct{}{})
+	if !errors.Is(err, ErrServiceFailure) {
+		t.Fatalf("err = %v, want ErrServiceFailure", err)
+	}
+}

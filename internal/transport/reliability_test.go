@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// These tests pin the reliable-channel semantics of the simulated network:
+// once a message departs, it is delivered even if the sender stops waiting
+// (§2 assumes reliable asynchronous channels).
+
+func TestInFlightMessageDeliveredAfterSenderGivesUp(t *testing.T) {
+	t.Parallel()
+	var delivered atomic.Int32
+	net := NewSimnet(WithDelayRange(50*time.Millisecond, 50*time.Millisecond))
+	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
+		delivered.Add(1)
+		return OKResponse(nil)
+	}))
+
+	// The sender waits only 10ms of the 50ms delivery delay.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := net.Client("c1").Invoke(ctx, "s1", Request{Service: "t", Type: "x"}); err == nil {
+		t.Fatal("Invoke returned before delivery delay elapsed")
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("message delivered before its delay")
+	}
+	net.Quiesce()
+	if delivered.Load() != 1 {
+		t.Fatalf("message delivered %d times after quiesce, want 1", delivered.Load())
+	}
+}
+
+func TestAlreadyCancelledSenderStillSends(t *testing.T) {
+	t.Parallel()
+	// The model's invocation step sends to all servers atomically with the
+	// operation start; a caller whose context is already done still "sent".
+	var delivered atomic.Int32
+	net := NewSimnet()
+	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
+		delivered.Add(1)
+		return OKResponse(nil)
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := net.Client("c1").Invoke(ctx, "s1", Request{Service: "t", Type: "x"})
+	if err == nil {
+		t.Fatal("cancelled Invoke reported success")
+	}
+	net.Quiesce()
+	if delivered.Load() != 1 {
+		t.Fatalf("delivered %d, want 1 (send happens at invocation)", delivered.Load())
+	}
+}
+
+func TestBackgroundDeliveryToCrashedServerIsDropped(t *testing.T) {
+	t.Parallel()
+	var delivered atomic.Int32
+	net := NewSimnet(WithDelayRange(20*time.Millisecond, 20*time.Millisecond))
+	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
+		delivered.Add(1)
+		return OKResponse(nil)
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _ = net.Client("c1").Invoke(ctx, "s1", Request{})
+	net.Crash("s1") // crashes while the message is in flight
+	net.Quiesce()
+	if delivered.Load() != 0 {
+		t.Fatalf("crashed server handled %d messages", delivered.Load())
+	}
+}
+
+func TestQuiesceIdleReturnsImmediately(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	done := make(chan struct{})
+	go func() {
+		net.Quiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Quiesce hung on an idle network")
+	}
+}

@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// DelayRange bounds one-way message delivery delay: every message takes a
+// duration drawn uniformly from [Min, Max]. This realizes the d/D model of
+// the paper's latency analysis.
+type DelayRange struct {
+	Min time.Duration
+	Max time.Duration
+}
+
+// Fixed returns a degenerate range delivering every message in exactly d.
+func Fixed(d time.Duration) DelayRange {
+	return DelayRange{Min: d, Max: d}
+}
+
+// SimnetOption configures a Simnet.
+type SimnetOption func(*Simnet)
+
+// WithDelayRange sets the default per-message delay range [d, D].
+func WithDelayRange(min, max time.Duration) SimnetOption {
+	return func(n *Simnet) { n.defaultDelay = DelayRange{Min: min, Max: max} }
+}
+
+// WithSeed seeds the delay sampler for reproducible executions.
+func WithSeed(seed int64) SimnetOption {
+	return func(n *Simnet) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Simnet is an in-memory network connecting simulated processes. Handlers
+// registered for server processes are invoked on the caller's goroutine
+// after the sampled request delay; responses incur an independent delay.
+//
+// The zero value is not usable; construct with NewSimnet.
+type Simnet struct {
+	mu           sync.RWMutex
+	handlers     map[types.ProcessID]Handler
+	crashed      map[types.ProcessID]bool
+	processDelay map[types.ProcessID]DelayRange
+	linkBlocked  map[linkKey]bool
+	defaultDelay DelayRange
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	counters *Counters
+
+	// inflight tracks background deliveries of messages whose sender gave
+	// up waiting (reliable channels still deliver them). Quiesce waits.
+	inflight sync.WaitGroup
+}
+
+type linkKey struct {
+	from, to types.ProcessID
+}
+
+// NewSimnet constructs an in-memory network. With no options, delivery is
+// immediate (zero delay), which is what unit tests want; latency experiments
+// configure [d, D] explicitly.
+func NewSimnet(opts ...SimnetOption) *Simnet {
+	n := &Simnet{
+		handlers:     make(map[types.ProcessID]Handler),
+		crashed:      make(map[types.ProcessID]bool),
+		processDelay: make(map[types.ProcessID]DelayRange),
+		linkBlocked:  make(map[linkKey]bool),
+		rng:          rand.New(rand.NewSource(1)),
+		counters:     NewCounters(),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Register installs the handler for a server process. Re-registering
+// replaces the previous handler (used when a node restarts).
+func (n *Simnet) Register(id types.ProcessID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// Deregister removes a process's handler entirely.
+func (n *Simnet) Deregister(id types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, id)
+}
+
+// Crash marks a process as crash-failed: requests to it hang until the
+// caller's context expires, mirroring a crashed server in the asynchronous
+// model (a crashed process is indistinguishable from a slow one).
+func (n *Simnet) Crash(id types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restart clears a crash mark. State at the handler is whatever the service
+// retained; ARES servers lose nothing because crash-recovery is out of scope,
+// but tests use Restart to model transient unreachability.
+func (n *Simnet) Restart(id types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// BlockLink drops all messages from 'from' to 'to' (one direction).
+func (n *Simnet) BlockLink(from, to types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkBlocked[linkKey{from, to}] = true
+}
+
+// UnblockLink re-enables a previously blocked link.
+func (n *Simnet) UnblockLink(from, to types.ProcessID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.linkBlocked, linkKey{from, to})
+}
+
+// SetProcessDelay overrides the delay range for every message a process
+// sends or receives. This realizes the paper's worst-case constructions
+// where reconfiguration clients enjoy delay d while readers/writers suffer D
+// (§4.4). The initiator's override wins when both endpoints have one.
+func (n *Simnet) SetProcessDelay(id types.ProcessID, r DelayRange) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.processDelay[id] = r
+}
+
+// Counters exposes the byte/message accounting for cost experiments.
+func (n *Simnet) Counters() *Counters { return n.counters }
+
+// Quiesce blocks until every in-flight background delivery has completed —
+// what "the network drains" means for tests asserting on server state that
+// quorum-completed operations may still be propagating to stragglers.
+func (n *Simnet) Quiesce() {
+	n.inflight.Wait()
+}
+
+// Client returns the network endpoint for process id. The returned client is
+// safe for concurrent use.
+func (n *Simnet) Client(id types.ProcessID) Client {
+	return &simClient{net: n, self: id}
+}
+
+// sample draws a delay for a message travelling from -> to.
+func (n *Simnet) sample(from, to types.ProcessID) time.Duration {
+	n.mu.RLock()
+	r, ok := n.processDelay[from]
+	if !ok {
+		r, ok = n.processDelay[to]
+	}
+	if !ok {
+		r = n.defaultDelay
+	}
+	n.mu.RUnlock()
+	if r.Max <= r.Min {
+		return r.Min
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return r.Min + time.Duration(n.rng.Int63n(int64(r.Max-r.Min)+1))
+}
+
+func (n *Simnet) lookup(id types.ProcessID) (Handler, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.crashed[id] {
+		return nil, false
+	}
+	h, ok := n.handlers[id]
+	return h, ok
+}
+
+func (n *Simnet) blocked(from, to types.ProcessID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.crashed[from] || n.linkBlocked[linkKey{from, to}]
+}
+
+type simClient struct {
+	net  *Simnet
+	self types.ProcessID
+}
+
+var _ Client = (*simClient)(nil)
+
+// Invoke implements Client. A request to a crashed or partitioned process
+// blocks until ctx is done — in an asynchronous system the caller can never
+// distinguish "crashed" from "slow", so protocols must rely on quorums.
+func (c *simClient) Invoke(ctx context.Context, dst types.ProcessID, req Request) (Response, error) {
+	// No early ctx check: in the model, sending to all servers is part of
+	// the operation's invocation step, so the message departs even when the
+	// caller is about to stop waiting; delivery then completes in the
+	// background (reliable channels).
+	net := c.net
+	if net.blocked(c.self, dst) {
+		<-ctx.Done()
+		return Response{}, fmt.Errorf("%w: %s (send blocked)", ErrUnreachable, dst)
+	}
+	net.counters.Record(req.Service, req.Type, dirRequest, len(req.Payload))
+	reqDelay := net.sample(c.self, dst)
+	sendTime := time.Now()
+	if err := sleepCtx(ctx, reqDelay); err != nil {
+		// The channels of the model (§2) are reliable: a message already on
+		// the wire reaches its destination even though this sender stopped
+		// waiting (e.g. its quorum completed elsewhere). Deliver in the
+		// background and discard the response.
+		remaining := reqDelay - time.Since(sendTime)
+		net.inflight.Add(1)
+		go func() {
+			defer net.inflight.Done()
+			if remaining > 0 {
+				time.Sleep(remaining)
+			}
+			if h, ok := net.lookup(dst); ok {
+				resp := h.HandleRequest(c.self, req)
+				net.counters.Record(req.Service, req.Type, dirResponse, len(resp.Payload))
+			}
+		}()
+		return Response{}, err
+	}
+	h, ok := net.lookup(dst)
+	if !ok {
+		// Crashed or unknown destination: the message is lost in the void.
+		<-ctx.Done()
+		return Response{}, fmt.Errorf("%w: %s", ErrUnreachable, dst)
+	}
+	resp := h.HandleRequest(c.self, req)
+	if net.blocked(dst, c.self) {
+		<-ctx.Done()
+		return Response{}, fmt.Errorf("%w: %s (response blocked)", ErrUnreachable, dst)
+	}
+	net.counters.Record(req.Service, req.Type, dirResponse, len(resp.Payload))
+	if err := sleepCtx(ctx, net.sample(c.self, dst)); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// sleepCtx sleeps for d unless the context expires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// echoHandler responds with the request payload and records the caller.
+func echoHandler(lastFrom *atomic.Value) Handler {
+	return HandlerFunc(func(from types.ProcessID, req Request) Response {
+		if lastFrom != nil {
+			lastFrom.Store(from)
+		}
+		return OKResponse(req.Payload)
+	})
+}
+
+func TestSimnetRoundTrip(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	var from atomic.Value
+	net.Register("s1", echoHandler(&from))
+
+	client := net.Client("c1")
+	resp, err := client.Invoke(context.Background(), "s1", Request{
+		Service: "test", Type: "echo", Payload: []byte("ping"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || string(resp.Payload) != "ping" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := from.Load().(types.ProcessID); got != "c1" {
+		t.Fatalf("handler saw sender %q, want c1", got)
+	}
+}
+
+func TestSimnetUnknownDestinationBlocks(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := net.Client("c1").Invoke(ctx, "ghost", Request{Service: "t", Type: "x"})
+	if err == nil {
+		t.Fatal("Invoke to unknown process succeeded, want block until ctx expiry")
+	}
+}
+
+func TestSimnetCrashAndRestart(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	net.Register("s1", echoHandler(nil))
+	net.Crash("s1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := net.Client("c1").Invoke(ctx, "s1", Request{}); err == nil {
+		t.Fatal("Invoke to crashed server succeeded")
+	}
+
+	net.Restart("s1")
+	if _, err := net.Client("c1").Invoke(context.Background(), "s1", Request{}); err != nil {
+		t.Fatalf("Invoke after restart: %v", err)
+	}
+}
+
+func TestSimnetBlockLink(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	net.Register("s1", echoHandler(nil))
+	net.BlockLink("c1", "s1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := net.Client("c1").Invoke(ctx, "s1", Request{}); err == nil {
+		t.Fatal("Invoke over blocked link succeeded")
+	}
+	// Other clients are unaffected.
+	if _, err := net.Client("c2").Invoke(context.Background(), "s1", Request{}); err != nil {
+		t.Fatalf("unblocked client: %v", err)
+	}
+
+	net.UnblockLink("c1", "s1")
+	if _, err := net.Client("c1").Invoke(context.Background(), "s1", Request{}); err != nil {
+		t.Fatalf("after unblock: %v", err)
+	}
+}
+
+func TestSimnetDelayBounds(t *testing.T) {
+	t.Parallel()
+	const d, D = 5 * time.Millisecond, 15 * time.Millisecond
+	net := NewSimnet(WithDelayRange(d, D), WithSeed(7))
+	net.Register("s1", echoHandler(nil))
+	client := net.Client("c1")
+
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		if _, err := client.Invoke(context.Background(), "s1", Request{}); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		// A round trip is two one-way delays: within [2d, 2D] plus scheduling.
+		if elapsed < 2*d {
+			t.Fatalf("round trip %v faster than 2d = %v", elapsed, 2*d)
+		}
+		if elapsed > 2*D+50*time.Millisecond {
+			t.Fatalf("round trip %v much slower than 2D = %v", elapsed, 2*D)
+		}
+	}
+}
+
+func TestSimnetPerProcessDelayOverride(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithDelayRange(40*time.Millisecond, 40*time.Millisecond))
+	net.Register("s1", echoHandler(nil))
+	// The fast client models the paper's reconfigurer enjoying delay d while
+	// everyone else suffers D.
+	net.SetProcessDelay("fast", Fixed(time.Millisecond))
+
+	start := time.Now()
+	if _, err := net.Client("fast").Invoke(context.Background(), "s1", Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Millisecond {
+		t.Fatalf("fast client round trip took %v, want ~2ms", elapsed)
+	}
+
+	start = time.Now()
+	if _, err := net.Client("slow").Invoke(context.Background(), "s1", Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("slow client round trip took %v, want >= 80ms", elapsed)
+	}
+}
+
+func TestSimnetCounters(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
+		return OKResponse(make([]byte, 100))
+	}))
+	client := net.Client("c1")
+	for i := 0; i < 3; i++ {
+		if _, err := client.Invoke(context.Background(), "s1", Request{
+			Service: "svc", Type: "op", Payload: make([]byte, 10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := net.Counters()
+	if got := c.TotalMessages("svc"); got != 6 {
+		t.Fatalf("TotalMessages = %d, want 6 (3 requests + 3 responses)", got)
+	}
+	if got := c.TotalBytes("svc"); got != 3*10+3*100 {
+		t.Fatalf("TotalBytes = %d, want 330", got)
+	}
+	snap := c.Snapshot()
+	if snap["svc/op/req"].Messages != 3 || snap["svc/op/resp"].Bytes != 300 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	c.Reset()
+	if c.TotalMessages("") != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestSimnetContextCancellationDuringDelay(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithDelayRange(time.Second, time.Second))
+	net.Register("s1", echoHandler(nil))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := net.Client("c1").Invoke(ctx, "s1", Request{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("cancellation did not interrupt the delay promptly")
+	}
+}
+
+func TestResponseError(t *testing.T) {
+	t.Parallel()
+	if err := ResponseError(OKResponse(nil)); err != nil {
+		t.Fatalf("ResponseError(ok) = %v", err)
+	}
+	err := ResponseError(ErrResponse(errors.New("boom")))
+	if !errors.Is(err, ErrServiceFailure) {
+		t.Fatalf("err = %v, want ErrServiceFailure", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	t.Parallel()
+	type body struct {
+		A int
+		B string
+		C []byte
+	}
+	in := body{A: 7, B: "hi", C: []byte{1, 2, 3}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out body
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || len(out.C) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	t.Parallel()
+	var out struct{ X int }
+	if err := Unmarshal([]byte{0xff, 0x00, 0x13}, &out); err == nil {
+		t.Fatal("Unmarshal of garbage succeeded")
+	}
+}

@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// The TCP wire protocol: each connection carries a gob stream of envelopes.
+// A client opens one connection per destination and multiplexes requests by
+// ID; the server answers on the same connection.
+
+type tcpEnvelope struct {
+	ID   uint64
+	From types.ProcessID
+	Req  Request
+}
+
+type tcpReply struct {
+	ID   uint64
+	Resp Response
+}
+
+// TCPServer serves a Handler on a TCP listener.
+type TCPServer struct {
+	id       types.ProcessID
+	listener net.Listener
+	handler  Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer starts listening on addr and serving h for process id. Use
+// Addr to discover the bound address when addr has port 0.
+func NewTCPServer(id types.ProcessID, addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{
+		id:       id,
+		listener: ln,
+		handler:  h,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and all connections, waiting for goroutines.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		var env tcpEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		handlerWG.Add(1)
+		go func(env tcpEnvelope) {
+			defer handlerWG.Done()
+			resp := s.handler.HandleRequest(env.From, env.Req)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = enc.Encode(tcpReply{ID: env.ID, Resp: resp})
+		}(env)
+	}
+}
+
+// TCPClient is a transport Client over TCP. It maintains one connection per
+// destination, established lazily, and routes responses by request ID.
+type TCPClient struct {
+	self types.ProcessID
+	book func(types.ProcessID) (string, bool)
+
+	mu    sync.Mutex
+	conns map[string]*tcpConn
+	next  uint64
+}
+
+// NewTCPClient constructs a client for process self that resolves server
+// addresses through book (typically a map lookup over a static address book).
+func NewTCPClient(self types.ProcessID, book func(types.ProcessID) (string, bool)) *TCPClient {
+	return &TCPClient{
+		self:  self,
+		book:  book,
+		conns: make(map[string]*tcpConn),
+	}
+}
+
+// StaticBook adapts an address map to the resolver shape NewTCPClient wants.
+func StaticBook(m map[types.ProcessID]string) func(types.ProcessID) (string, bool) {
+	return func(id types.ProcessID) (string, bool) {
+		addr, ok := m[id]
+		return addr, ok
+	}
+}
+
+var _ Client = (*TCPClient)(nil)
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	dead    bool
+}
+
+// Invoke implements Client.
+func (c *TCPClient) Invoke(ctx context.Context, dst types.ProcessID, req Request) (Response, error) {
+	addr, ok := c.book(dst)
+	if !ok {
+		return Response{}, fmt.Errorf("%w: no address for %s", ErrUnreachable, dst)
+	}
+	tc, err := c.conn(addr)
+	if err != nil {
+		return Response{}, fmt.Errorf("%w: dialing %s: %v", ErrUnreachable, dst, err)
+	}
+
+	c.mu.Lock()
+	c.next++
+	id := c.next
+	c.mu.Unlock()
+
+	ch := make(chan Response, 1)
+	tc.mu.Lock()
+	if tc.dead {
+		tc.mu.Unlock()
+		c.dropConn(addr, tc)
+		return Response{}, fmt.Errorf("%w: connection to %s lost", ErrUnreachable, dst)
+	}
+	tc.pending[id] = ch
+	err = tc.enc.Encode(tcpEnvelope{ID: id, From: c.self, Req: req})
+	tc.mu.Unlock()
+	if err != nil {
+		c.dropConn(addr, tc)
+		return Response{}, fmt.Errorf("%w: sending to %s: %v", ErrUnreachable, dst, err)
+	}
+
+	select {
+	case resp, open := <-ch:
+		if !open {
+			return Response{}, fmt.Errorf("%w: connection to %s closed", ErrUnreachable, dst)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		tc.mu.Lock()
+		delete(tc.pending, id)
+		tc.mu.Unlock()
+		return Response{}, ctx.Err()
+	}
+}
+
+// Close tears down all connections.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, tc := range c.conns {
+		_ = tc.conn.Close()
+		delete(c.conns, addr)
+	}
+}
+
+func (c *TCPClient) conn(addr string) (*tcpConn, error) {
+	c.mu.Lock()
+	if tc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return tc, nil
+	}
+	c.mu.Unlock()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := &tcpConn{
+		conn:    raw,
+		enc:     gob.NewEncoder(raw),
+		pending: make(map[uint64]chan Response),
+	}
+
+	c.mu.Lock()
+	if existing, ok := c.conns[addr]; ok {
+		// Lost the race; use the established connection.
+		c.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	c.conns[addr] = tc
+	c.mu.Unlock()
+
+	go c.readLoop(addr, tc)
+	return tc, nil
+}
+
+func (c *TCPClient) readLoop(addr string, tc *tcpConn) {
+	dec := gob.NewDecoder(tc.conn)
+	for {
+		var reply tcpReply
+		if err := dec.Decode(&reply); err != nil {
+			c.dropConn(addr, tc)
+			return
+		}
+		tc.mu.Lock()
+		ch, ok := tc.pending[reply.ID]
+		delete(tc.pending, reply.ID)
+		tc.mu.Unlock()
+		if ok {
+			ch <- reply.Resp
+		}
+	}
+}
+
+func (c *TCPClient) dropConn(addr string, tc *tcpConn) {
+	c.mu.Lock()
+	if c.conns[addr] == tc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+
+	tc.mu.Lock()
+	if !tc.dead {
+		tc.dead = true
+		for id, ch := range tc.pending {
+			close(ch)
+			delete(tc.pending, id)
+		}
+	}
+	tc.mu.Unlock()
+	_ = tc.conn.Close()
+}

@@ -1,0 +1,119 @@
+package treas
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// benchDeploy is the benchmark twin of deploy (no *testing.T).
+func benchDeploy(b *testing.B, id cfg.ID, n, k, delta int, net *transport.Simnet) cfg.Configuration {
+	b.Helper()
+	c := cfg.Configuration{ID: id, Algorithm: cfg.TREAS, K: k, Delta: delta}
+	for i := 0; i < n; i++ {
+		c.Servers = append(c.Servers, types.ProcessID(fmt.Sprintf("%s-s%d", id, i+1)))
+	}
+	for _, sid := range c.Servers {
+		nd := node.New(sid)
+		svc, err := NewService(c, sid, net.Client(sid))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd.Install(ServiceName, string(c.ID), svc)
+		net.Register(sid, nd)
+	}
+	return c
+}
+
+func BenchmarkPutData64KiB(b *testing.B) {
+	net := transport.NewSimnet()
+	c := benchDeploy(b, "c0", 5, 3, 2, net)
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	v := make(types.Value, 64*1024)
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.PutData(ctx, tag.Pair{Tag: tag.Tag{Z: int64(i + 1), W: "w1"}, Value: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetData64KiB(b *testing.B) {
+	net := transport.NewSimnet()
+	c := benchDeploy(b, "c0", 5, 3, 2, net)
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	v := make(types.Value, 64*1024)
+	if err := client.PutData(ctx, tag.Pair{Tag: tag.Tag{Z: 1, W: "w1"}, Value: v}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.GetData(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetTag(b *testing.B) {
+	net := transport.NewSimnet()
+	c := benchDeploy(b, "c0", 5, 3, 2, net)
+	client, err := NewClient(c, net.Client("w1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.GetTag(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairOneServer(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := transport.NewSimnet()
+		c := benchDeploy(b, cfg.ID(fmt.Sprintf("c%d", i)), 5, 3, 2, net)
+		client, err := NewClient(c, net.Client("w1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 1; j <= 3; j++ {
+			if err := client.PutData(ctx, tag.Pair{Tag: tag.Tag{Z: int64(j), W: "w1"}, Value: make(types.Value, 64*1024)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.Quiesce()
+		// Wipe one server.
+		lost := c.Servers[2]
+		nd := node.New(lost)
+		svc, err := NewService(c, lost, net.Client(lost))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd.Install(ServiceName, string(c.ID), svc)
+		net.Register(lost, nd)
+		b.StartTimer()
+		if _, err := Repair(ctx, net.Client("fixer"), c, lost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package treas implements TREAS (§3), the paper's two-round erasure-coded
+// algorithm for MWMR atomic storage, as a DAP implementation.
+//
+// Each server si keeps a List of (tag, coded-element) pairs, bounded so that
+// only the δ+1 highest tags retain their coded elements; older tags keep a ⊥
+// placeholder (Alg. 3). Clients operate against ⌈(n+k)/2⌉ threshold quorums:
+// any two such quorums intersect in at least k servers, which makes a tag
+// written to one quorum decodable by every later reader quorum (Lemma 5).
+//
+// The package also carries the server-side half of the §5 optimized state
+// transfer (ARES-TREAS): handlers that forward coded elements directly from
+// an old configuration's servers to a new configuration's servers, decoding
+// and re-encoding across code parameters without routing values through the
+// reconfiguration client. See xfer.go.
+package treas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/erasure"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// ServiceName keys the TREAS store service on nodes and in request routing.
+const ServiceName = "treas"
+
+// Message types of the base protocol (Alg. 2/3).
+const (
+	msgQueryTag  = "query-tag"
+	msgQueryList = "query-list"
+	msgPutData   = "put-data"
+)
+
+// listEntry is one (tag, coded-element) pair in a server's List. A nil
+// Elem with HasElem false is the paper's ⊥ placeholder left by garbage
+// collection.
+type listEntry struct {
+	Tag      tag.Tag
+	Elem     []byte
+	HasElem  bool
+	ValueLen int
+}
+
+// Wire bodies.
+type (
+	tagResp struct {
+		Tag tag.Tag
+	}
+	listResp struct {
+		// Index is the responding server's shard index within the
+		// configuration, i.e. it stores Φ_Index(v).
+		Index   int
+		Entries []listEntry
+	}
+	putDataReq struct {
+		Tag      tag.Tag
+		Elem     []byte
+		ValueLen int
+	}
+)
+
+// Service is the per-configuration TREAS server state.
+type Service struct {
+	cfg   cfg.Configuration
+	self  types.ProcessID
+	index int // this server's shard index in cfg.Servers
+	code  *erasure.Code
+	rpc   transport.Client // used only by the §5 forwarding path; may be nil
+
+	mu   sync.Mutex
+	list map[tag.Tag]listEntry
+
+	// §5 state: pending foreign coded elements keyed by tag, the set of
+	// reconfigurers already served (Alg. 9's D and Recons variables), and
+	// the forward requests already relayed (md-primitive dedup).
+	pendingD  map[tag.Tag]*pendingDecode
+	recons    map[types.ProcessID]bool
+	forwarded map[string]bool
+	sends     sync.WaitGroup
+}
+
+// pendingDecode accumulates coded elements of a foreign configuration until
+// k of them allow decoding (Alg. 9).
+type pendingDecode struct {
+	srcK     int
+	valueLen int
+	elems    map[int][]byte
+}
+
+// NewService constructs the TREAS store for server self in configuration c.
+// rpc is the server's own network endpoint, needed only for the §5
+// server-to-server forwarding; pass nil when reconfiguration transfer is not
+// exercised.
+func NewService(c cfg.Configuration, self types.ProcessID, rpc transport.Client) (*Service, error) {
+	if c.Algorithm != cfg.TREAS {
+		return nil, fmt.Errorf("treas: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	idx, ok := c.ServerIndex(self)
+	if !ok {
+		return nil, fmt.Errorf("treas: server %s is not a member of %s", self, c.ID)
+	}
+	code, err := erasure.New(c.N(), c.K)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{
+		cfg:      c,
+		self:     self,
+		index:    idx,
+		code:     code,
+		rpc:      rpc,
+		list:     make(map[tag.Tag]listEntry),
+		pendingD: make(map[tag.Tag]*pendingDecode),
+		recons:   make(map[types.ProcessID]bool),
+	}
+	// List is initialized with (t0, Φi(v0)): the coded element of the empty
+	// initial value, so reads before any write decode v0.
+	shards, err := code.Encode(nil)
+	if err != nil {
+		return nil, err
+	}
+	svc.list[tag.Zero] = listEntry{Tag: tag.Zero, Elem: shards[idx], HasElem: true, ValueLen: 0}
+	return svc, nil
+}
+
+var _ node.Service = (*Service)(nil)
+
+// Handle implements node.Service.
+func (s *Service) Handle(from types.ProcessID, msgType string, payload []byte) (any, error) {
+	switch msgType {
+	case msgQueryTag:
+		return s.handleQueryTag()
+	case msgQueryList:
+		return s.handleQueryList()
+	case msgPutData:
+		return s.handlePutData(payload)
+	case msgReqForward:
+		return s.handleReqForward(payload)
+	case msgFwdElem:
+		return s.handleFwdElem(payload)
+	case msgHasTag:
+		return s.handleHasTag(payload)
+	default:
+		return nil, fmt.Errorf("treas: unknown message type %q", msgType)
+	}
+}
+
+// handleQueryTag returns the maximum tag in the List (Alg. 3 QUERY-TAG).
+func (s *Service) handleQueryTag() (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := tag.Zero
+	for t := range s.list {
+		max = tag.Max(max, t)
+	}
+	return tagResp{Tag: max}, nil
+}
+
+// handleQueryList returns the whole List (Alg. 3 QUERY-LIST).
+func (s *Service) handleQueryList() (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := make([]listEntry, 0, len(s.list))
+	for _, e := range s.list {
+		entries = append(entries, e)
+	}
+	// Deterministic order for reproducible wire traffic and tests.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Tag.Less(entries[j].Tag) })
+	return listResp{Index: s.index, Entries: entries}, nil
+}
+
+// handlePutData inserts the pair and garbage-collects old coded elements
+// (Alg. 3 PUT-DATA).
+func (s *Service) handlePutData(payload []byte) (any, error) {
+	var req putDataReq
+	if err := transport.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(req.Tag, req.Elem, req.ValueLen)
+	return nil, nil // ACK
+}
+
+// insertLocked adds (t, elem) to the List and enforces the δ+1 bound:
+// coded elements of all but the δ+1 highest tags are replaced by ⊥, while
+// the tags themselves are retained (Alg. 3 lines 12–15). Callers hold s.mu.
+func (s *Service) insertLocked(t tag.Tag, elem []byte, valueLen int) {
+	if existing, ok := s.list[t]; ok && existing.HasElem {
+		return // already stored with its element; inserts are idempotent
+	}
+	s.list[t] = listEntry{Tag: t, Elem: elem, HasElem: true, ValueLen: valueLen}
+	s.gcLocked()
+}
+
+// gcLocked trims coded elements beyond the δ+1 highest tags.
+func (s *Service) gcLocked() {
+	withElem := make([]tag.Tag, 0, len(s.list))
+	for t, e := range s.list {
+		if e.HasElem {
+			withElem = append(withElem, t)
+		}
+	}
+	keep := s.cfg.Delta + 1
+	if len(withElem) <= keep {
+		return
+	}
+	// Sort descending; null out elements past the δ+1 highest.
+	sort.Slice(withElem, func(i, j int) bool { return withElem[j].Less(withElem[i]) })
+	for _, t := range withElem[keep:] {
+		e := s.list[t]
+		e.Elem = nil
+		e.HasElem = false
+		s.list[t] = e
+	}
+}
+
+// StorageBytes reports the coded-element bytes at rest — the storage-cost
+// metric of Theorem 3(i): at most (δ+1)·(value size)/k per server.
+func (s *Service) StorageBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, e := range s.list {
+		total += len(e.Elem)
+	}
+	return total
+}
+
+// ListSize returns how many tags the List holds and how many retain coded
+// elements (for tests asserting the GC bound).
+func (s *Service) ListSize() (tags, withElems int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.list {
+		tags++
+		if e.HasElem {
+			withElems++
+		}
+	}
+	return tags, withElems
+}
+
+// MaxTag returns the largest tag in the List (for tests).
+func (s *Service) MaxTag() tag.Tag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := tag.Zero
+	for t := range s.list {
+		max = tag.Max(max, t)
+	}
+	return max
+}

@@ -1,0 +1,290 @@
+package treas
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/erasure"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Server-side half of the §5 optimized state transfer (Alg. 9). The
+// reconfiguration client asks the old configuration C to forward the coded
+// elements of the maximum tag directly to the new configuration C'; C'
+// servers accumulate foreign elements in D, decode once k arrive, re-encode
+// under their own [n', k'] code, and store the result in their List.
+
+// Message types of the transfer protocol.
+const (
+	// msgReqForward is REQ-FW-CODE-ELEM: delivered via the md-primitive
+	// (all-or-none) to the old configuration's servers.
+	msgReqForward = "req-fw"
+	// msgFwdElem is FWD-CODE-ELEM: an old server pushing its coded element
+	// to a new server.
+	msgFwdElem = "fwd-elem"
+	// msgHasTag is the reconfigurer's completion poll, replacing the
+	// paper's server→client ACK push (see DESIGN.md substitutions).
+	msgHasTag = "has-tag"
+)
+
+// Wire bodies.
+type (
+	reqForwardReq struct {
+		Tag tag.Tag
+		// Target is the new configuration C' whose servers receive the
+		// elements.
+		Target cfg.Configuration
+		// RC identifies the reconfiguration operation (Alg. 9's rc).
+		RC types.ProcessID
+		// Relayed marks echo copies exchanged between peers; they are not
+		// relayed again. The first receipt relays to all peers before
+		// acting, implementing the md-primitive's all-or-none delivery.
+		Relayed bool
+	}
+	fwdElemReq struct {
+		Tag      tag.Tag
+		SrcIndex int
+		Elem     []byte
+		ValueLen int
+		// SrcN and SrcK are the source configuration's code parameters,
+		// needed to decode foreign elements before re-encoding locally.
+		SrcN int
+		SrcK int
+		RC   types.ProcessID
+	}
+	hasTagReq  struct{ Tag tag.Tag }
+	hasTagResp struct{ Done bool }
+)
+
+// sendTimeout bounds each server-to-server push. A lost push is harmless:
+// completion needs only ⌈(n'+k')/2⌉ new servers to hold the tag, and the
+// md-relay means every live old server attempts its own pushes.
+const sendTimeout = 10 * time.Second
+
+// handleReqForward implements the old-configuration side of Alg. 9
+// (REQ-FW-CODE-ELEM): relay to peers on first receipt (md-primitive), then
+// push the local coded element for the tag to every server of the target.
+func (s *Service) handleReqForward(payload []byte) (any, error) {
+	if s.rpc == nil {
+		return nil, fmt.Errorf("treas: %s has no transport for forwarding", s.self)
+	}
+	var req reqForwardReq
+	if err := transport.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+
+	dedupKey := fmt.Sprintf("%v/%s/%s", req.Tag, req.RC, req.Target.ID)
+	s.mu.Lock()
+	if s.forwarded == nil {
+		s.forwarded = make(map[string]bool)
+	}
+	if s.forwarded[dedupKey] {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.forwarded[dedupKey] = true
+	entry, haveElem := s.list[req.Tag]
+	s.mu.Unlock()
+
+	// md-primitive echo: relay the request to every peer before acting, so
+	// that delivery is all-or-none across non-faulty servers even when the
+	// reconfigurer crashes after reaching a single server. Sends run in the
+	// background (a server never blocks its reply on a peer's liveness);
+	// they are tracked by s.sends so tests and shutdown can drain them.
+	if !req.Relayed {
+		relay := req
+		relay.Relayed = true
+		relayPayload := transport.MustMarshal(relay)
+		for _, peer := range s.cfg.Servers {
+			if peer == s.self {
+				continue
+			}
+			peer := peer
+			s.sends.Add(1)
+			go func() {
+				defer s.sends.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), sendTimeout)
+				defer cancel()
+				_, _ = s.rpc.Invoke(ctx, peer, transport.Request{
+					Service: ServiceName,
+					Config:  string(s.cfg.ID),
+					Type:    msgReqForward,
+					Payload: relayPayload,
+				})
+			}()
+		}
+	}
+
+	// Push the local element (if the tag is present with its element) to
+	// every server of the target configuration.
+	if haveElem && entry.HasElem {
+		fwd := fwdElemReq{
+			Tag:      req.Tag,
+			SrcIndex: s.index,
+			Elem:     entry.Elem,
+			ValueLen: entry.ValueLen,
+			SrcN:     s.cfg.N(),
+			SrcK:     s.cfg.K,
+			RC:       req.RC,
+		}
+		fwdPayload := transport.MustMarshal(fwd)
+		for _, dst := range req.Target.Servers {
+			dst := dst
+			s.sends.Add(1)
+			go func() {
+				defer s.sends.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), sendTimeout)
+				defer cancel()
+				_, _ = s.rpc.Invoke(ctx, dst, transport.Request{
+					Service: ServiceName,
+					Config:  string(req.Target.ID),
+					Type:    msgFwdElem,
+					Payload: fwdPayload,
+				})
+			}()
+		}
+	}
+	return nil, nil
+}
+
+// handleFwdElem implements the new-configuration side of Alg. 9
+// (FWD-CODE-ELEM): accumulate foreign elements in D; once srcK arrive,
+// decode the value with the source code, re-encode with the local code, and
+// insert the local coded element into the List.
+func (s *Service) handleFwdElem(payload []byte) (any, error) {
+	var req fwdElemReq
+	if err := transport.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.recons[req.RC] {
+		return nil, nil // rc already served by this server (Alg. 9 line 9)
+	}
+	if _, ok := s.list[req.Tag]; ok {
+		// Tag already present locally: nothing to decode (Alg. 9 line 10/20).
+		s.recons[req.RC] = true
+		return nil, nil
+	}
+
+	pd, ok := s.pendingD[req.Tag]
+	if !ok {
+		pd = &pendingDecode{
+			srcK:     req.SrcK,
+			valueLen: req.ValueLen,
+			elems:    make(map[int][]byte),
+		}
+		s.pendingD[req.Tag] = pd
+	}
+	pd.elems[req.SrcIndex] = req.Elem
+
+	if len(pd.elems) < pd.srcK {
+		return nil, nil // not yet decodable (Alg. 9 line 12)
+	}
+
+	srcCode, err := erasure.New(req.SrcN, req.SrcK)
+	if err != nil {
+		return nil, fmt.Errorf("treas: foreign code [%d,%d]: %w", req.SrcN, req.SrcK, err)
+	}
+	value, err := srcCode.Decode(pd.elems, pd.valueLen)
+	if err != nil {
+		return nil, fmt.Errorf("treas: decoding forwarded tag %v: %w", req.Tag, err)
+	}
+	delete(s.pendingD, req.Tag) // D ← D − {⟨t, ei⟩} (Alg. 9 line 14)
+
+	shards, err := s.code.Encode(value)
+	if err != nil {
+		return nil, fmt.Errorf("treas: re-encoding forwarded tag %v: %w", req.Tag, err)
+	}
+	s.insertLocked(req.Tag, shards[s.index], pd.valueLen)
+	s.recons[req.RC] = true // Alg. 9 lines 20–21
+	return nil, nil
+}
+
+// DrainSends blocks until every background relay/forward send this service
+// started has completed or timed out. Tests use it for deterministic
+// assertions on target state.
+func (s *Service) DrainSends() {
+	s.sends.Wait()
+}
+
+// handleHasTag answers the reconfigurer's completion poll: whether the tag
+// has been installed in this server's List.
+func (s *Service) handleHasTag(payload []byte) (any, error) {
+	var req hasTagReq
+	if err := transport.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.list[req.Tag]
+	return hasTagResp{Done: ok}, nil
+}
+
+// RequestForward is the reconfigurer-side entry point of
+// forward-code-element (Alg. 8): deliver REQ-FW-CODE-ELEM to the source
+// configuration via the md-primitive (here: send to all; servers echo), then
+// poll the target until ⌈(n'+k')/2⌉ of its servers hold the tag.
+func RequestForward(
+	ctx context.Context,
+	rpc transport.Client,
+	rc types.ProcessID,
+	src, dst cfg.Configuration,
+	t tag.Tag,
+) error {
+	req := reqForwardReq{Tag: t, Target: dst, RC: rc, Relayed: false}
+	payload := transport.MustMarshal(req)
+	// Send to every source server; the md-relay in handleReqForward makes
+	// delivery all-or-none even if only one copy lands.
+	sent, err := transport.Gather(ctx, src.Servers,
+		func(ctx context.Context, d types.ProcessID) (struct{}, error) {
+			resp, err := rpc.Invoke(ctx, d, transport.Request{
+				Service: ServiceName,
+				Config:  string(src.ID),
+				Type:    msgReqForward,
+				Payload: payload,
+			})
+			if err != nil {
+				return struct{}{}, err
+			}
+			return struct{}{}, transport.ResponseError(resp)
+		},
+		transport.AtLeast[struct{}](1),
+	)
+	if err != nil || len(sent) == 0 {
+		return fmt.Errorf("treas: request-forward to %s: %w", src.ID, err)
+	}
+
+	// Poll the target configuration for completion.
+	need := dst.Quorum().Size()
+	for {
+		done := 0
+		got, err := transport.Gather(ctx, dst.Servers,
+			func(ctx context.Context, d types.ProcessID) (hasTagResp, error) {
+				return transport.InvokeTyped[hasTagResp](ctx, rpc, d, ServiceName, string(dst.ID), msgHasTag, hasTagReq{Tag: t})
+			},
+			transport.AtLeast[hasTagResp](need),
+		)
+		if err != nil {
+			return fmt.Errorf("treas: transfer poll on %s: %w", dst.ID, err)
+		}
+		for _, g := range got {
+			if g.Value.Done {
+				done++
+			}
+		}
+		if done >= need {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

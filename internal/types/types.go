@@ -1,0 +1,53 @@
+// Package types holds the primitive identifiers shared by every ARES
+// subsystem: process identities and object values.
+//
+// The paper (§2) models four distinct sets of processes — writers W, readers
+// R, reconfiguration clients G, and servers S — communicating over
+// asynchronous reliable channels. All of them are identified here by a
+// ProcessID.
+package types
+
+import "fmt"
+
+// ProcessID uniquely identifies a process (client or server) in the system.
+// IDs are ordered lexicographically; writer IDs participate in tag ordering.
+type ProcessID string
+
+// Value is the value domain V of the replicated object. Values are opaque
+// byte strings; the erasure-coded path splits and encodes them, the
+// replicated path stores them verbatim.
+type Value []byte
+
+// Clone returns an independent copy of v. Callers that retain a Value across
+// goroutine boundaries must clone it (copy slices at boundaries).
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	out := make(Value, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether two values hold identical bytes. A nil value equals
+// an empty value: the register's initial value v0 is the empty byte string.
+func (v Value) Equal(other Value) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if v[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short, human-readable form of the value for logs.
+func (v Value) String() string {
+	const maxShown = 16
+	if len(v) <= maxShown {
+		return fmt.Sprintf("Value(%q)", []byte(v))
+	}
+	return fmt.Sprintf("Value(%q… %dB)", []byte(v[:maxShown]), len(v))
+}

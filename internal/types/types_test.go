@@ -1,0 +1,65 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClone(t *testing.T) {
+	t.Parallel()
+	v := Value("abc")
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c[0] = 'X'
+	if v[0] == 'X' {
+		t.Fatal("clone aliases original")
+	}
+	if Value(nil).Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, Value{}, true}, // initial value v0 is the empty string
+		{Value("a"), Value("a"), true},
+		{Value("a"), Value("b"), false},
+		{Value("a"), Value("ab"), false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Equal(tc.b); got != tc.want {
+			t.Errorf("%q.Equal(%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEqualSymmetric(t *testing.T) {
+	t.Parallel()
+	f := func(a, b []byte) bool {
+		return Value(a).Equal(Value(b)) == Value(b).Equal(Value(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	t.Parallel()
+	short := Value("short").String()
+	if !strings.Contains(short, "short") {
+		t.Fatalf("String() = %q", short)
+	}
+	long := make(Value, 100)
+	s := long.String()
+	if !strings.Contains(s, "100B") {
+		t.Fatalf("long String() = %q, want truncation with size", s)
+	}
+}

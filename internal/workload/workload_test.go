@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func TestValueGeneratorSizeAndMarker(t *testing.T) {
+	t.Parallel()
+	g := NewValueGenerator(128, 42)
+	v := g.Next(7)
+	if len(v) != 128 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if !strings.HasPrefix(string(v), "#00000007#") {
+		t.Fatalf("marker missing: %q", v[:16])
+	}
+}
+
+func TestValueGeneratorDeterministic(t *testing.T) {
+	t.Parallel()
+	a := NewValueGenerator(64, 1).Next(0)
+	b := NewValueGenerator(64, 1).Next(0)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different values")
+	}
+	c := NewValueGenerator(64, 2).Next(0)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical values")
+	}
+}
+
+func TestValueGeneratorTinyValues(t *testing.T) {
+	t.Parallel()
+	g := NewValueGenerator(4, 1)
+	v := g.Next(123456)
+	if len(v) != 4 {
+		t.Fatalf("len = %d", len(v))
+	}
+}
+
+func TestValueGeneratorConcurrent(t *testing.T) {
+	t.Parallel()
+	g := NewValueGenerator(32, 9)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if len(g.Next(j)) != 32 {
+					t.Error("wrong size")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fakeClient counts operations and can inject failures.
+type fakeClient struct {
+	mu       sync.Mutex
+	writes   int
+	reads    int
+	failNext bool
+}
+
+func (f *fakeClient) WriteValue(ctx context.Context, v types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext {
+		f.failNext = false
+		return errors.New("injected")
+	}
+	f.writes++
+	return nil
+}
+
+func (f *fakeClient) ReadValue(ctx context.Context) (types.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	return types.Value("x"), nil
+}
+
+func TestDriverRunsMix(t *testing.T) {
+	t.Parallel()
+	clients := []Client{&fakeClient{}, &fakeClient{}}
+	d := Driver{Workers: 2, WriteRatio: 0.5, Duration: 50 * time.Millisecond, ValueSize: 16, Seed: 1}
+	stats, err := d.Run(context.Background(), clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ops() == 0 {
+		t.Fatal("no operations completed")
+	}
+	if stats.Reads == 0 || stats.Writes == 0 {
+		t.Fatalf("mix not exercised: %+v", stats)
+	}
+	if stats.Throughput() <= 0 {
+		t.Fatalf("throughput = %f", stats.Throughput())
+	}
+}
+
+func TestDriverWriteOnly(t *testing.T) {
+	t.Parallel()
+	c := &fakeClient{}
+	d := Driver{Workers: 1, WriteRatio: 1.0, Duration: 20 * time.Millisecond, ValueSize: 8, Seed: 2}
+	stats, err := d.Run(context.Background(), []Client{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads != 0 {
+		t.Fatalf("write-only run performed %d reads", stats.Reads)
+	}
+	if stats.Writes == 0 {
+		t.Fatal("no writes")
+	}
+}
+
+func TestDriverCountsErrors(t *testing.T) {
+	t.Parallel()
+	c := &fakeClient{failNext: true}
+	d := Driver{Workers: 1, WriteRatio: 1.0, Duration: 20 * time.Millisecond, ValueSize: 8, Seed: 3}
+	stats, err := d.Run(context.Background(), []Client{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WriteErrs != 1 {
+		t.Fatalf("write errors = %d, want 1", stats.WriteErrs)
+	}
+}
+
+func TestDriverValidatesClientCount(t *testing.T) {
+	t.Parallel()
+	d := Driver{Workers: 3}
+	if _, err := d.Run(context.Background(), []Client{&fakeClient{}}); err == nil {
+		t.Fatal("mismatched client count accepted")
+	}
+}
+
+func TestDriverHonorsCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := Driver{Workers: 1, WriteRatio: 0.5, ValueSize: 8, Seed: 4} // no Duration: runs until ctx
+	stats, err := d.Run(ctx, []Client{&fakeClient{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ops() != 0 {
+		t.Fatalf("cancelled run performed %d ops", stats.Ops())
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	t.Parallel()
+	s := Stats{Reads: 3, Writes: 2, Elapsed: time.Second}
+	if s.Ops() != 5 {
+		t.Fatalf("Ops = %d", s.Ops())
+	}
+	if s.Throughput() != 5.0 {
+		t.Fatalf("Throughput = %f", s.Throughput())
+	}
+	if (Stats{}).Throughput() != 0 {
+		t.Fatal("zero stats throughput not 0")
+	}
+}

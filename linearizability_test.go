@@ -1,0 +1,238 @@
+package ares_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/history"
+)
+
+// linScenario describes one randomized linearizability soak.
+type linScenario struct {
+	name     string
+	initial  ares.Config
+	chain    []ares.Config
+	writers  int
+	readers  int
+	crash    int // servers of the initial configuration to crash
+	direct   bool
+	seed     int64
+	duration time.Duration
+}
+
+// runLinScenario drives concurrent clients against a cluster under the
+// scenario's churn and checks the recorded history for atomicity.
+func runLinScenario(t *testing.T, sc linScenario) {
+	t.Helper()
+	net := ares.NewSimNetwork(ares.WithDelayRange(0, time.Millisecond), ares.WithSeed(sc.seed))
+	cluster, err := ares.NewCluster(sc.initial, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sc.chain {
+		for _, s := range c.Servers {
+			cluster.AddHost(s)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	rec := history.NewRecorder()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i := 0; i < sc.writers; i++ {
+		id := ares.ProcessID(fmt.Sprintf("w%d", i))
+		client, err := cluster.NewClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id ares.ProcessID, client *ares.Client) {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := ares.Value(fmt.Sprintf("%s/%d", id, seq))
+				done := rec.Start(history.Write, id)
+				tg, err := client.Write(ctx, v)
+				if err != nil {
+					if ctx.Err() == nil {
+						t.Errorf("%s write: %v", id, err)
+					}
+					return
+				}
+				done(tg, v)
+			}
+		}(id, client)
+	}
+	for i := 0; i < sc.readers; i++ {
+		id := ares.ProcessID(fmt.Sprintf("r%d", i))
+		client, err := cluster.NewClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id ares.ProcessID, client *ares.Client) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				done := rec.Start(history.Read, id)
+				pair, err := client.Read(ctx)
+				if err != nil {
+					if ctx.Err() == nil {
+						t.Errorf("%s read: %v", id, err)
+					}
+					return
+				}
+				done(pair.Tag, pair.Value)
+			}
+		}(id, client)
+	}
+
+	// Churn: crashes then reconfigurations, spread over the run.
+	for i := 0; i < sc.crash; i++ {
+		time.Sleep(sc.duration / 4)
+		net.Crash(sc.initial.Servers[len(sc.initial.Servers)-1-i])
+	}
+	if len(sc.chain) > 0 {
+		g, err := cluster.NewReconfigurer("g1", ares.ReconOptions{DirectTransfer: sc.direct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, next := range sc.chain {
+			time.Sleep(sc.duration / time.Duration(len(sc.chain)+1))
+			if _, err := g.Reconfig(ctx, next); err != nil {
+				t.Fatalf("reconfig to %s: %v", next.ID, err)
+			}
+		}
+	}
+	time.Sleep(sc.duration / 4)
+	close(stop)
+	wg.Wait()
+
+	ops := rec.Ops()
+	if len(ops) < 5 {
+		t.Fatalf("only %d operations recorded", len(ops))
+	}
+	if violations := history.Check(ops); len(violations) > 0 {
+		for i, v := range violations {
+			if i >= 3 {
+				break
+			}
+			t.Error(v)
+		}
+		t.Fatalf("%d atomicity violations in %d ops (seed %d)", len(violations), len(ops), sc.seed)
+	}
+	t.Logf("%s: %d atomic operations (seed %d)", sc.name, len(ops), sc.seed)
+}
+
+// TestLinearizabilityMatrix soaks a grid of deployments and churn patterns.
+func TestLinearizabilityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak matrix")
+	}
+	t.Parallel()
+	scenarios := []linScenario{
+		{
+			name:    "abd-static",
+			initial: abdCfg("c0", "lm-a", 5),
+			writers: 3, readers: 3,
+			seed: 1, duration: 400 * time.Millisecond,
+		},
+		{
+			name:    "treas-static-crash",
+			initial: treasCfg("c0", "lm-b", 5, 3, 8),
+			writers: 2, readers: 3, crash: 1,
+			seed: 2, duration: 400 * time.Millisecond,
+		},
+		{
+			name:    "treas-recon-direct",
+			initial: treasCfg("c0", "lm-c", 5, 3, 8),
+			chain: []ares.Config{
+				treasCfg("c1", "lm-c1", 5, 3, 8),
+				treasCfg("c2", "lm-c2", 7, 5, 8),
+			},
+			writers: 2, readers: 2, direct: true,
+			seed: 3, duration: 600 * time.Millisecond,
+		},
+		{
+			name:    "mixed-algorithms",
+			initial: abdCfg("c0", "lm-d", 3),
+			chain: []ares.Config{
+				treasCfg("c1", "lm-d1", 5, 3, 8),
+				abdCfg("c2", "lm-d2", 3),
+			},
+			writers: 3, readers: 2,
+			seed: 4, duration: 600 * time.Millisecond,
+		},
+		{
+			name:    "many-writers-small-delta",
+			initial: treasCfg("c0", "lm-e", 5, 3, 16),
+			writers: 6, readers: 2,
+			seed: 5, duration: 400 * time.Millisecond,
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			runLinScenario(t, sc)
+		})
+	}
+}
+
+// TestWorkloadDriverOverPublicAPI integrates the workload driver with the
+// public client surface (the shape cmd/ares-bench uses) and sanity-checks
+// throughput accounting.
+func TestWorkloadDriverOverPublicAPI(t *testing.T) {
+	t.Parallel()
+	c0 := treasCfg("c0", "wd", 5, 3, 8)
+	cluster, err := ares.NewCluster(c0, ares.NewSimNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w1, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cluster.NewClient("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ctx
+	// Drive both clients concurrently for a fixed window.
+	stopAt := time.Now().Add(200 * time.Millisecond)
+	var wg sync.WaitGroup
+	var ops [2]int
+	for i, c := range []*ares.Client{w1, w2} {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stopAt) {
+				if err := c.WriteValue(context.Background(), ares.Value("x")); err != nil {
+					t.Error(err)
+					return
+				}
+				ops[i]++
+			}
+		}()
+	}
+	wg.Wait()
+	if ops[0] == 0 || ops[1] == 0 {
+		t.Fatalf("ops = %v", ops)
+	}
+}

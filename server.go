@@ -1,0 +1,65 @@
+package ares
+
+import (
+	"fmt"
+
+	"github.com/ares-storage/ares/internal/core"
+	"github.com/ares-storage/ares/internal/node"
+	"github.com/ares-storage/ares/internal/transport"
+)
+
+// Server is a standalone ARES server process listening on TCP: the
+// multi-process deployment unit started by cmd/ares-server. It hosts the
+// per-configuration services (store, reconfiguration pointer, consensus
+// acceptor) and a control service through which reconfigurers provision new
+// configurations.
+type Server struct {
+	host *core.Host
+	tcp  *transport.TCPServer
+	out  *transport.TCPClient
+}
+
+// AddressBook resolves process IDs to TCP addresses. Multi-process
+// deployments distribute a static book (flag/file) to every process.
+type AddressBook = map[ProcessID]string
+
+// NewServer starts an ARES server for process id on addr ("host:port"; use
+// port 0 to auto-assign and discover via Addr). book must cover every server
+// this process will talk to (peers of its configurations). Configurations
+// are installed remotely by reconfigurers through the control service, or
+// locally with Install.
+func NewServer(id ProcessID, addr string, book AddressBook) (*Server, error) {
+	out := transport.NewTCPClient(id, transport.StaticBook(book))
+	host := core.NewHost(node.New(id), out)
+	tcp, err := transport.NewTCPServer(id, addr, host.Node())
+	if err != nil {
+		out.Close()
+		return nil, fmt.Errorf("ares: starting server %s: %w", id, err)
+	}
+	return &Server{host: host, tcp: tcp, out: out}, nil
+}
+
+// Addr returns the server's bound TCP address.
+func (s *Server) Addr() string { return s.tcp.Addr() }
+
+// ID returns the server's process ID.
+func (s *Server) ID() ProcessID { return s.host.ID() }
+
+// Install provisions a configuration's services locally (bootstrap of c0;
+// subsequent configurations usually arrive through reconfigurers).
+func (s *Server) Install(c Config) error {
+	return s.host.InstallConfiguration(c)
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.out.Close()
+	return s.tcp.Close()
+}
+
+// NewTCPClient returns a transport client for a client-side process (reader,
+// writer, or reconfigurer) resolving servers through book. Pass the result
+// to NewRemoteClient or NewRemoteReconfigurer.
+func NewTCPClient(self ProcessID, book AddressBook) *transport.TCPClient {
+	return transport.NewTCPClient(self, transport.StaticBook(book))
+}

@@ -1,0 +1,146 @@
+package ares
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/treas"
+)
+
+// ObjectStore composes many independent ARES registers — one per object key
+// — over a shared server pool. This is the paper's §1 composability claim
+// made concrete: "atomic objects are composable, enabling the creation of
+// large shared memory systems from individual atomic data objects".
+//
+// Each key owns its own configuration chain, so per-key operations are
+// atomic, keys never contend, and each key can be reconfigured (even to a
+// different algorithm or code) independently.
+type ObjectStore struct {
+	cluster  *Cluster
+	template Config
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	recons  map[string]*Reconfigurer
+	nextID  int
+}
+
+// StoreOption configures an ObjectStore.
+type StoreOption func(*ObjectStore)
+
+// NewObjectStore builds a store whose per-key registers are instantiated
+// from template: the template's Servers, Algorithm, and parameters apply to
+// every key's initial configuration; the ID field is derived per key.
+func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*ObjectStore, error) {
+	probe := template
+	probe.ID = "store/template-validation"
+	if err := probe.Validate(); err != nil {
+		return nil, fmt.Errorf("ares: object store template: %w", err)
+	}
+	s := &ObjectStore{
+		cluster:  cluster,
+		template: template,
+		clients:  make(map[string]*Client),
+		recons:   make(map[string]*Reconfigurer),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// keyConfig derives the initial configuration for a key.
+func (s *ObjectStore) keyConfig(key string) Config {
+	conf := s.template
+	conf.ID = ConfigID("store/" + key + "/c0")
+	return conf
+}
+
+// register returns (instantiating on first use) the register client for key.
+func (s *ObjectStore) register(key string) (*Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[key]; ok {
+		return c, nil
+	}
+	conf := s.keyConfig(key)
+	if err := s.cluster.InstallConfiguration(conf); err != nil {
+		return nil, fmt.Errorf("ares: installing register for key %q: %w", key, err)
+	}
+	s.nextID++
+	client, err := s.cluster.NewClientFor(ProcessID(fmt.Sprintf("store-client-%d", s.nextID)), conf)
+	if err != nil {
+		return nil, err
+	}
+	s.clients[key] = client
+	return client, nil
+}
+
+// Put atomically sets key to value.
+func (s *ObjectStore) Put(ctx context.Context, key string, value Value) error {
+	c, err := s.register(key)
+	if err != nil {
+		return err
+	}
+	return c.WriteValue(ctx, value)
+}
+
+// Get atomically reads key. A never-written key returns the register's
+// initial (empty) value.
+func (s *ObjectStore) Get(ctx context.Context, key string) (Value, error) {
+	c, err := s.register(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadValue(ctx)
+}
+
+// ReconfigureKey migrates one key's register to a new configuration while
+// reads and writes on that key (and all others) continue.
+func (s *ObjectStore) ReconfigureKey(ctx context.Context, key string, next Config, opts ReconOptions) error {
+	if _, err := s.register(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	g, ok := s.recons[key]
+	s.mu.Unlock()
+	if !ok {
+		var err error
+		g, err = s.cluster.NewReconfigurerFor(ProcessID("store-recon/"+key), s.keyConfig(key), opts)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.recons[key] = g
+		s.mu.Unlock()
+	}
+	for _, srv := range next.Servers {
+		s.cluster.AddHost(srv)
+	}
+	if _, err := g.Reconfig(ctx, next); err != nil {
+		return fmt.Errorf("ares: reconfiguring key %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keys returns the keys with instantiated registers.
+func (s *ObjectStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.clients))
+	for k := range s.clients {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// RepairServer reconstructs the coded elements missing at one server of a
+// TREAS configuration — recovery from state loss without a reconfiguration
+// (the paper's "efficient repair" future-work direction). It returns how
+// many elements were installed. rpc is the repairing process's endpoint
+// (e.g. net.Client("repairer") or a TCP client).
+func RepairServer(ctx context.Context, rpc transport.Client, c Config, target ProcessID) (int, error) {
+	return treas.Repair(ctx, rpc, c, target)
+}
