@@ -1,18 +1,25 @@
-// Command ares-bench regenerates the paper's evaluation artifacts. Each
-// experiment prints the table/series the corresponding paper table, theorem,
-// or latency lemma reports, measured against this implementation.
+// Command ares-bench regenerates the paper's evaluation artifacts and runs
+// the multi-key ObjectStore workload suite. Each experiment prints the
+// table/series the corresponding paper table, theorem, or latency lemma
+// reports, measured against this implementation; the store suite drives
+// YCSB-style multi-key workloads (uniform/zipfian key choice, read/write
+// mixes, batched and key-at-a-time access) against a sharded ObjectStore.
 //
 // Usage:
 //
-//	ares-bench -exp all            # run everything (several minutes)
-//	ares-bench -exp e1,e4,f1       # selected experiments
-//	ares-bench -exp f5 -csv out/   # also write CSV series for plotting
+//	ares-bench -exp all                  # run every paper experiment
+//	ares-bench -exp e1,e4,f1             # selected experiments
+//	ares-bench -exp f5 -csv out/         # also write CSV series for plotting
+//	ares-bench -store                    # run the store workload suite
+//	ares-bench -store -json bench.json   # …and write the JSON summary
 //
 // See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,7 +28,10 @@ import (
 	"strings"
 	"time"
 
+	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/benchutil"
 	"github.com/ares-storage/ares/internal/experiments"
+	"github.com/ares-storage/ares/internal/workload"
 )
 
 func main() {
@@ -32,16 +42,37 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+		store    = flag.Bool("store", false, "run the multi-key ObjectStore workload suite instead of the paper experiments")
+		jsonPath = flag.String("json", "", "file to write the store suite's machine-readable JSON summary (implies -store)")
+		duration = flag.Duration("duration", 2*time.Second, "store suite: duration of each workload")
+		workers  = flag.Int("workers", 8, "store suite: concurrent workers per workload")
+		keys     = flag.Int("keys", 128, "store suite: key-space size")
+		valSize  = flag.Int("valuesize", 1024, "store suite: value size in bytes")
+		seed     = flag.Int64("seed", 1, "store suite: workload seed")
 	)
 	flag.Parse()
 
+	if *store || *jsonPath != "" {
+		return runStoreSuite(storeSuiteParams{
+			duration: *duration,
+			workers:  *workers,
+			keys:     *keys,
+			valSize:  *valSize,
+			seed:     *seed,
+			jsonPath: *jsonPath,
+		})
+	}
+	return runExperiments(*exp, *csvDir)
+}
+
+func runExperiments(exp, csvDir string) error {
 	var ids []string
-	if *exp == "all" {
+	if exp == "all" {
 		ids = experiments.IDs()
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
+		for _, id := range strings.Split(exp, ",") {
 			id = strings.TrimSpace(id)
 			if id != "" {
 				ids = append(ids, id)
@@ -51,8 +82,8 @@ func run() error {
 	if len(ids) == 0 {
 		return fmt.Errorf("no experiments selected")
 	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
 		}
 	}
@@ -68,8 +99,8 @@ func run() error {
 		for _, note := range result.Notes {
 			fmt.Printf("  • %s\n", note)
 		}
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, result.ID+".csv")
+		if csvDir != "" {
+			path := filepath.Join(csvDir, result.ID+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				return err
@@ -80,6 +111,172 @@ func run() error {
 			}
 			fmt.Printf("  → %s\n", path)
 		}
+	}
+	return nil
+}
+
+// storeSuiteParams parameterizes one store-suite invocation.
+type storeSuiteParams struct {
+	duration time.Duration
+	workers  int
+	keys     int
+	valSize  int
+	seed     int64
+	jsonPath string
+}
+
+// storeWorkload names one workload of the suite.
+type storeWorkload struct {
+	Name       string
+	WriteRatio float64
+	Theta      float64 // 0 = uniform
+	BatchSize  int     // ≤1 = key-at-a-time
+}
+
+// storeSuite is the fixed workload matrix: key distribution × mix ×
+// batching. Batched rows exercise MultiGet/MultiPut fan-out; the rest the
+// per-key path.
+var storeSuite = []storeWorkload{
+	{Name: "read-heavy-uniform", WriteRatio: 0.05},
+	{Name: "read-heavy-zipfian", WriteRatio: 0.05, Theta: 0.99},
+	{Name: "balanced-zipfian", WriteRatio: 0.50, Theta: 0.99},
+	{Name: "write-heavy-uniform", WriteRatio: 0.95},
+	{Name: "batched-read-16", WriteRatio: 0.05, BatchSize: 16},
+	{Name: "batched-write-16", WriteRatio: 0.95, BatchSize: 16},
+}
+
+// latencySummary is the JSON shape of one latency distribution.
+type latencySummary struct {
+	Count    int     `json:"count"`
+	P50Micro float64 `json:"p50_us"`
+	P95Micro float64 `json:"p95_us"`
+	P99Micro float64 `json:"p99_us"`
+}
+
+func toLatencySummary(s benchutil.Summary) latencySummary {
+	return latencySummary{
+		Count:    s.Count,
+		P50Micro: float64(s.P50) / float64(time.Microsecond),
+		P95Micro: float64(s.P95) / float64(time.Microsecond),
+		P99Micro: float64(s.P99) / float64(time.Microsecond),
+	}
+}
+
+// workloadResult is the JSON shape of one workload's outcome.
+type workloadResult struct {
+	Name        string         `json:"name"`
+	WriteRatio  float64        `json:"write_ratio"`
+	Theta       float64        `json:"theta"`
+	BatchSize   int            `json:"batch_size"`
+	Ops         int            `json:"ops"`
+	Errors      int            `json:"errors"`
+	OpsPerSec   float64        `json:"ops_per_sec"`
+	KeysTouched int            `json:"keys_touched"`
+	Read        latencySummary `json:"read"`
+	Write       latencySummary `json:"write"`
+}
+
+// suiteSummary is the machine-readable artifact -json emits, shaped to seed
+// the BENCH_*.json perf trajectory.
+type suiteSummary struct {
+	Generated  string           `json:"generated"`
+	Suite      string           `json:"suite"`
+	DurationMS int64            `json:"duration_ms_per_workload"`
+	Workers    int              `json:"workers"`
+	Keys       int              `json:"keys"`
+	ValueSize  int              `json:"value_size"`
+	Seed       int64            `json:"seed"`
+	Workloads  []workloadResult `json:"workloads"`
+}
+
+// newSuiteStore deploys a fresh cluster + sharded ObjectStore for one
+// workload, isolated so workloads don't warm each other's registers.
+func newSuiteStore(prefix string) (*ares.ObjectStore, error) {
+	const n, k, delta = 5, 3, 32
+	template := ares.Config{Algorithm: ares.TREAS, K: k, Delta: delta}
+	for i := 1; i <= n; i++ {
+		template.Servers = append(template.Servers, ares.ProcessID(fmt.Sprintf("%s-s%d", prefix, i)))
+	}
+	root := template
+	root.ID = ares.ConfigID(prefix + "/root")
+	net := ares.NewSimNetwork(ares.WithDelayRange(100*time.Microsecond, 300*time.Microsecond))
+	cluster, err := ares.NewCluster(root, net)
+	if err != nil {
+		return nil, err
+	}
+	return ares.NewObjectStore(cluster, template)
+}
+
+func runStoreSuite(p storeSuiteParams) error {
+	summary := suiteSummary{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Suite:      "objectstore-multikey",
+		DurationMS: p.duration.Milliseconds(),
+		Workers:    p.workers,
+		Keys:       p.keys,
+		ValueSize:  p.valSize,
+		Seed:       p.seed,
+	}
+	table := benchutil.NewTable("workload", "ops", "errs", "ops/s", "keys", "read p50", "read p99", "write p50", "write p99")
+
+	for _, w := range storeSuite {
+		store, err := newSuiteStore("bench-" + w.Name)
+		if err != nil {
+			return fmt.Errorf("store suite %s: %w", w.Name, err)
+		}
+		readLat := benchutil.NewLatencyRecorder()
+		writeLat := benchutil.NewLatencyRecorder()
+		d := workload.MultiDriver{
+			Workers:    p.workers,
+			WriteRatio: w.WriteRatio,
+			Duration:   p.duration,
+			ValueSize:  p.valSize,
+			Keys:       p.keys,
+			Theta:      w.Theta,
+			BatchSize:  w.BatchSize,
+			Seed:       p.seed,
+			OnLatency: func(write bool, lat time.Duration) {
+				if write {
+					writeLat.Record(lat)
+				} else {
+					readLat.Record(lat)
+				}
+			},
+		}
+		stats, err := d.Run(context.Background(), store)
+		if err != nil {
+			return fmt.Errorf("store suite %s: %w", w.Name, err)
+		}
+		rs, ws := readLat.Summarize(), writeLat.Summarize()
+		table.AddRow(w.Name, stats.Ops(), stats.ReadErrs+stats.WriteErrs, stats.Throughput(),
+			stats.KeysTouched, rs.P50, rs.P99, ws.P50, ws.P99)
+		summary.Workloads = append(summary.Workloads, workloadResult{
+			Name:        w.Name,
+			WriteRatio:  w.WriteRatio,
+			Theta:       w.Theta,
+			BatchSize:   w.BatchSize,
+			Ops:         stats.Ops(),
+			Errors:      stats.ReadErrs + stats.WriteErrs,
+			OpsPerSec:   stats.Throughput(),
+			KeysTouched: stats.KeysTouched,
+			Read:        toLatencySummary(rs),
+			Write:       toLatencySummary(ws),
+		})
+	}
+
+	fmt.Printf("\n== STORE: multi-key ObjectStore workload suite (%v per workload, %d workers, %d keys)\n\n",
+		p.duration, p.workers, p.keys)
+	table.Render(os.Stdout)
+
+	if p.jsonPath != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  → %s\n", p.jsonPath)
 	}
 	return nil
 }

@@ -17,6 +17,11 @@
 //   - The ARES-TREAS optimization (§5 of the paper): during reconfiguration,
 //     coded state moves directly between old and new servers without passing
 //     through the reconfiguration client.
+//   - ObjectStore, the §1 composability claim as a multi-object layer: one
+//     independent register (its own configuration chain) per key over a
+//     shared server pool, with sharded bookkeeping, pooled client
+//     endpoints, batched MultiPut/MultiGet fan-out, and per-key live
+//     reconfiguration.
 //
 // # Quick start
 //

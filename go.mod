@@ -1,0 +1,3 @@
+module github.com/ares-storage/ares
+
+go 1.22

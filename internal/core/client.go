@@ -30,6 +30,17 @@ type Client struct {
 	mu   sync.Mutex
 	cseq cfg.Sequence
 
+	// wmu serializes Write invocations issued through this client. Tags are
+	// (z, writer) pairs and the writer component is this client's process
+	// ID, so two in-flight writes from the same client could both observe
+	// the same maximum z and mint identical tags — violating write-tag
+	// uniqueness (A2). Serializing them restores uniqueness: DAP
+	// consistency (C1) guarantees the second write's get-tag observes the
+	// first write's completed put-data, hence a strictly larger tag.
+	// Clients shared by many goroutines (e.g. the per-key clients an
+	// ObjectStore pools) rely on this; reads need no such ordering.
+	wmu sync.Mutex
+
 	// retryInterval paces get-data retries while a TREAS tag is transiently
 	// undecodable (Theorem 9 guarantees progress within the δ bound).
 	retryInterval time.Duration
@@ -80,6 +91,8 @@ func (c *Client) storeSeq(seq cfg.Sequence) error {
 // and repeatedly put-data into the last configuration until the sequence
 // stops growing. It returns the tag assigned to the written value.
 func (c *Client) Write(ctx context.Context, value types.Value) (tag.Tag, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	seq, err := c.rec.ReadConfig(ctx, c.localSeq())
 	if err != nil {
 		return tag.Tag{}, fmt.Errorf("core: write read-config: %w", err)

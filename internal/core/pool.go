@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// EndpointPool is a fixed set of client-side network endpoints handed out
+// round-robin. A multi-object layer instantiates one register client per
+// key; without pooling each of those clients also claims a fresh process
+// identity and transport endpoint, so a store serving k keys costs k
+// network identities. The pool caps that at a configured size: register
+// clients for different keys share endpoints (an endpoint is safe for
+// concurrent use), while every key still keeps its own configuration chain.
+//
+// Sharing a process identity across keys is sound because tags only need
+// unique writers per register: operations on different keys land in
+// different registers, and concurrent writes on the same key go through
+// that key's single pooled client, which serializes its writes.
+type EndpointPool struct {
+	ids  []types.ProcessID
+	rpcs []transport.Client
+	next atomic.Uint64
+}
+
+// NewEndpointPool builds a pool of size endpoints on net, with process IDs
+// derived from prefix. Size is clamped to at least one.
+func NewEndpointPool(net *transport.Simnet, prefix string, size int) *EndpointPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &EndpointPool{
+		ids:  make([]types.ProcessID, size),
+		rpcs: make([]transport.Client, size),
+	}
+	for i := 0; i < size; i++ {
+		id := types.ProcessID(fmt.Sprintf("%s-%d", prefix, i))
+		p.ids[i] = id
+		p.rpcs[i] = net.Client(id)
+	}
+	return p
+}
+
+// Get returns the next endpoint (process identity plus transport client)
+// round-robin. Safe for concurrent use.
+func (p *EndpointPool) Get() (types.ProcessID, transport.Client) {
+	i := int(p.next.Add(1)-1) % len(p.ids)
+	return p.ids[i], p.rpcs[i]
+}
+
+// Size returns the number of pooled endpoints.
+func (p *EndpointPool) Size() int { return len(p.ids) }
+
+// NewEndpointPool builds an endpoint pool on the cluster's network; see
+// EndpointPool.
+func (c *Cluster) NewEndpointPool(prefix string, size int) *EndpointPool {
+	return NewEndpointPool(c.network, prefix, size)
+}
+
+// NewClientVia returns a reader/writer rooted at root that reuses an
+// existing endpoint instead of claiming a fresh one — the construction path
+// for pooled multi-object clients (see EndpointPool).
+func (c *Cluster) NewClientVia(id types.ProcessID, root cfg.Configuration, rpc transport.Client) (*Client, error) {
+	return NewClient(id, root, rpc, c.daps)
+}

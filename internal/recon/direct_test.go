@@ -17,6 +17,8 @@ import (
 // treasWorld extends testWorld with TREAS provisioning.
 func (w *testWorld) installTreas(t *testing.T, c cfg.Configuration) {
 	t.Helper()
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, s := range c.Servers {
 		n := w.ensureNode(s)
 		svc, err := treas.NewService(c, s, w.net.Client(s))

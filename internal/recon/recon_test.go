@@ -22,9 +22,14 @@ import (
 // testWorld is a minimal deployment for recon tests: nodes indexed by ID
 // with an installer that provisions ABD configurations locally.
 type testWorld struct {
-	net   *transport.Simnet
+	net *transport.Simnet
+	reg *dap.Registry
+
+	// mu guards nodes: concurrent reconfigurers (e.g.
+	// TestConcurrentReconfigsUniqueSuccessor) install configurations — and
+	// hence ensure nodes — from racing goroutines.
+	mu    sync.Mutex
 	nodes map[types.ProcessID]*node.Node
-	reg   *dap.Registry
 }
 
 func newWorld() *testWorld {
@@ -49,6 +54,8 @@ func (w *testWorld) ensureNode(id types.ProcessID) *node.Node {
 
 // installLocal provisions an ABD configuration's services directly.
 func (w *testWorld) installLocal(c cfg.Configuration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, s := range c.Servers {
 		n := w.ensureNode(s)
 		n.Install(abd.ServiceName, string(c.ID), abd.NewService())

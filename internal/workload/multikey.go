@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Store is the multi-object surface a MultiDriver exercises — satisfied by
+// the public ares.ObjectStore and by test fakes.
+type Store interface {
+	Put(ctx context.Context, key string, v types.Value) error
+	Get(ctx context.Context, key string) (types.Value, error)
+}
+
+// BatchStore is a Store that also supports batched operations; the driver
+// uses the batch entry points when BatchSize > 1.
+type BatchStore interface {
+	Store
+	MultiPut(ctx context.Context, kv map[string]types.Value) error
+	MultiGet(ctx context.Context, keys ...string) (map[string]types.Value, error)
+}
+
+// KeyChooser selects the next key index for one worker. Implementations
+// are not safe for concurrent use: give each worker its own chooser.
+type KeyChooser interface {
+	Next() int
+}
+
+// UniformChooser draws keys uniformly from [0, n).
+type UniformChooser struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniformChooser returns a uniform chooser over n keys.
+func NewUniformChooser(n int, seed int64) *UniformChooser {
+	if n < 1 {
+		n = 1
+	}
+	return &UniformChooser{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements KeyChooser.
+func (u *UniformChooser) Next() int { return u.rng.Intn(u.n) }
+
+// ZipfianChooser draws keys from the YCSB-style zipfian distribution over
+// [0, n): key 0 is the hottest, with skew parameter theta in (0, 1) —
+// theta 0.99 is the YCSB default. It implements Gray et al.'s rejection-free
+// quick zipfian ("Quickly generating billion-record synthetic databases"),
+// which is also the generator YCSB itself ships.
+type ZipfianChooser struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipfianChooser returns a zipfian chooser over n keys with the given
+// theta. Theta values outside (0, 1) are clamped to the YCSB default 0.99.
+func NewZipfianChooser(n int, theta float64, seed int64) *ZipfianChooser {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &ZipfianChooser{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zeta(n, theta),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyChooser.
+func (z *ZipfianChooser) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// MultiStats aggregates a multi-key driver run.
+type MultiStats struct {
+	Stats
+	// Batches counts the batched MultiPut/MultiGet calls issued (zero when
+	// the driver runs key-at-a-time).
+	Batches int
+	// KeysTouched counts the distinct keys operated on.
+	KeysTouched int
+}
+
+// MultiDriver runs a closed-loop YCSB-style workload over a multi-object
+// store: each worker repeatedly picks keys (uniform or zipfian), then
+// issues a read or a write according to WriteRatio — one key at a time, or
+// in batches of BatchSize through MultiGet/MultiPut when the store supports
+// them.
+type MultiDriver struct {
+	Workers    int
+	WriteRatio float64
+	Duration   time.Duration
+	ValueSize  int
+	Keys       int
+	// Theta > 0 selects the zipfian distribution with that skew; zero (or
+	// out-of-range) values select the uniform distribution.
+	Theta float64
+	// BatchSize > 1 issues operations in batches of that many distinct keys
+	// through the store's MultiGet/MultiPut; the store must then implement
+	// BatchStore.
+	BatchSize int
+	Seed      int64
+	// OnLatency, when set, observes every successful operation's latency; a
+	// batched call contributes one sample covering the whole batch. It must
+	// be safe for concurrent use.
+	OnLatency func(write bool, d time.Duration)
+}
+
+// chooser builds the per-worker key chooser.
+func (d MultiDriver) chooser(worker int) KeyChooser {
+	seed := d.Seed + int64(worker)*7919
+	if d.Theta > 0 {
+		return NewZipfianChooser(d.Keys, d.Theta, seed)
+	}
+	return NewUniformChooser(d.Keys, seed)
+}
+
+// Key renders the canonical key name for index i.
+func Key(i int) string { return fmt.Sprintf("key-%06d", i) }
+
+// Run drives the store until Duration elapses or ctx is cancelled, and
+// returns aggregate stats.
+func (d MultiDriver) Run(ctx context.Context, store Store) (MultiStats, error) {
+	if d.Workers < 1 {
+		return MultiStats{}, fmt.Errorf("workload: %d workers", d.Workers)
+	}
+	if d.Keys < 1 {
+		return MultiStats{}, fmt.Errorf("workload: key space of %d", d.Keys)
+	}
+	batcher, _ := store.(BatchStore)
+	if d.BatchSize > 1 && batcher == nil {
+		return MultiStats{}, fmt.Errorf("workload: batch size %d but store lacks MultiPut/MultiGet", d.BatchSize)
+	}
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if d.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, d.Duration)
+		defer cancel()
+	}
+
+	var (
+		mu      sync.Mutex
+		total   MultiStats
+		touched = make(map[int]bool)
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < d.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				keys = d.chooser(w)
+				gen  = NewValueGenerator(d.ValueSize, d.Seed+int64(w))
+				// The write-decision stream mixes in a constant so it never
+				// shares a seed with the worker's key chooser (worker 0's
+				// otherwise would, locking write decisions to key choice).
+				rng     = rand.New(rand.NewSource(d.Seed ^ 0x9e3779b9 ^ int64(w)<<16))
+				local   MultiStats
+				localKs = make(map[int]bool)
+			)
+			for seq := 0; runCtx.Err() == nil; seq++ {
+				write := rng.Float64() < d.WriteRatio
+				if d.BatchSize > 1 {
+					d.runBatch(runCtx, batcher, keys, gen, seq, write, &local, localKs)
+				} else {
+					d.runSingle(runCtx, store, keys, gen, seq, write, &local, localKs)
+				}
+			}
+			mu.Lock()
+			total.Reads += local.Reads
+			total.Writes += local.Writes
+			total.ReadErrs += local.ReadErrs
+			total.WriteErrs += local.WriteErrs
+			total.Batches += local.Batches
+			for k := range localKs {
+				touched[k] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	total.Elapsed = time.Since(start)
+	total.KeysTouched = len(touched)
+	return total, nil
+}
+
+// runSingle issues one key-at-a-time operation.
+func (d MultiDriver) runSingle(ctx context.Context, store Store, keys KeyChooser, gen *ValueGenerator, seq int, write bool, local *MultiStats, touched map[int]bool) {
+	idx := keys.Next()
+	touched[idx] = true
+	key := Key(idx)
+	opStart := time.Now()
+	if write {
+		if err := store.Put(ctx, key, gen.Next(seq)); err != nil {
+			if ctx.Err() == nil {
+				local.WriteErrs++
+			}
+			return
+		}
+		local.Writes++
+	} else {
+		if _, err := store.Get(ctx, key); err != nil {
+			if ctx.Err() == nil {
+				local.ReadErrs++
+			}
+			return
+		}
+		local.Reads++
+	}
+	if d.OnLatency != nil {
+		d.OnLatency(write, time.Since(opStart))
+	}
+}
+
+// partialBatchError is the shape of a batch store's partial-failure error
+// (ares.BatchError satisfies it): only the named keys failed, the rest of
+// the batch completed. Matched structurally so this package needs no
+// dependency on the public API.
+type partialBatchError interface {
+	error
+	FailedKeys() []string
+}
+
+// batchFailures splits a batch error into (failed, succeeded) operation
+// counts over a batch of size n. A partial-failure error charges only the
+// keys it names; any other error charges the whole batch.
+func batchFailures(err error, n int) (failed, succeeded int) {
+	var pe partialBatchError
+	if errors.As(err, &pe) {
+		failed = len(pe.FailedKeys())
+		if failed > n {
+			failed = n
+		}
+		return failed, n - failed
+	}
+	return n, 0
+}
+
+// runBatch issues one MultiPut/MultiGet over BatchSize distinct keys.
+func (d MultiDriver) runBatch(ctx context.Context, store BatchStore, keys KeyChooser, gen *ValueGenerator, seq int, write bool, local *MultiStats, touched map[int]bool) {
+	picked := make([]string, 0, d.BatchSize)
+	seen := make(map[int]bool, d.BatchSize)
+	for len(picked) < d.BatchSize && len(seen) < d.Keys {
+		idx := keys.Next()
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		touched[idx] = true
+		picked = append(picked, Key(idx))
+	}
+	opStart := time.Now()
+	var err error
+	if write {
+		kv := make(map[string]types.Value, len(picked))
+		for i, k := range picked {
+			kv[k] = gen.Next(seq*d.BatchSize + i)
+		}
+		err = store.MultiPut(ctx, kv)
+	} else {
+		_, err = store.MultiGet(ctx, picked...)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		// A partial failure still completed (and counts) the other keys;
+		// its latency is failure-dominated, so no sample is recorded.
+		failed, succeeded := batchFailures(err, len(picked))
+		if write {
+			local.WriteErrs += failed
+			local.Writes += succeeded
+		} else {
+			local.ReadErrs += failed
+			local.Reads += succeeded
+		}
+		local.Batches++
+		return
+	}
+	if write {
+		local.Writes += len(picked)
+	} else {
+		local.Reads += len(picked)
+	}
+	local.Batches++
+	if d.OnLatency != nil {
+		d.OnLatency(write, time.Since(opStart))
+	}
+}

@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// fakeStore is an in-memory Store/BatchStore that counts calls and can fail
+// a chosen key.
+type fakeStore struct {
+	mu        sync.Mutex
+	data      map[string]types.Value
+	puts      int
+	gets      int
+	multiPuts int
+	multiGets int
+	failKey   string
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{data: make(map[string]types.Value)}
+}
+
+func (f *fakeStore) Put(ctx context.Context, key string, v types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if key == f.failKey {
+		return errors.New("injected")
+	}
+	f.puts++
+	f.data[key] = v
+	return nil
+}
+
+func (f *fakeStore) Get(ctx context.Context, key string) (types.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if key == f.failKey {
+		return nil, errors.New("injected")
+	}
+	f.gets++
+	return f.data[key], nil
+}
+
+func (f *fakeStore) MultiPut(ctx context.Context, kv map[string]types.Value) error {
+	f.mu.Lock()
+	f.multiPuts++
+	f.mu.Unlock()
+	for k, v := range kv {
+		if err := f.Put(ctx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fakeStore) MultiGet(ctx context.Context, keys ...string) (map[string]types.Value, error) {
+	f.mu.Lock()
+	f.multiGets++
+	f.mu.Unlock()
+	out := make(map[string]types.Value, len(keys))
+	for _, k := range keys {
+		v, err := f.Get(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func TestUniformChooserCoversKeySpace(t *testing.T) {
+	t.Parallel()
+	u := NewUniformChooser(8, 1)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		k := u.Next()
+		if k < 0 || k >= 8 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("uniform chooser visited %d/8 keys", len(seen))
+	}
+}
+
+func TestZipfianChooserSkewAndRange(t *testing.T) {
+	t.Parallel()
+	const n, draws = 100, 20000
+	z := NewZipfianChooser(n, 0.99, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must be the hottest by a wide margin, and the head must
+	// dominate: the top 10 keys of a theta=0.99 zipfian carry well over
+	// half the mass.
+	var head int
+	for _, c := range counts[:10] {
+		head += c
+	}
+	if head < draws/2 {
+		t.Fatalf("top-10 keys drew %d/%d operations; distribution not skewed", head, draws)
+	}
+	if counts[0] < counts[n-1] {
+		t.Fatalf("tail key hotter than head: %d vs %d", counts[n-1], counts[0])
+	}
+}
+
+func TestZipfianChooserDeterministic(t *testing.T) {
+	t.Parallel()
+	a := NewZipfianChooser(50, 0.99, 3)
+	b := NewZipfianChooser(50, 0.99, 3)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestMultiDriverMixAndKeyAccounting(t *testing.T) {
+	t.Parallel()
+	store := newFakeStore()
+	d := MultiDriver{
+		Workers: 3, WriteRatio: 0.5, Duration: 50 * time.Millisecond,
+		ValueSize: 16, Keys: 16, Seed: 1,
+	}
+	stats, err := d.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads == 0 || stats.Writes == 0 {
+		t.Fatalf("mix not exercised: %+v", stats)
+	}
+	if stats.KeysTouched < 2 || stats.KeysTouched > 16 {
+		t.Fatalf("KeysTouched = %d", stats.KeysTouched)
+	}
+	if stats.Batches != 0 {
+		t.Fatalf("key-at-a-time run recorded %d batches", stats.Batches)
+	}
+}
+
+func TestMultiDriverBatchedUsesBatchStore(t *testing.T) {
+	t.Parallel()
+	store := newFakeStore()
+	var latencies int
+	var mu sync.Mutex
+	d := MultiDriver{
+		Workers: 2, WriteRatio: 0.5, Duration: 50 * time.Millisecond,
+		ValueSize: 16, Keys: 64, BatchSize: 8, Seed: 2,
+		OnLatency: func(write bool, _ time.Duration) {
+			mu.Lock()
+			latencies++
+			mu.Unlock()
+		},
+	}
+	stats, err := d.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches == 0 {
+		t.Fatal("no batches issued")
+	}
+	store.mu.Lock()
+	mp, mg := store.multiPuts, store.multiGets
+	store.mu.Unlock()
+	if mp+mg != stats.Batches {
+		t.Fatalf("store saw %d batch calls, stats say %d", mp+mg, stats.Batches)
+	}
+	if stats.Ops() < stats.Batches {
+		t.Fatalf("ops %d < batches %d", stats.Ops(), stats.Batches)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if latencies != stats.Batches {
+		t.Fatalf("latency hook fired %d times for %d batches", latencies, stats.Batches)
+	}
+}
+
+func TestMultiDriverBatchRequiresBatchStore(t *testing.T) {
+	t.Parallel()
+	// A Store-only implementation must be rejected when batching is asked for.
+	plain := struct{ Store }{newFakeStore()}
+	d := MultiDriver{Workers: 1, Keys: 4, BatchSize: 4, Duration: time.Millisecond}
+	if _, err := d.Run(context.Background(), plain); err == nil {
+		t.Fatal("batched run over non-batch store accepted")
+	}
+}
+
+func TestMultiDriverZipfianConcentratesLoad(t *testing.T) {
+	t.Parallel()
+	store := newFakeStore()
+	d := MultiDriver{
+		Workers: 2, WriteRatio: 0.2, Duration: 50 * time.Millisecond,
+		ValueSize: 8, Keys: 1000, Theta: 0.99, Seed: 3,
+	}
+	stats, err := d.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ops() == 0 {
+		t.Fatal("no operations")
+	}
+	// With theta=0.99 over 1000 keys the working set stays far below the
+	// key space.
+	if stats.KeysTouched > stats.Ops() {
+		t.Fatalf("touched %d keys in %d ops", stats.KeysTouched, stats.Ops())
+	}
+}
+
+func TestMultiDriverErrorAccounting(t *testing.T) {
+	t.Parallel()
+	store := newFakeStore()
+	store.failKey = Key(0)
+	d := MultiDriver{
+		Workers: 1, WriteRatio: 1.0, Duration: 30 * time.Millisecond,
+		ValueSize: 8, Keys: 2, Seed: 4,
+	}
+	stats, err := d.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WriteErrs == 0 {
+		t.Fatal("failing key produced no write errors")
+	}
+}
+
+// fakePartialError mimics ares.BatchError: a batch error naming only the
+// keys that failed.
+type fakePartialError struct{ keys []string }
+
+func (e *fakePartialError) Error() string        { return "partial failure" }
+func (e *fakePartialError) FailedKeys() []string { return e.keys }
+
+// partialStore fails exactly one key of every MultiPut with a
+// partial-failure error.
+type partialStore struct {
+	*fakeStore
+}
+
+func (p *partialStore) MultiPut(ctx context.Context, kv map[string]types.Value) error {
+	var victim string
+	for k := range kv {
+		victim = k
+		break
+	}
+	for k, v := range kv {
+		if k == victim {
+			continue
+		}
+		if err := p.Put(ctx, k, v); err != nil {
+			return err
+		}
+	}
+	return &fakePartialError{keys: []string{victim}}
+}
+
+func TestMultiDriverPartialBatchFailureAccounting(t *testing.T) {
+	t.Parallel()
+	store := &partialStore{fakeStore: newFakeStore()}
+	const batch = 8
+	d := MultiDriver{
+		Workers: 1, WriteRatio: 1.0, Duration: 30 * time.Millisecond,
+		ValueSize: 8, Keys: 64, BatchSize: batch, Seed: 5,
+	}
+	stats, err := d.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches == 0 {
+		t.Fatal("no batches issued")
+	}
+	// Each batch fails exactly one key and completes the other seven.
+	if stats.WriteErrs != stats.Batches {
+		t.Fatalf("WriteErrs = %d for %d partial batches, want one per batch", stats.WriteErrs, stats.Batches)
+	}
+	if want := stats.Batches * (batch - 1); stats.Writes != want {
+		t.Fatalf("Writes = %d, want %d (the non-failed keys of each batch)", stats.Writes, want)
+	}
+}
+
+func TestBatchFailuresTotalVsPartial(t *testing.T) {
+	t.Parallel()
+	if f, s := batchFailures(errors.New("boom"), 16); f != 16 || s != 0 {
+		t.Fatalf("opaque error: failed=%d succeeded=%d", f, s)
+	}
+	if f, s := batchFailures(&fakePartialError{keys: []string{"a", "b"}}, 16); f != 2 || s != 14 {
+		t.Fatalf("partial error: failed=%d succeeded=%d", f, s)
+	}
+	// A wrapped partial error still matches.
+	wrapped := fmt.Errorf("outer: %w", &fakePartialError{keys: []string{"a"}})
+	if f, s := batchFailures(wrapped, 4); f != 1 || s != 3 {
+		t.Fatalf("wrapped partial error: failed=%d succeeded=%d", f, s)
+	}
+}
+
+func TestMultiDriverValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (MultiDriver{Workers: 0, Keys: 1}).Run(context.Background(), newFakeStore()); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := (MultiDriver{Workers: 1, Keys: 0}).Run(context.Background(), newFakeStore()); err == nil {
+		t.Fatal("empty key space accepted")
+	}
+}

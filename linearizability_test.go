@@ -193,6 +193,129 @@ func TestLinearizabilityMatrix(t *testing.T) {
 	}
 }
 
+// TestStoreLinearizabilityMultiKeySoak is the ObjectStore end-to-end safety
+// test: concurrent writers and readers over several keys of one sharded
+// store, a per-key reconfiguration moving one key to fresh servers, and a
+// server crash (within every key's fault bound) mid-run. Each key is an
+// independent register, so each key's recorded history must independently
+// satisfy atomicity (A1–A3).
+func TestStoreLinearizabilityMultiKeySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	t.Parallel()
+	template := treasCfg("", "smk", 5, 3, 8)
+	root := template
+	root.ID = "smk/root"
+	net := ares.NewSimNetwork(ares.WithDelayRange(0, time.Millisecond), ares.WithSeed(21))
+	cluster, err := ares.NewCluster(root, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ares.NewObjectStore(cluster, template, ares.WithShardCount(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	recorders := make(map[string]*history.Recorder, len(keys))
+	for _, k := range keys {
+		recorders[k] = history.NewRecorder()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Two writers and two readers per key; writes on one key funnel through
+	// that key's pooled client, which serializes them under unique tags.
+	for _, key := range keys {
+		key := key
+		rec := recorders[key]
+		for i := 0; i < 2; i++ {
+			id := ares.ProcessID(fmt.Sprintf("soak-w%d/%s", i, key))
+			wg.Add(1)
+			go func(id ares.ProcessID) {
+				defer wg.Done()
+				for seq := 0; ; seq++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v := ares.Value(fmt.Sprintf("%s/%d", id, seq))
+					done := rec.Start(history.Write, id)
+					tg, err := store.WriteKey(ctx, key, v)
+					if err != nil {
+						if ctx.Err() == nil {
+							t.Errorf("%s write: %v", id, err)
+						}
+						return
+					}
+					done(tg, v)
+				}
+			}(id)
+		}
+		for i := 0; i < 2; i++ {
+			id := ares.ProcessID(fmt.Sprintf("soak-r%d/%s", i, key))
+			wg.Add(1)
+			go func(id ares.ProcessID) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					done := rec.Start(history.Read, id)
+					pair, err := store.ReadKey(ctx, key)
+					if err != nil {
+						if ctx.Err() == nil {
+							t.Errorf("%s read: %v", id, err)
+						}
+						return
+					}
+					done(pair.Tag, pair.Value)
+				}
+			}(id)
+		}
+	}
+
+	// Churn: move one key onto fresh servers mid-run, then crash one of the
+	// template servers — f = (5-3)/2 = 1 crash is tolerated by every key
+	// still on the template set, and "alpha" has already left it.
+	time.Sleep(150 * time.Millisecond)
+	next := treasCfg("store/alpha/c1", "smk-n", 5, 3, 8)
+	if err := store.ReconfigureKey(ctx, "alpha", next, ares.ReconOptions{DirectTransfer: true}); err != nil {
+		t.Fatalf("per-key reconfiguration: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	net.Crash(template.Servers[len(template.Servers)-1])
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	totalOps := 0
+	for _, key := range keys {
+		ops := recorders[key].Ops()
+		totalOps += len(ops)
+		if len(ops) < 5 {
+			t.Errorf("key %s: only %d operations recorded", key, len(ops))
+			continue
+		}
+		if violations := history.Check(ops); len(violations) > 0 {
+			for i, v := range violations {
+				if i >= 3 {
+					break
+				}
+				t.Errorf("key %s: %v", key, v)
+			}
+			t.Errorf("key %s: %d atomicity violations in %d ops", key, len(violations), len(ops))
+		}
+	}
+	t.Logf("multi-key soak: %d atomic operations across %d keys", totalOps, len(keys))
+}
+
 // TestWorkloadDriverOverPublicAPI integrates the workload driver with the
 // public client surface (the shape cmd/ares-bench uses) and sanity-checks
 // throughput accounting.

@@ -3,8 +3,12 @@ package ares
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
 	"sync"
 
+	"github.com/ares-storage/ares/internal/core"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/treas"
 )
@@ -17,18 +21,63 @@ import (
 // Each key owns its own configuration chain, so per-key operations are
 // atomic, keys never contend, and each key can be reconfigured (even to a
 // different algorithm or code) independently.
+//
+// The store's own bookkeeping is sharded: keys hash onto one of N shards,
+// each with its own lock and client map, so unrelated keys never serialize
+// on store metadata either. Register clients draw their network identity
+// from a fixed endpoint pool instead of claiming one per key, and MultiPut
+// / MultiGet fan batched operations out across shards with bounded
+// parallelism.
 type ObjectStore struct {
 	cluster  *Cluster
 	template Config
+	pool     *core.EndpointPool
 
+	shards   []storeShard
+	batchPar int
+}
+
+// storeShard holds the per-key state of one hash shard.
+type storeShard struct {
 	mu      sync.Mutex
 	clients map[string]*Client
 	recons  map[string]*Reconfigurer
-	nextID  int
+}
+
+const (
+	defaultShardCount  = 16
+	defaultPoolSize    = 16
+	defaultBatchFanout = 16
+)
+
+// storeConfig collects option values before the store is assembled.
+type storeConfig struct {
+	shards   int
+	poolSize int
+	batchPar int
 }
 
 // StoreOption configures an ObjectStore.
-type StoreOption func(*ObjectStore)
+type StoreOption func(*storeConfig)
+
+// WithShardCount sets the number of metadata shards (default 16). More
+// shards reduce contention on first-touch instantiation when many distinct
+// keys arrive concurrently.
+func WithShardCount(n int) StoreOption {
+	return func(c *storeConfig) { c.shards = n }
+}
+
+// WithEndpointPoolSize sets how many network endpoints the store's register
+// clients share (default 16).
+func WithEndpointPoolSize(n int) StoreOption {
+	return func(c *storeConfig) { c.poolSize = n }
+}
+
+// WithBatchConcurrency bounds the parallelism of MultiPut and MultiGet
+// (default 16): at most n per-key operations are in flight per batch call.
+func WithBatchConcurrency(n int) StoreOption {
+	return func(c *storeConfig) { c.batchPar = n }
+}
 
 // NewObjectStore builds a store whose per-key registers are instantiated
 // from template: the template's Servers, Algorithm, and parameters apply to
@@ -39,16 +88,35 @@ func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*Ob
 	if err := probe.Validate(); err != nil {
 		return nil, fmt.Errorf("ares: object store template: %w", err)
 	}
+	sc := storeConfig{shards: defaultShardCount, poolSize: defaultPoolSize, batchPar: defaultBatchFanout}
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	if sc.shards < 1 {
+		sc.shards = 1
+	}
+	if sc.batchPar < 1 {
+		sc.batchPar = 1
+	}
 	s := &ObjectStore{
 		cluster:  cluster,
 		template: template,
-		clients:  make(map[string]*Client),
-		recons:   make(map[string]*Reconfigurer),
+		pool:     cluster.NewEndpointPool("store-client", sc.poolSize),
+		shards:   make([]storeShard, sc.shards),
+		batchPar: sc.batchPar,
 	}
-	for _, opt := range opts {
-		opt(s)
+	for i := range s.shards {
+		s.shards[i].clients = make(map[string]*Client)
+		s.shards[i].recons = make(map[string]*Reconfigurer)
 	}
 	return s, nil
+}
+
+// shard maps a key to its metadata shard.
+func (s *ObjectStore) shard(key string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
 // keyConfig derives the initial configuration for a key.
@@ -59,42 +127,176 @@ func (s *ObjectStore) keyConfig(key string) Config {
 }
 
 // register returns (instantiating on first use) the register client for key.
+// Only keys in the same shard contend on the instantiation lock.
 func (s *ObjectStore) register(key string) (*Client, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.clients[key]; ok {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c, ok := sh.clients[key]; ok {
 		return c, nil
 	}
 	conf := s.keyConfig(key)
 	if err := s.cluster.InstallConfiguration(conf); err != nil {
 		return nil, fmt.Errorf("ares: installing register for key %q: %w", key, err)
 	}
-	s.nextID++
-	client, err := s.cluster.NewClientFor(ProcessID(fmt.Sprintf("store-client-%d", s.nextID)), conf)
+	id, rpc := s.pool.Get()
+	client, err := s.cluster.NewClientVia(id, conf, rpc)
 	if err != nil {
 		return nil, err
 	}
-	s.clients[key] = client
+	sh.clients[key] = client
 	return client, nil
 }
 
 // Put atomically sets key to value.
 func (s *ObjectStore) Put(ctx context.Context, key string, value Value) error {
+	_, err := s.WriteKey(ctx, key, value)
+	return err
+}
+
+// WriteKey is Put returning the tag assigned to the written value — the
+// handle linearizability checkers need.
+func (s *ObjectStore) WriteKey(ctx context.Context, key string, value Value) (Tag, error) {
 	c, err := s.register(key)
 	if err != nil {
-		return err
+		return Tag{}, err
 	}
-	return c.WriteValue(ctx, value)
+	return c.Write(ctx, value)
 }
 
 // Get atomically reads key. A never-written key returns the register's
 // initial (empty) value.
 func (s *ObjectStore) Get(ctx context.Context, key string) (Value, error) {
-	c, err := s.register(key)
+	pair, err := s.ReadKey(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	return c.ReadValue(ctx)
+	return pair.Value, nil
+}
+
+// ReadKey is Get returning the full tag-value pair.
+func (s *ObjectStore) ReadKey(ctx context.Context, key string) (Pair, error) {
+	c, err := s.register(key)
+	if err != nil {
+		return Pair{}, err
+	}
+	return c.Read(ctx)
+}
+
+// KeyError couples a key with the error its per-key operation returned.
+type KeyError struct {
+	Key string
+	Err error
+}
+
+// BatchError aggregates the per-key failures of a MultiPut or MultiGet.
+// Keys absent from Failed completed successfully.
+type BatchError struct {
+	// Op names the batch operation ("multiput" or "multiget").
+	Op string
+	// Failed lists the failed keys in lexical order.
+	Failed []KeyError
+}
+
+// FailedKeys returns just the failed keys, in lexical order. Callers that
+// cannot name the BatchError type (e.g. internal packages matching via an
+// interface) use it to tell a partial failure from a total one.
+func (e *BatchError) FailedKeys() []string {
+	keys := make([]string, len(e.Failed))
+	for i, ke := range e.Failed {
+		keys[i] = ke.Key
+	}
+	return keys
+}
+
+// Error summarizes the aggregated failures.
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ares: %s: %d key(s) failed:", e.Op, len(e.Failed))
+	for i, ke := range e.Failed {
+		if i == 3 {
+			fmt.Fprintf(&b, " … (%d more)", len(e.Failed)-i)
+			break
+		}
+		fmt.Fprintf(&b, " %q: %v;", ke.Key, ke.Err)
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+// batch fans per-key operations out with bounded parallelism and collects
+// failures into a BatchError (nil if every key succeeded).
+func (s *ObjectStore) batch(op string, keys []string, apply func(key string) error) error {
+	sem := make(chan struct{}, s.batchPar)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		failed []KeyError
+	)
+	for _, key := range keys {
+		key := key
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := apply(key); err != nil {
+				mu.Lock()
+				failed = append(failed, KeyError{Key: key, Err: err})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(failed) == 0 {
+		return nil
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Key < failed[j].Key })
+	return &BatchError{Op: op, Failed: failed}
+}
+
+// MultiPut atomically sets each key of kv to its value, fanning the per-key
+// writes out across shards with bounded parallelism. Each key's write is
+// individually atomic (the batch as a whole is not a transaction). On
+// partial failure the returned error is a *BatchError naming exactly the
+// keys that failed; the rest are durably written.
+func (s *ObjectStore) MultiPut(ctx context.Context, kv map[string]Value) error {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return s.batch("multiput", keys, func(key string) error {
+		return s.Put(ctx, key, kv[key])
+	})
+}
+
+// MultiGet atomically reads each key, fanning the per-key reads out across
+// shards with bounded parallelism. Duplicate keys are read once. The
+// returned map holds a value for every key whose read succeeded (a
+// never-written key succeeds with the initial empty value); on partial
+// failure the error is a *BatchError naming the keys that failed.
+func (s *ObjectStore) MultiGet(ctx context.Context, keys ...string) (map[string]Value, error) {
+	uniq := make([]string, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, k)
+		}
+	}
+	var mu sync.Mutex
+	out := make(map[string]Value, len(uniq))
+	err := s.batch("multiget", uniq, func(key string) error {
+		v, err := s.Get(ctx, key)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out[key] = v
+		mu.Unlock()
+		return nil
+	})
+	return out, err
 }
 
 // ReconfigureKey migrates one key's register to a new configuration while
@@ -103,19 +305,23 @@ func (s *ObjectStore) ReconfigureKey(ctx context.Context, key string, next Confi
 	if _, err := s.register(key); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	g, ok := s.recons[key]
-	s.mu.Unlock()
+	// The reconfigurer is created under the shard lock: its derived process
+	// ID is the consensus proposer identity, and ballot uniqueness requires
+	// that concurrent proposers never share one — racing first calls must
+	// not each build a live "store-recon/<key>" proposer.
+	sh := s.shard(key)
+	sh.mu.Lock()
+	g, ok := sh.recons[key]
 	if !ok {
 		var err error
 		g, err = s.cluster.NewReconfigurerFor(ProcessID("store-recon/"+key), s.keyConfig(key), opts)
 		if err != nil {
+			sh.mu.Unlock()
 			return err
 		}
-		s.mu.Lock()
-		s.recons[key] = g
-		s.mu.Unlock()
+		sh.recons[key] = g
 	}
+	sh.mu.Unlock()
 	for _, srv := range next.Servers {
 		s.cluster.AddHost(srv)
 	}
@@ -125,13 +331,16 @@ func (s *ObjectStore) ReconfigureKey(ctx context.Context, key string, next Confi
 	return nil
 }
 
-// Keys returns the keys with instantiated registers.
+// Keys returns the keys with instantiated registers, in no particular order.
 func (s *ObjectStore) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.clients))
-	for k := range s.clients {
-		keys = append(keys, k)
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.clients {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
 	}
 	return keys
 }
