@@ -134,10 +134,8 @@ var _ dap.Client = (*Client)(nil)
 // majority quorum of responses.
 func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 	q := c.cfg.Quorum()
-	got, err := transport.Gather(ctx, c.cfg.Servers,
-		func(ctx context.Context, dst types.ProcessID) (tagResp, error) {
-			return transport.InvokeTyped[tagResp](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgQueryTag, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
+		transport.Phase[tagResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQueryTag, Body: struct{}{}},
 		transport.AtLeast[tagResp](q.Size()),
 	)
 	if err != nil {
@@ -154,10 +152,8 @@ func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 // among a majority quorum of responses.
 func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 	q := c.cfg.Quorum()
-	got, err := transport.Gather(ctx, c.cfg.Servers,
-		func(ctx context.Context, dst types.ProcessID) (pairResp, error) {
-			return transport.InvokeTyped[pairResp](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgQuery, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
+		transport.Phase[pairResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQuery, Body: struct{}{}},
 		transport.AtLeast[pairResp](q.Size()),
 	)
 	if err != nil {
@@ -171,14 +167,12 @@ func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 }
 
 // PutData propagates the pair to all servers and completes once a majority
-// has acknowledged.
+// has acknowledged. The write body — carrying the full value, replication's
+// communication cost — is encoded once and shared across all destinations.
 func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 	q := c.cfg.Quorum()
-	req := writeReq{Tag: p.Tag, Value: p.Value}
-	_, err := transport.Gather(ctx, c.cfg.Servers,
-		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
-			return transport.InvokeTyped[struct{}](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgWrite, req)
-		},
+	_, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
+		transport.Phase[struct{}]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgWrite, Body: writeReq{Tag: p.Tag, Value: p.Value}},
 		transport.AtLeast[struct{}](q.Size()),
 	)
 	if err != nil {

@@ -42,6 +42,18 @@ func (s Sequence) Mu() int {
 // arise: every sequence begins at c0.
 func (s Sequence) Last() Entry { return s[len(s)-1] }
 
+// LiveIDs collects the IDs of the configurations an operation can still
+// address: those at indices [µ, ν] (the Alg. 4/7 traversal window). Clients
+// use it to retain exactly the live entries in their per-configuration
+// caches when a merged sequence advances µ.
+func (s Sequence) LiveIDs() map[ID]bool {
+	live := make(map[ID]bool, len(s)-s.Mu())
+	for i := s.Mu(); i < len(s); i++ {
+		live[s[i].Cfg.ID] = true
+	}
+	return live
+}
+
 // Clone returns an independent copy of the sequence.
 func (s Sequence) Clone() Sequence {
 	out := make(Sequence, len(s))

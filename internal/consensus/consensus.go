@@ -253,10 +253,8 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 	ballot := Ballot{Round: round, Proposer: proposerID(p.self)}
 
 	// Phase 1: prepare.
-	promises, err := transport.Gather(ctx, p.servers,
-		func(ctx context.Context, dst types.ProcessID) (prepareResp, error) {
-			return transport.InvokeTyped[prepareResp](ctx, p.rpc, dst, ServiceName, p.configID, msgPrepare, prepareReq{Ballot: ballot})
-		},
+	promises, err := transport.Broadcast(ctx, p.rpc, p.servers,
+		transport.Phase[prepareResp]{Service: ServiceName, Config: p.configID, Type: msgPrepare, Body: prepareReq{Ballot: ballot}},
 		func(got []transport.GatherResult[prepareResp]) bool {
 			// Stop early on a decided report or a promise quorum.
 			promised := 0
@@ -301,11 +299,10 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 		return nil, false, nil // preempted
 	}
 
-	// Phase 2: accept.
-	accepts, err := transport.Gather(ctx, p.servers,
-		func(ctx context.Context, dst types.ProcessID) (acceptResp, error) {
-			return transport.InvokeTyped[acceptResp](ctx, p.rpc, dst, ServiceName, p.configID, msgAccept, acceptReq{Ballot: ballot, Value: chosen})
-		},
+	// Phase 2: accept. The accept body carries the (possibly large) proposed
+	// value to every acceptor; the phase engine encodes it once.
+	accepts, err := transport.Broadcast(ctx, p.rpc, p.servers,
+		transport.Phase[acceptResp]{Service: ServiceName, Config: p.configID, Type: msgAccept, Body: acceptReq{Ballot: ballot, Value: chosen}},
 		func(got []transport.GatherResult[acceptResp]) bool {
 			accepted := 0
 			for _, g := range got {
@@ -340,20 +337,16 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 // broadcastDecide informs servers of the decision, awaiting a majority so a
 // later proposer's prepare quorum intersects a decided acceptor.
 func (p *Proposer) broadcastDecide(ctx context.Context, value []byte) {
-	_, _ = transport.Gather(ctx, p.servers,
-		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
-			return transport.InvokeTyped[struct{}](ctx, p.rpc, dst, ServiceName, p.configID, msgDecide, decideReq{Value: value})
-		},
+	_, _ = transport.Broadcast(ctx, p.rpc, p.servers,
+		transport.Phase[struct{}]{Service: ServiceName, Config: p.configID, Type: msgDecide, Body: decideReq{Value: value}},
 		transport.AtLeast[struct{}](p.q.Size()),
 	)
 }
 
 // Learn polls the servers for an existing decision without proposing.
 func (p *Proposer) Learn(ctx context.Context) ([]byte, bool, error) {
-	got, err := transport.Gather(ctx, p.servers,
-		func(ctx context.Context, dst types.ProcessID) (learnResp, error) {
-			return transport.InvokeTyped[learnResp](ctx, p.rpc, dst, ServiceName, p.configID, msgLearn, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, p.rpc, p.servers,
+		transport.Phase[learnResp]{Service: ServiceName, Config: p.configID, Type: msgLearn, Body: struct{}{}},
 		func(got []transport.GatherResult[learnResp]) bool {
 			for _, g := range got {
 				if g.Value.Decided {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -16,6 +17,72 @@ import (
 	"github.com/ares-storage/ares/internal/types"
 )
 
+// RetryPolicy paces the get-data retries a read performs while a TREAS tag
+// is transiently undecodable (concurrent writes beyond the δ bound). Delays
+// grow geometrically from Base toward Cap, with a random fraction (Jitter)
+// subtracted so competing readers desynchronize instead of re-hitting the
+// quorum in lockstep under write contention.
+type RetryPolicy struct {
+	// Base is the delay before the first retry. Zero or negative values
+	// fall back to DefaultRetryPolicy.Base — a retry loop with no pacing
+	// at all would hammer the quorum, the exact failure mode this policy
+	// exists to prevent.
+	Base time.Duration
+	// Cap bounds the grown delay.
+	Cap time.Duration
+	// Multiplier scales the delay each further attempt; values below 1 are
+	// treated as 1 (constant pacing).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized away, in
+	// [0, 1]: the sleep is drawn uniformly from [d·(1−Jitter), d].
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the pacing used by NewClient: 1 ms doubling to a
+// 32 ms cap with half the delay jittered.
+var DefaultRetryPolicy = RetryPolicy{
+	Base:       time.Millisecond,
+	Cap:        32 * time.Millisecond,
+	Multiplier: 2,
+	Jitter:     0.5,
+}
+
+// Delay returns the pause before retry number attempt (0-based), jitter
+// included.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	return p.delayAt(attempt, rand.Float64())
+}
+
+// delayAt is Delay with the jitter draw supplied, for deterministic tests.
+func (p RetryPolicy) delayAt(attempt int, frac float64) time.Duration {
+	base := p.Base
+	if base <= 0 {
+		base = DefaultRetryPolicy.Base
+	}
+	d := float64(base)
+	m := p.Multiplier
+	if m < 1 {
+		m = 1
+	}
+	for i := 0; i < attempt; i++ {
+		d *= m
+		if p.Cap > 0 && d >= float64(p.Cap) {
+			break
+		}
+	}
+	if limit := float64(p.Cap); p.Cap > 0 && d > limit {
+		d = limit
+	}
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	} else if j > 1 {
+		j = 1
+	}
+	d -= d * j * frac
+	return time.Duration(d)
+}
+
 // Client is an ARES reader/writer process (Alg. 7). A client discovers the
 // current configuration sequence through the reconfiguration service's
 // read-config action, queries every configuration from the last finalized
@@ -24,7 +91,7 @@ import (
 type Client struct {
 	self types.ProcessID
 	rpc  transport.Client
-	daps *dap.Registry
+	daps *dap.Cache
 	rec  *recon.Client
 
 	mu   sync.Mutex
@@ -41,25 +108,35 @@ type Client struct {
 	// ObjectStore pools) rely on this; reads need no such ordering.
 	wmu sync.Mutex
 
-	// retryInterval paces get-data retries while a TREAS tag is transiently
+	// retry paces get-data retries while a TREAS tag is transiently
 	// undecodable (Theorem 9 guarantees progress within the δ bound).
-	retryInterval time.Duration
+	retry RetryPolicy
 }
 
-// NewClient constructs a reader/writer booted from configuration c0.
+// NewClient constructs a reader/writer booted from configuration c0. The
+// client and its embedded reconfiguration client share one DAP client cache,
+// so each configuration's protocol client (and erasure codec) is built once
+// between them.
 func NewClient(self types.ProcessID, c0 cfg.Configuration, rpc transport.Client, registry *dap.Registry) (*Client, error) {
-	rec, err := recon.NewClient(self, c0, rpc, registry, nil, recon.Options{})
+	cache := registry.NewCache(rpc)
+	rec, err := recon.NewClientWithCache(self, c0, rpc, cache, nil, recon.Options{})
 	if err != nil {
 		return nil, err
 	}
 	return &Client{
-		self:          self,
-		rpc:           rpc,
-		daps:          registry,
-		rec:           rec,
-		cseq:          cfg.NewSequence(c0),
-		retryInterval: 2 * time.Millisecond,
+		self:  self,
+		rpc:   rpc,
+		daps:  cache,
+		rec:   rec,
+		cseq:  cfg.NewSequence(c0),
+		retry: DefaultRetryPolicy,
 	}, nil
+}
+
+// SetRetryPolicy replaces the pacing of not-yet-decodable read retries.
+// Call before sharing the client across goroutines.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retry = p
 }
 
 // Sequence returns a copy of the client's local configuration sequence.
@@ -83,6 +160,9 @@ func (c *Client) storeSeq(seq cfg.Sequence) error {
 		return err
 	}
 	c.cseq = merged
+	// Configurations behind the merged sequence's µ can never be addressed
+	// by a future operation of this client; drop their cached DAP clients.
+	c.daps.Retain(merged.LiveIDs())
 	return nil
 }
 
@@ -99,7 +179,7 @@ func (c *Client) Write(ctx context.Context, value types.Value) (tag.Tag, error) 
 	}
 	maxTag := tag.Zero
 	for i := seq.Mu(); i <= seq.Nu(); i++ {
-		client, err := c.daps.New(seq[i].Cfg, c.rpc)
+		client, err := c.daps.Get(seq[i].Cfg)
 		if err != nil {
 			return tag.Tag{}, err
 		}
@@ -163,15 +243,15 @@ func (c *Client) ReadValue(ctx context.Context) (types.Value, error) {
 	return pair.Value, nil
 }
 
-// getDataRetry runs get-data, retrying while a TREAS read is transiently
-// undecodable. The paper's read simply does not complete until decodable;
-// the context bounds the wait.
+// getDataRetry runs get-data, retrying with backoff while a TREAS read is
+// transiently undecodable. The paper's read simply does not complete until
+// decodable; the context bounds the wait.
 func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.Pair, error) {
-	client, err := c.daps.New(conf, c.rpc)
+	client, err := c.daps.Get(conf)
 	if err != nil {
 		return tag.Pair{}, err
 	}
-	for {
+	for attempt := 0; ; attempt++ {
 		pair, err := client.GetData(ctx)
 		if err == nil {
 			return pair, nil
@@ -182,7 +262,7 @@ func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.
 		select {
 		case <-ctx.Done():
 			return tag.Pair{}, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
-		case <-time.After(c.retryInterval):
+		case <-time.After(c.retry.Delay(attempt)):
 		}
 	}
 }
@@ -193,7 +273,7 @@ func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.
 func (c *Client) propagate(ctx context.Context, seq cfg.Sequence, p tag.Pair) (cfg.Sequence, error) {
 	for {
 		last := seq.Last().Cfg
-		client, err := c.daps.New(last, c.rpc)
+		client, err := c.daps.Get(last)
 		if err != nil {
 			return nil, err
 		}

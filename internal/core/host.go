@@ -148,8 +148,11 @@ func (h *Host) buildStore(c cfg.Configuration) (node.Service, string, error) {
 // RemoteInstaller returns a recon.Installer that provisions a configuration
 // by sending install commands to its servers' control services over rpc. It
 // requires an acknowledgement from every directory member and a quorum of
-// servers (crashed servers cannot be provisioned, and quorums suffice for
-// every subsequent protocol step).
+// servers: directory majorities are quorums of the (often much smaller)
+// directory set, so a crashed directory cannot be papered over by extra
+// server acks, while crashed servers beyond the quorum are tolerated (they
+// cannot be provisioned, and quorums suffice for every subsequent protocol
+// step).
 func RemoteInstaller(rpc transport.Client) recon.Installer {
 	return func(ctx context.Context, c cfg.Configuration) error {
 		targets := append([]types.ProcessID(nil), c.Servers...)
@@ -158,21 +161,38 @@ func RemoteInstaller(rpc transport.Client) recon.Installer {
 				targets = append(targets, d)
 			}
 		}
-		need := c.Quorum().Size()
-		req := installReq{Cfg: c}
 		// Prefer provisioning every member, but do not hang forever on
-		// crashed ones: bound the all-targets wait and settle for a quorum.
-		installCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		// crashed ones: bound the all-targets wait, then check the acks that
+		// did arrive against the per-role requirements.
+		installCtx, cancel := context.WithTimeout(ctx, installTimeout)
 		defer cancel()
-		got, err := transport.Gather(installCtx, targets,
-			func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
-				return transport.InvokeTyped[struct{}](ctx, rpc, dst, CtlServiceName, CtlConfigKey, msgInstall, req)
-			},
+		got, err := transport.Broadcast(installCtx, rpc, targets,
+			transport.Phase[struct{}]{Service: CtlServiceName, Config: CtlConfigKey, Type: msgInstall, Body: installReq{Cfg: c}},
 			transport.AtLeast[struct{}](len(targets)),
 		)
-		if err != nil && len(got) < need {
-			return fmt.Errorf("core: installing %s: %d/%d acks: %w", c.ID, len(got), need, err)
+		acked := make(map[types.ProcessID]bool, len(got))
+		for _, g := range got {
+			acked[g.From] = true
+		}
+		serverAcks := 0
+		for _, s := range c.Servers {
+			if acked[s] {
+				serverAcks++
+			}
+		}
+		if need := c.Quorum().Size(); serverAcks < need {
+			return fmt.Errorf("core: installing %s: %d/%d server acks: %w", c.ID, serverAcks, need, err)
+		}
+		for _, d := range c.Directories {
+			if !acked[d] {
+				return fmt.Errorf("core: installing %s: directory %s did not ack (err: %v)", c.ID, d, err)
+			}
 		}
 		return nil
 	}
 }
+
+// installTimeout bounds RemoteInstaller's wait for acks from every member
+// before settling for the per-role requirements. A caller context with an
+// earlier deadline wins (tests shorten the wait that way).
+const installTimeout = 5 * time.Second

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/transport"
+)
+
+func TestRetryPolicyGrowsToCap(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{Base: time.Millisecond, Cap: 8 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		1 * time.Millisecond, // attempt 0
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped
+		8 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.delayAt(attempt, 0); got != w {
+			t.Errorf("attempt %d: delay %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{Base: 4 * time.Millisecond, Cap: 64 * time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	for attempt := 0; attempt < 6; attempt++ {
+		full := p.delayAt(attempt, 0)  // no jitter subtracted
+		floor := p.delayAt(attempt, 1) // all jitter subtracted
+		if want := full / 2; floor != want {
+			t.Errorf("attempt %d: jitter floor %v, want %v", attempt, floor, want)
+		}
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			d := p.delayAt(attempt, frac)
+			if d < floor || d > full {
+				t.Errorf("attempt %d frac %v: delay %v outside [%v, %v]", attempt, frac, d, floor, full)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyDegenerateInputs(t *testing.T) {
+	t.Parallel()
+	// Multiplier below 1 means constant pacing; out-of-range jitter clamps.
+	p := RetryPolicy{Base: 3 * time.Millisecond, Cap: 10 * time.Millisecond, Multiplier: 0.5, Jitter: 2}
+	if got := p.delayAt(5, 0); got != 3*time.Millisecond {
+		t.Errorf("constant pacing: delay %v, want 3ms", got)
+	}
+	if got := p.delayAt(5, 1); got != 0 {
+		t.Errorf("full clamped jitter: delay %v, want 0", got)
+	}
+	// Zero cap leaves growth unbounded.
+	p = RetryPolicy{Base: time.Millisecond, Multiplier: 2}
+	if got := p.delayAt(10, 0); got != 1024*time.Millisecond {
+		t.Errorf("uncapped growth: delay %v, want 1.024s", got)
+	}
+	// A zero Base falls back to the default instead of a busy loop.
+	p = RetryPolicy{Cap: 32 * time.Millisecond}
+	if got := p.delayAt(0, 0); got != DefaultRetryPolicy.Base {
+		t.Errorf("zero base: delay %v, want default base %v", got, DefaultRetryPolicy.Base)
+	}
+}
+
+// TestClientRetryPolicyConfigurable pins the wiring: SetRetryPolicy replaces
+// the default pacing a client boots with.
+func TestClientRetryPolicyConfigurable(t *testing.T) {
+	t.Parallel()
+	c0 := treasConfig("c0", "rp", 5, 3, 2)
+	cluster, err := NewCluster(c0, transport.NewSimnet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewClient("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.retry != DefaultRetryPolicy {
+		t.Fatalf("boot policy %+v, want default %+v", r.retry, DefaultRetryPolicy)
+	}
+	custom := RetryPolicy{Base: 100 * time.Microsecond, Cap: time.Millisecond, Multiplier: 1.5, Jitter: 0.25}
+	r.SetRetryPolicy(custom)
+	if r.retry != custom {
+		t.Fatalf("policy after SetRetryPolicy %+v, want %+v", r.retry, custom)
+	}
+}
+
+// TestRemoteInstallerRequiresDirectoryAcks crashes one LDR directory member
+// and asserts installation fails even though every replica (a server quorum
+// and then some) acked — the documented contract.
+func TestRemoteInstallerRequiresDirectoryAcks(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	c := ldrConfig("cl", "dd", 3, 3, 1)
+	c0 := abdConfig("c0", "dd0", 3)
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addHosts(cluster, c)
+	net.Crash(c.Directories[2])
+
+	installer := RemoteInstaller(net.Client("g1"))
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	err = installer(ctx, c)
+	if err == nil {
+		t.Fatal("install with a crashed directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "directory") {
+		t.Fatalf("error does not identify the missing directory: %v", err)
+	}
+}
+
+// TestRemoteInstallerSettlesForServerQuorum is the counterpart: a crashed
+// replica beyond the quorum (directories all up) must not block installation.
+func TestRemoteInstallerSettlesForServerQuorum(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	c := ldrConfig("cl", "dq", 3, 3, 1)
+	c0 := abdConfig("c0", "dq0", 3)
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addHosts(cluster, c)
+	net.Crash(c.Servers[2])
+
+	installer := RemoteInstaller(net.Client("g1"))
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := installer(ctx, c); err != nil {
+		t.Fatalf("install with one crashed replica (quorum intact): %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package dap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func cacheFixture(t *testing.T) (*Cache, *atomic.Int64) {
+	t.Helper()
+	var builds atomic.Int64
+	reg := NewRegistry()
+	reg.Register(cfg.ABD, func(c cfg.Configuration, rpc transport.Client) (Client, error) {
+		builds.Add(1)
+		return &memDAP{}, nil
+	})
+	return reg.NewCache(nil), &builds
+}
+
+func abdConfig(id string) cfg.Configuration {
+	return cfg.Configuration{
+		ID:        cfg.ID(id),
+		Algorithm: cfg.ABD,
+		Servers:   []types.ProcessID{"s1", "s2", "s3"},
+	}
+}
+
+func TestCacheMemoizesPerConfiguration(t *testing.T) {
+	t.Parallel()
+	cc, builds := cacheFixture(t)
+	c1, c2 := abdConfig("c1"), abdConfig("c2")
+
+	first, err := cc.Get(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cc.Get(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("second Get returned a different client for the same configuration")
+	}
+	if _, err := cc.Get(c2); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != 2 {
+		t.Fatalf("factory ran %d times for 2 configurations", got)
+	}
+	if cc.Len() != 2 {
+		t.Fatalf("cache holds %d clients, want 2", cc.Len())
+	}
+}
+
+func TestCacheConcurrentGetBuildsOnePerConfig(t *testing.T) {
+	t.Parallel()
+	cc, _ := cacheFixture(t)
+	c1 := abdConfig("c1")
+
+	const workers = 16
+	clients := make([]Client, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := cc.Get(c1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			clients[i] = cl
+		}()
+	}
+	wg.Wait()
+	for _, cl := range clients[1:] {
+		if cl != clients[0] {
+			t.Fatal("concurrent Gets observed different clients for one configuration")
+		}
+	}
+	if cc.Len() != 1 {
+		t.Fatalf("cache holds %d clients, want 1", cc.Len())
+	}
+}
+
+func TestCacheRetainDropsDeadConfigurations(t *testing.T) {
+	t.Parallel()
+	cc, builds := cacheFixture(t)
+	c1, c2, c3 := abdConfig("c1"), abdConfig("c2"), abdConfig("c3")
+	for _, c := range []cfg.Configuration{c1, c2, c3} {
+		if _, err := cc.Get(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The sequence's µ moved past c1: only c2 and c3 stay live.
+	cc.Retain(map[cfg.ID]bool{"c2": true, "c3": true})
+	if cc.Len() != 2 {
+		t.Fatalf("cache holds %d clients after Retain, want 2", cc.Len())
+	}
+	// A Get for the dropped configuration rebuilds it.
+	before := builds.Load()
+	if _, err := cc.Get(c1); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != before+1 {
+		t.Fatal("Get after Retain did not rebuild the dropped client")
+	}
+
+	cc.Invalidate("c2")
+	if cc.Len() != 2 { // c1 (rebuilt) and c3
+		t.Fatalf("cache holds %d clients after Invalidate, want 2", cc.Len())
+	}
+}
+
+func TestCacheUnknownAlgorithmError(t *testing.T) {
+	t.Parallel()
+	cc := NewRegistry().NewCache(nil)
+	if _, err := cc.Get(abdConfig("c1")); err == nil {
+		t.Fatal("Get for unregistered algorithm succeeded")
+	}
+	if cc.Len() != 0 {
+		t.Fatal("failed Get left an entry in the cache")
+	}
+}

@@ -220,18 +220,18 @@ func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 		return tag.Pair{}, fmt.Errorf("ldr: get-data put-metadata on %s: %w", c.cfg.ID, err)
 	}
 	// Fetch from the recorded locations; any response with tag >= τmax
-	// carries a valid (written) pair at least as fresh as τmax.
-	req := getDataReq{Tag: best.Tag}
-	results, err := transport.Gather(ctx, best.Loc,
-		func(ctx context.Context, dst types.ProcessID) (pairResp, error) {
-			resp, err := transport.InvokeTyped[pairResp](ctx, c.rpc, dst, ReplicaServiceName, string(c.cfg.ID), msgGetData, req)
-			if err != nil {
-				return pairResp{}, err
-			}
-			if resp.Tag.Less(best.Tag) {
-				return pairResp{}, fmt.Errorf("ldr: replica %s behind tag %v", dst, best.Tag)
-			}
-			return resp, nil
+	// carries a valid (written) pair at least as fresh as τmax. A stale
+	// replica counts as a failure (Check), not as progress toward the quorum.
+	results, err := transport.Broadcast(ctx, c.rpc, best.Loc,
+		transport.Phase[pairResp]{
+			Service: ReplicaServiceName, Config: string(c.cfg.ID), Type: msgGetData,
+			Body: getDataReq{Tag: best.Tag},
+			Check: func(dst types.ProcessID, resp pairResp) error {
+				if resp.Tag.Less(best.Tag) {
+					return fmt.Errorf("ldr: replica %s behind tag %v", dst, best.Tag)
+				}
+				return nil
+			},
 		},
 		transport.AtLeast[pairResp](1),
 	)
@@ -256,20 +256,19 @@ func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 	if want := 2*c.cfg.FReplicas + 1; len(targets) > want {
 		targets = targets[:want]
 	}
-	req := putDataReq{Tag: p.Tag, Value: p.Value}
-	acked, err := transport.Gather(ctx, targets,
-		func(ctx context.Context, dst types.ProcessID) (types.ProcessID, error) {
-			_, err := transport.InvokeTyped[struct{}](ctx, c.rpc, dst, ReplicaServiceName, string(c.cfg.ID), msgPutData, req)
-			return dst, err
+	acked, err := transport.Broadcast(ctx, c.rpc, targets,
+		transport.Phase[struct{}]{
+			Service: ReplicaServiceName, Config: string(c.cfg.ID), Type: msgPutData,
+			Body: putDataReq{Tag: p.Tag, Value: p.Value},
 		},
-		transport.AtLeast[types.ProcessID](c.cfg.FReplicas+1),
+		transport.AtLeast[struct{}](c.cfg.FReplicas+1),
 	)
 	if err != nil {
 		return fmt.Errorf("ldr: put-data replicas on %s: %w", c.cfg.ID, err)
 	}
 	locations := make([]types.ProcessID, 0, len(acked))
 	for _, g := range acked {
-		locations = append(locations, g.Value)
+		locations = append(locations, g.From)
 	}
 	if err := c.putMetadata(ctx, p.Tag, locations); err != nil {
 		return fmt.Errorf("ldr: put-data metadata on %s: %w", c.cfg.ID, err)
@@ -278,19 +277,17 @@ func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 }
 
 func (c *Client) queryDirectories(ctx context.Context) ([]transport.GatherResult[tagLocationResp], error) {
-	return transport.Gather(ctx, c.cfg.Directories,
-		func(ctx context.Context, dst types.ProcessID) (tagLocationResp, error) {
-			return transport.InvokeTyped[tagLocationResp](ctx, c.rpc, dst, DirectoryServiceName, string(c.cfg.ID), msgQueryTagLocation, struct{}{})
-		},
+	return transport.Broadcast(ctx, c.rpc, c.cfg.Directories,
+		transport.Phase[tagLocationResp]{Service: DirectoryServiceName, Config: string(c.cfg.ID), Type: msgQueryTagLocation, Body: struct{}{}},
 		transport.AtLeast[tagLocationResp](c.dirQ.Size()),
 	)
 }
 
 func (c *Client) putMetadata(ctx context.Context, t tag.Tag, loc []types.ProcessID) error {
-	req := putMetadataReq{Tag: t, Loc: loc}
-	_, err := transport.Gather(ctx, c.cfg.Directories,
-		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
-			return transport.InvokeTyped[struct{}](ctx, c.rpc, dst, DirectoryServiceName, string(c.cfg.ID), msgPutMetadata, req)
+	_, err := transport.Broadcast(ctx, c.rpc, c.cfg.Directories,
+		transport.Phase[struct{}]{
+			Service: DirectoryServiceName, Config: string(c.cfg.ID), Type: msgPutMetadata,
+			Body: putMetadataReq{Tag: t, Loc: loc},
 		},
 		transport.AtLeast[struct{}](c.dirQ.Size()),
 	)

@@ -36,7 +36,7 @@ type Options struct {
 type Client struct {
 	self    types.ProcessID
 	rpc     transport.Client
-	daps    *dap.Registry
+	daps    *dap.Cache
 	install Installer
 	opts    Options
 
@@ -56,13 +56,28 @@ func NewClient(
 	install Installer,
 	opts Options,
 ) (*Client, error) {
+	return NewClientWithCache(self, c0, rpc, registry.NewCache(rpc), install, opts)
+}
+
+// NewClientWithCache is NewClient over an existing DAP client cache — the
+// path core.Client takes so a reader/writer and its embedded reconfiguration
+// client memoize per-configuration DAP clients once between them. The cache
+// must have been built for the same endpoint rpc.
+func NewClientWithCache(
+	self types.ProcessID,
+	c0 cfg.Configuration,
+	rpc transport.Client,
+	cache *dap.Cache,
+	install Installer,
+	opts Options,
+) (*Client, error) {
 	if err := c0.Validate(); err != nil {
 		return nil, fmt.Errorf("recon: initial configuration: %w", err)
 	}
 	return &Client{
 		self:      self,
 		rpc:       rpc,
-		daps:      registry,
+		daps:      cache,
 		install:   install,
 		opts:      opts,
 		cseq:      cfg.NewSequence(c0),
@@ -77,7 +92,9 @@ func (cl *Client) Sequence() cfg.Sequence {
 	return cl.cseq.Clone()
 }
 
-// setSequence merges seq into the local sequence.
+// setSequence merges seq into the local sequence and drops cached DAP
+// clients (and consensus proposers) for configurations the merged sequence's
+// traversal window [µ, ν] has moved past — they are dead to this process.
 func (cl *Client) setSequence(seq cfg.Sequence) error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
@@ -86,6 +103,13 @@ func (cl *Client) setSequence(seq cfg.Sequence) error {
 		return err
 	}
 	cl.cseq = merged
+	live := merged.LiveIDs()
+	for id := range cl.proposers {
+		if !live[id] {
+			delete(cl.proposers, id)
+		}
+	}
+	cl.daps.Retain(live)
 	return nil
 }
 
@@ -94,10 +118,8 @@ func (cl *Client) setSequence(seq cfg.Sequence) error {
 // pointer, then a pending one, else report no successor.
 func (cl *Client) ReadNextConfig(ctx context.Context, c cfg.Configuration) (cfg.Entry, bool, error) {
 	q := c.Quorum()
-	got, err := transport.Gather(ctx, c.Servers,
-		func(ctx context.Context, dst types.ProcessID) (readConfigResp, error) {
-			return transport.InvokeTyped[readConfigResp](ctx, cl.rpc, dst, ServiceName, string(c.ID), msgReadConfig, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, cl.rpc, c.Servers,
+		transport.Phase[readConfigResp]{Service: ServiceName, Config: string(c.ID), Type: msgReadConfig, Body: struct{}{}},
 		transport.AtLeast[readConfigResp](q.Size()),
 	)
 	if err != nil {
@@ -124,11 +146,8 @@ func (cl *Client) ReadNextConfig(ctx context.Context, c cfg.Configuration) (cfg.
 // entry to a quorum of c's servers.
 func (cl *Client) PutConfig(ctx context.Context, c cfg.Configuration, next cfg.Entry) error {
 	q := c.Quorum()
-	req := writeConfigReq{Next: next}
-	_, err := transport.Gather(ctx, c.Servers,
-		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
-			return transport.InvokeTyped[struct{}](ctx, cl.rpc, dst, ServiceName, string(c.ID), msgWriteConfig, req)
-		},
+	_, err := transport.Broadcast(ctx, cl.rpc, c.Servers,
+		transport.Phase[struct{}]{Service: ServiceName, Config: string(c.ID), Type: msgWriteConfig, Body: writeConfigReq{Next: next}},
 		transport.AtLeast[struct{}](q.Size()),
 	)
 	if err != nil {
@@ -288,7 +307,7 @@ func (cl *Client) updateConfig(ctx context.Context, seq cfg.Sequence) error {
 	// Alg. 5: gather ⟨tag, value⟩ from every configuration in [µ, ν].
 	best := tag.Pair{}
 	for i := mu; i <= nu; i++ {
-		client, err := cl.daps.New(seq[i].Cfg, cl.rpc)
+		client, err := cl.daps.Get(seq[i].Cfg)
 		if err != nil {
 			return err
 		}
@@ -304,7 +323,7 @@ func (cl *Client) updateConfig(ctx context.Context, seq cfg.Sequence) error {
 		}
 		best = tag.MaxPair(best, pair)
 	}
-	targetClient, err := cl.daps.New(target, cl.rpc)
+	targetClient, err := cl.daps.Get(target)
 	if err != nil {
 		return err
 	}
@@ -331,7 +350,7 @@ func (cl *Client) updateConfigDirect(ctx context.Context, seq cfg.Sequence, mu, 
 	bestTag := tag.Zero
 	bestIdx := mu
 	for i := mu; i <= nu; i++ {
-		client, err := cl.daps.New(seq[i].Cfg, cl.rpc)
+		client, err := cl.daps.Get(seq[i].Cfg)
 		if err != nil {
 			return err
 		}

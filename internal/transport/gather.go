@@ -97,6 +97,8 @@ func AtLeast[T any](n int) func([]GatherResult[T]) bool {
 // InvokeTyped sends a request whose body encodes to reqBody and decodes the
 // response payload into a fresh RespT. It folds transport and service-level
 // failures into a single error, the shape every protocol client wants.
+// Quorum fan-outs should use Broadcast instead, which encodes a shared body
+// once for the whole phase; InvokeTyped is for single-destination calls.
 func InvokeTyped[RespT any](
 	ctx context.Context,
 	c Client,
@@ -104,11 +106,25 @@ func InvokeTyped[RespT any](
 	service, config, msgType string,
 	reqBody any,
 ) (RespT, error) {
-	var zero RespT
 	payload, err := Marshal(reqBody)
 	if err != nil {
+		var zero RespT
 		return zero, err
 	}
+	return invokePayload[RespT](ctx, c, dst, service, config, msgType, payload)
+}
+
+// invokePayload delivers one pre-encoded request payload and decodes the
+// typed response — the shared tail of InvokeTyped and Broadcast. An empty
+// response payload leaves the zero RespT (metadata-only acks).
+func invokePayload[RespT any](
+	ctx context.Context,
+	c Client,
+	dst types.ProcessID,
+	service, config, msgType string,
+	payload []byte,
+) (RespT, error) {
+	var zero RespT
 	resp, err := c.Invoke(ctx, dst, Request{
 		Service: service,
 		Config:  config,

@@ -1,0 +1,32 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// TestSimnetCloseRetiresPump exercises the pump lifecycle: delayed Invokes
+// work before and after Close, and Close is idempotent.
+func TestSimnetCloseRetiresPump(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithDelayRange(50*time.Microsecond, 100*time.Microsecond))
+	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
+		return OKResponse(nil)
+	}))
+	c := net.Client("w1")
+	ctx := context.Background()
+	if _, err := c.Invoke(ctx, "s1", Request{Service: "svc", Type: "op"}); err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	net.Close() // idempotent
+	// The network still delivers; only the fidelity helper is gone.
+	if _, err := c.Invoke(ctx, "s1", Request{Service: "svc", Type: "op"}); err != nil {
+		t.Fatal(err)
+	}
+	// Closing a never-pumped network is also fine.
+	NewSimnet().Close()
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ares-storage/ares/internal/types"
@@ -57,6 +59,25 @@ type Simnet struct {
 	// inflight tracks background deliveries of messages whose sender gave
 	// up waiting (reliable channels still deliver them). Quiesce waits.
 	inflight sync.WaitGroup
+
+	// Timer-fidelity pump. Message delays are realized with runtime timers,
+	// and timer wakeups become very imprecise when every P in the process is
+	// parked — measured overshoot of several hundred µs on sub-ms delays,
+	// which swamps the [d, D] model the latency experiments depend on. The
+	// pump is one goroutine that stays runnable (yield-spinning) while any
+	// delay sleep is pending, so the scheduler keeps checking timer heaps
+	// and deliveries fire close to their deadlines. It parks on pumpWake
+	// when no sleeps are pending and is never started on zero-delay
+	// networks (unit tests), which perform no delay sleeps at all.
+	// Without Close, a started pump parks on pumpWake when idle — one
+	// parked goroutine pinning the Simnet for the process lifetime, which
+	// is fine for test and benchmark processes but wrong for anything
+	// long-lived that churns networks.
+	sleeping  atomic.Int64
+	pumpWake  chan struct{}
+	pumpStop  chan struct{}
+	pumpOnce  sync.Once
+	closeOnce sync.Once
 }
 
 type linkKey struct {
@@ -74,6 +95,8 @@ func NewSimnet(opts ...SimnetOption) *Simnet {
 		linkBlocked:  make(map[linkKey]bool),
 		rng:          rand.New(rand.NewSource(1)),
 		counters:     NewCounters(),
+		pumpWake:     make(chan struct{}, 1),
+		pumpStop:     make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -154,6 +177,74 @@ func (n *Simnet) Client(id types.ProcessID) Client {
 	return &simClient{net: n, self: id}
 }
 
+// startSleep registers a pending delay sleep, starting (or waking) the pump.
+// Callers must pair it with a deferred endSleep.
+func (n *Simnet) startSleep() {
+	n.pumpOnce.Do(func() { go n.pumpLoop() })
+	if n.sleeping.Add(1) == 1 {
+		select {
+		case n.pumpWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (n *Simnet) endSleep() {
+	n.sleeping.Add(-1)
+}
+
+// Close retires the network's pump goroutine. The network remains usable,
+// but later delay sleeps run without fidelity help; call it only when done
+// with the network. Close is safe to call multiple times and without a pump
+// ever having started.
+func (n *Simnet) Close() {
+	n.closeOnce.Do(func() { close(n.pumpStop) })
+}
+
+// pumpLoop yield-spins while delay sleeps are pending and parks otherwise.
+// See the Simnet field comment for why this exists.
+func (n *Simnet) pumpLoop() {
+	for {
+		if n.sleeping.Load() > 0 {
+			runtime.Gosched()
+			select {
+			case <-n.pumpStop:
+				return
+			default:
+			}
+			continue
+		}
+		select {
+		case <-n.pumpWake:
+		case <-n.pumpStop:
+			return
+		}
+	}
+}
+
+// sleep pauses for d (a sampled message delay) with the pump engaged, unless
+// the context expires first. Zero delays return immediately and never touch
+// the pump.
+func (n *Simnet) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	n.startSleep()
+	defer n.endSleep()
+	return sleepCtx(ctx, d)
+}
+
+// sleepBackground pauses for d with the pump engaged, with no cancellation —
+// the background-delivery wait of a message whose sender stopped waiting.
+func (n *Simnet) sleepBackground(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.startSleep()
+	defer n.endSleep()
+	time.Sleep(d)
+}
+
 // sample draws a delay for a message travelling from -> to.
 func (n *Simnet) sample(from, to types.ProcessID) time.Duration {
 	n.mu.RLock()
@@ -212,7 +303,7 @@ func (c *simClient) Invoke(ctx context.Context, dst types.ProcessID, req Request
 	net.counters.Record(req.Service, req.Type, dirRequest, len(req.Payload))
 	reqDelay := net.sample(c.self, dst)
 	sendTime := time.Now()
-	if err := sleepCtx(ctx, reqDelay); err != nil {
+	if err := net.sleep(ctx, reqDelay); err != nil {
 		// The channels of the model (§2) are reliable: a message already on
 		// the wire reaches its destination even though this sender stopped
 		// waiting (e.g. its quorum completed elsewhere). Deliver in the
@@ -221,9 +312,7 @@ func (c *simClient) Invoke(ctx context.Context, dst types.ProcessID, req Request
 		net.inflight.Add(1)
 		go func() {
 			defer net.inflight.Done()
-			if remaining > 0 {
-				time.Sleep(remaining)
-			}
+			net.sleepBackground(remaining)
 			if h, ok := net.lookup(dst); ok {
 				resp := h.HandleRequest(c.self, req)
 				net.counters.Record(req.Service, req.Type, dirResponse, len(resp.Payload))
@@ -243,7 +332,7 @@ func (c *simClient) Invoke(ctx context.Context, dst types.ProcessID, req Request
 		return Response{}, fmt.Errorf("%w: %s (response blocked)", ErrUnreachable, dst)
 	}
 	net.counters.Record(req.Service, req.Type, dirResponse, len(resp.Payload))
-	if err := sleepCtx(ctx, net.sample(c.self, dst)); err != nil {
+	if err := net.sleep(ctx, net.sample(c.self, dst)); err != nil {
 		return Response{}, err
 	}
 	return resp, nil

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// startBlockingTCPServer returns a server whose handler parks every request
+// until release is closed — the shape needed to hold Invokes in flight.
+func startBlockingTCPServer(t *testing.T, id types.ProcessID, addr string, release <-chan struct{}) *TCPServer {
+	t.Helper()
+	srv, err := NewTCPServer(id, addr, HandlerFunc(func(types.ProcessID, Request) Response {
+		<-release
+		return OKResponse(nil)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestTCPConnectionLossFailsInflightInvokes kills a server while many
+// Invokes are outstanding on one multiplexed connection and asserts every
+// caller gets ErrUnreachable promptly rather than hanging.
+func TestTCPConnectionLossFailsInflightInvokes(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	srv := startBlockingTCPServer(t, "s1", "127.0.0.1:0", release)
+
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}))
+	defer client.Close()
+
+	const inflight = 8
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			_, err := client.Invoke(context.Background(), "s1", Request{Service: "svc", Type: "op"})
+			errs <- err
+		}()
+	}
+	// Let the requests reach the server (its handlers park on release), then
+	// tear the connection down underneath them.
+	time.Sleep(50 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrUnreachable) {
+				t.Fatalf("in-flight Invoke returned %v, want ErrUnreachable", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight Invoke hung after connection loss")
+		}
+	}
+	close(release) // unpark handlers so Close can drain its goroutines
+	if err := <-closed; err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+}
+
+// TestTCPClientRedialsAfterConnectionLoss restarts the server on the same
+// address and asserts a subsequent Invoke transparently re-establishes the
+// connection.
+func TestTCPClientRedialsAfterConnectionLoss(t *testing.T) {
+	t.Parallel()
+	srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": addr}))
+	defer client.Close()
+
+	ctx := context.Background()
+	if _, err := client.Invoke(ctx, "s1", Request{Payload: []byte("warm")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebind the same address. The OS may briefly hold the port; retry.
+	var srv2 *TCPServer
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		srv2, err = NewTCPServer("s1", addr, echoHandler(nil))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer srv2.Close()
+
+	// The first Invoke after the loss may catch the stale connection before
+	// the read loop reaps it — that must surface as ErrUnreachable, never a
+	// hang — and the client must recover by itself on a later call.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cctx, cancel := context.WithTimeout(ctx, time.Second)
+		resp, err := client.Invoke(cctx, "s1", Request{Payload: []byte("again")})
+		cancel()
+		if err == nil {
+			if string(resp.Payload) != "again" {
+				t.Fatalf("resp = %+v", resp)
+			}
+			return // redialed and served
+		}
+		if !errors.Is(err, ErrUnreachable) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Invoke after restart: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never redialed; last error: %v", err)
+		}
+	}
+}
+
+// TestTCPConcurrentRedialRace drives many goroutines through Invoke right
+// after a connection loss: all must succeed (or fail cleanly and succeed on
+// retry), and the race in TCPClient.conn must collapse their dials onto a
+// single shared connection.
+func TestTCPConcurrentRedialRace(t *testing.T) {
+	t.Parallel()
+	srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": addr}))
+	defer client.Close()
+
+	ctx := context.Background()
+	if _, err := client.Invoke(ctx, "s1", Request{}); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the established connection from the client side so the next
+	// Invokes all observe a missing conn and race to redial.
+	client.mu.Lock()
+	stale := client.conns[addr]
+	client.mu.Unlock()
+	client.dropConn(addr, stale)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("r-%d", i))
+			for attempt := 0; ; attempt++ {
+				resp, err := client.Invoke(ctx, "s1", Request{Payload: payload})
+				if err == nil {
+					if string(resp.Payload) != string(payload) {
+						errs <- fmt.Errorf("crossed response %q for %q", resp.Payload, payload)
+					}
+					return
+				}
+				if !errors.Is(err, ErrUnreachable) || attempt > 3 {
+					errs <- fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	client.mu.Lock()
+	open := len(client.conns)
+	client.mu.Unlock()
+	if open != 1 {
+		t.Fatalf("client holds %d connections after concurrent redial, want 1", open)
+	}
+}

@@ -53,10 +53,8 @@ var _ dap.Client = (*Client)(nil)
 // among ⌈(n+k)/2⌉ responses (Alg. 2 get-tag).
 func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 	q := c.cfg.Quorum()
-	got, err := transport.Gather(ctx, c.cfg.Servers,
-		func(ctx context.Context, dst types.ProcessID) (tagResp, error) {
-			return transport.InvokeTyped[tagResp](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgQueryTag, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
+		transport.Phase[tagResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQueryTag, Body: struct{}{}},
 		transport.AtLeast[tagResp](q.Size()),
 	)
 	if err != nil {
@@ -74,10 +72,8 @@ func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 // least k lists; both maxima must coincide (Alg. 2 get-data lines 11–17).
 func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 	q := c.cfg.Quorum()
-	got, err := transport.Gather(ctx, c.cfg.Servers,
-		func(ctx context.Context, dst types.ProcessID) (listResp, error) {
-			return transport.InvokeTyped[listResp](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgQueryList, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
+		transport.Phase[listResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQueryList, Body: struct{}{}},
 		transport.AtLeast[listResp](q.Size()),
 	)
 	if err != nil {
@@ -138,21 +134,25 @@ func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 }
 
 // PutData encodes the value and sends each server its coded element,
-// completing on ⌈(n+k)/2⌉ acks (Alg. 2 put-data).
+// completing on ⌈(n+k)/2⌉ acks (Alg. 2 put-data). The bodies are inherently
+// per-destination (server i receives Φ_i(v)), so this is the one phase that
+// pays one encode per server — via the Phase.BodyFor hook.
 func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 	shards, err := c.code.Encode(p.Value)
 	if err != nil {
 		return fmt.Errorf("treas: put-data encode on %s: %w", c.cfg.ID, err)
 	}
 	q := c.cfg.Quorum()
-	_, err = transport.Gather(ctx, c.cfg.Servers,
-		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
-			idx, ok := c.cfg.ServerIndex(dst)
-			if !ok {
-				return struct{}{}, fmt.Errorf("treas: %s not in configuration", dst)
-			}
-			req := putDataReq{Tag: p.Tag, Elem: shards[idx], ValueLen: len(p.Value)}
-			return transport.InvokeTyped[struct{}](ctx, c.rpc, dst, ServiceName, string(c.cfg.ID), msgPutData, req)
+	_, err = transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
+		transport.Phase[struct{}]{
+			Service: ServiceName, Config: string(c.cfg.ID), Type: msgPutData,
+			BodyFor: func(dst types.ProcessID) (any, error) {
+				idx, ok := c.cfg.ServerIndex(dst)
+				if !ok {
+					return nil, fmt.Errorf("treas: %s not in configuration", dst)
+				}
+				return putDataReq{Tag: p.Tag, Elem: shards[idx], ValueLen: len(p.Value)}, nil
+			},
 		},
 		transport.AtLeast[struct{}](q.Size()),
 	)

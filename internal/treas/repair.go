@@ -57,10 +57,8 @@ func Repair(ctx context.Context, rpc transport.Client, c cfg.Configuration, targ
 
 	// 1b. Collect lists from a quorum (the donors).
 	q := c.Quorum()
-	got, err := transport.Gather(ctx, c.Servers,
-		func(ctx context.Context, dst types.ProcessID) (listResp, error) {
-			return transport.InvokeTyped[listResp](ctx, rpc, dst, ServiceName, string(c.ID), msgQueryList, struct{}{})
-		},
+	got, err := transport.Broadcast(ctx, rpc, c.Servers,
+		transport.Phase[listResp]{Service: ServiceName, Config: string(c.ID), Type: msgQueryList, Body: struct{}{}},
 		transport.AtLeast[listResp](q.Size()),
 	)
 	if err != nil {

@@ -237,22 +237,12 @@ func RequestForward(
 	src, dst cfg.Configuration,
 	t tag.Tag,
 ) error {
-	req := reqForwardReq{Tag: t, Target: dst, RC: rc, Relayed: false}
-	payload := transport.MustMarshal(req)
 	// Send to every source server; the md-relay in handleReqForward makes
 	// delivery all-or-none even if only one copy lands.
-	sent, err := transport.Gather(ctx, src.Servers,
-		func(ctx context.Context, d types.ProcessID) (struct{}, error) {
-			resp, err := rpc.Invoke(ctx, d, transport.Request{
-				Service: ServiceName,
-				Config:  string(src.ID),
-				Type:    msgReqForward,
-				Payload: payload,
-			})
-			if err != nil {
-				return struct{}{}, err
-			}
-			return struct{}{}, transport.ResponseError(resp)
+	sent, err := transport.Broadcast(ctx, rpc, src.Servers,
+		transport.Phase[struct{}]{
+			Service: ServiceName, Config: string(src.ID), Type: msgReqForward,
+			Body: reqForwardReq{Tag: t, Target: dst, RC: rc, Relayed: false},
 		},
 		transport.AtLeast[struct{}](1),
 	)
@@ -264,10 +254,8 @@ func RequestForward(
 	need := dst.Quorum().Size()
 	for {
 		done := 0
-		got, err := transport.Gather(ctx, dst.Servers,
-			func(ctx context.Context, d types.ProcessID) (hasTagResp, error) {
-				return transport.InvokeTyped[hasTagResp](ctx, rpc, d, ServiceName, string(dst.ID), msgHasTag, hasTagReq{Tag: t})
-			},
+		got, err := transport.Broadcast(ctx, rpc, dst.Servers,
+			transport.Phase[hasTagResp]{Service: ServiceName, Config: string(dst.ID), Type: msgHasTag, Body: hasTagReq{Tag: t}},
 			transport.AtLeast[hasTagResp](need),
 		)
 		if err != nil {
