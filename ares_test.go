@@ -249,6 +249,12 @@ func TestLinearizabilityUnderChurn(t *testing.T) {
 		}
 		t.Fatalf("%d atomicity violations in %d operations", len(violations), len(ops))
 	}
+	if rep := history.Verify(ops, history.CheckOptions{}); !rep.Linearizable {
+		for _, v := range rep.Violations[:minInt(len(rep.Violations), 5)] {
+			t.Error(v)
+		}
+		t.Fatalf("history of %d operations not linearizable by value (%s)", len(ops), rep.Method)
+	}
 	t.Logf("atomic history of %d operations across 3 configurations", len(ops))
 }
 

@@ -12,6 +12,15 @@
 //	ares-bench -exp f5 -csv out/         # also write CSV series for plotting
 //	ares-bench -store                    # run the store workload suite
 //	ares-bench -store -json bench.json   # …and write the JSON summary
+//	ares-bench -chaos                    # run the chaos scenario matrix
+//	ares-bench -chaos -scenario reconfig-under-drop -seed 42 -json v.json
+//
+// The chaos suite executes the adversarial scenario matrix of
+// internal/chaos (partitions, asymmetric links, message drop/duplication,
+// crash-restart, reconfiguration under loss) and reports a value-based
+// linearizability verdict per scenario; a non-linearizable verdict exits
+// non-zero. The seed can be pinned via -seed or the ARES_CHAOS_SEED
+// environment variable for exact replay.
 //
 // See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
@@ -30,6 +39,7 @@ import (
 
 	ares "github.com/ares-storage/ares"
 	"github.com/ares-storage/ares/internal/benchutil"
+	"github.com/ares-storage/ares/internal/chaos"
 	"github.com/ares-storage/ares/internal/experiments"
 	"github.com/ares-storage/ares/internal/workload"
 )
@@ -42,18 +52,25 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
-		store    = flag.Bool("store", false, "run the multi-key ObjectStore workload suite instead of the paper experiments")
-		jsonPath = flag.String("json", "", "file to write the store suite's machine-readable JSON summary (implies -store)")
-		duration = flag.Duration("duration", 2*time.Second, "store suite: duration of each workload")
-		workers  = flag.Int("workers", 8, "store suite: concurrent workers per workload")
-		keys     = flag.Int("keys", 128, "store suite: key-space size")
-		valSize  = flag.Int("valuesize", 1024, "store suite: value size in bytes")
-		seed     = flag.Int64("seed", 1, "store suite: workload seed")
+		exp       = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+		store     = flag.Bool("store", false, "run the multi-key ObjectStore workload suite instead of the paper experiments")
+		jsonPath  = flag.String("json", "", "file to write the selected suite's machine-readable JSON summary (implies -store unless -chaos)")
+		duration  = flag.Duration("duration", 2*time.Second, "store suite: duration of each workload")
+		workers   = flag.Int("workers", 8, "store suite: concurrent workers per workload")
+		keys      = flag.Int("keys", 128, "store suite: key-space size")
+		valSize   = flag.Int("valuesize", 1024, "store suite: value size in bytes")
+		seed      = flag.Int64("seed", 1, "store/chaos suite: workload and fault-sampling seed (chaos: ARES_CHAOS_SEED overrides)")
+		chaosRun  = flag.Bool("chaos", false, "run the adversarial chaos scenario matrix with linearizability verdicts")
+		scenarios = flag.String("scenario", "", "chaos suite: comma-separated scenario names (default: the whole matrix)")
+		stretch   = flag.Float64("stretch", 1, "chaos suite: scenario duration multiplier (soaks use > 1)")
+		verbose   = flag.Bool("v", false, "chaos suite: log applied fault events and reconfigurations")
 	)
 	flag.Parse()
 
+	if *chaosRun {
+		return runChaosSuite(*scenarios, chaos.SeedFromEnv(*seed), *stretch, *jsonPath, *verbose)
+	}
 	if *store || *jsonPath != "" {
 		return runStoreSuite(storeSuiteParams{
 			duration: *duration,
@@ -65,6 +82,98 @@ func run() error {
 		})
 	}
 	return runExperiments(*exp, *csvDir)
+}
+
+// chaosSummary is the machine-readable artifact -chaos -json emits: the
+// scenario → verdict matrix CI archives.
+type chaosSummary struct {
+	Generated string          `json:"generated"`
+	Suite     string          `json:"suite"`
+	Seed      int64           `json:"seed"`
+	Stretch   float64         `json:"stretch"`
+	Verdicts  []chaos.Verdict `json:"verdicts"`
+}
+
+func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, verbose bool) error {
+	var selected []chaos.Scenario
+	if filter == "" {
+		selected = chaos.Matrix()
+	} else {
+		for _, name := range strings.Split(filter, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			sc, ok := chaos.Find(name)
+			if !ok {
+				return fmt.Errorf("chaos: unknown scenario %q", name)
+			}
+			selected = append(selected, sc)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("chaos: no scenarios selected")
+	}
+
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	summary := chaosSummary{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Suite:     "chaos-scenarios",
+		Seed:      seed,
+		Stretch:   stretch,
+	}
+	table := benchutil.NewTable("scenario", "ops", "incomplete", "op errs", "reconfigs", "method", "verdict")
+	failed := 0
+	for _, sc := range selected {
+		v, err := chaos.Run(sc, chaos.Options{Seed: seed, Stretch: stretch, Logf: logf})
+		if err != nil {
+			return fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
+		}
+		verdict := "LINEARIZABLE"
+		if !v.Linearizable {
+			verdict = "VIOLATION"
+			failed++
+		}
+		// Keys may fall back to the tag check independently; the row shows
+		// the per-key methods honestly rather than just the first key's.
+		method := ""
+		for _, kv := range v.Keys {
+			switch {
+			case method == "":
+				method = kv.Method
+			case method != kv.Method:
+				method = "mixed"
+			}
+		}
+		table.AddRow(v.Scenario, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, method, verdict)
+		summary.Verdicts = append(summary.Verdicts, v)
+	}
+
+	fmt.Printf("\n== CHAOS: adversarial scenario matrix (seed %d, stretch %.1f)\n\n", seed, stretch)
+	table.Render(os.Stdout)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  → %s\n", jsonPath)
+	}
+	if failed > 0 {
+		for _, v := range summary.Verdicts {
+			if !v.Linearizable {
+				fmt.Printf("  replay: %s\n", v.Replay())
+			}
+		}
+		return fmt.Errorf("chaos: %d of %d scenarios NOT linearizable (seed %d)", failed, len(selected), seed)
+	}
+	return nil
 }
 
 func runExperiments(exp, csvDir string) error {

@@ -1,0 +1,61 @@
+package erasure
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+)
+
+// FuzzEncodeDecodeRoundTrip drives encode → erase → decode across random
+// [n, k] parameters, payloads, and shard-erasure patterns: any k of the n
+// coded elements must reconstruct the value exactly (the MDS property every
+// TREAS cost theorem rests on).
+//
+// nRaw/kRaw are folded into valid ranges (1 ≤ k ≤ n ≤ 16); pattern selects
+// which k shards survive.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(byte(5), byte(3), []byte("atomic distributed shared memory"), uint64(0b10110))
+	f.Add(byte(9), byte(6), []byte("k of n coded elements reconstruct v"), uint64(0x1f8))
+	f.Add(byte(1), byte(1), []byte{}, uint64(1))
+	f.Add(byte(11), byte(8), bytes.Repeat([]byte{0xA5}, 300), uint64(0x7ff))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw byte, data []byte, pattern uint64) {
+		n := 1 + int(nRaw)%16
+		k := 1 + int(kRaw)%n
+		code, err := New(n, k)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", n, k, err)
+		}
+		shards, err := code.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode(%d bytes) under [%d, %d]: %v", len(data), n, k, err)
+		}
+		if len(shards) != n {
+			t.Fatalf("Encode produced %d shards, want n = %d", len(shards), n)
+		}
+
+		// Survivors: the shards whose pattern bit is set, padded (in index
+		// order) when the pattern selects fewer than k, truncated to
+		// exactly k — every pattern exercises some k-subset.
+		survivors := make(map[int][]byte, k)
+		for i := 0; i < n && len(survivors) < k; i++ {
+			if pattern&(1<<uint(i)) != 0 {
+				survivors[i] = shards[i]
+			}
+		}
+		for i := 0; i < n && len(survivors) < k; i++ {
+			if _, ok := survivors[i]; !ok {
+				survivors[i] = shards[i]
+			}
+		}
+
+		decoded, err := code.Decode(survivors, len(data))
+		if err != nil {
+			t.Fatalf("Decode from %d-subset (pattern %#x) under [%d, %d]: %v",
+				bits.OnesCount64(pattern), pattern, n, k, err)
+		}
+		if !bytes.Equal(decoded, data) {
+			t.Fatalf("round trip corrupted value under [%d, %d] pattern %#x: %d bytes in, %d out",
+				n, k, pattern, len(data), len(decoded))
+		}
+	})
+}

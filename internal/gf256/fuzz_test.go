@@ -1,0 +1,53 @@
+package gf256
+
+import "testing"
+
+// FuzzFieldLaws checks the GF(2^8) axioms the Reed–Solomon matrices rely
+// on, over arbitrary element triples: commutativity, associativity,
+// distributivity over XOR-addition, multiplicative inverses, and the
+// consistency of the slice kernels with scalar Mul.
+func FuzzFieldLaws(f *testing.F) {
+	f.Add(byte(0x02), byte(0x8e), byte(0x1d))
+	f.Add(byte(0x00), byte(0xff), byte(0x01))
+	f.Add(byte(0x53), byte(0xca), byte(0xa7))
+	f.Fuzz(func(t *testing.T, a, b, c byte) {
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatalf("Mul not commutative for %#x, %#x", a, b)
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			t.Fatalf("Mul not associative for %#x, %#x, %#x", a, b, c)
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			t.Fatalf("Mul does not distribute over Add for %#x, %#x, %#x", a, b, c)
+		}
+		if a != 0 {
+			if Mul(a, Inv(a)) != 1 {
+				t.Fatalf("a · a⁻¹ ≠ 1 for %#x", a)
+			}
+			if got := Mul(Div(b, a), a); got != b {
+				t.Fatalf("(b / a) · a = %#x, want %#x", got, b)
+			}
+		}
+
+		// The vectorized kernels must agree with scalar Mul:
+		// MulSliceAssign assigns dst = c·src, MulSlice accumulates
+		// dst ^= c·src.
+		src := []byte{a, b, c, Add(a, b), Mul(a, c), 0, 0xff, Add(b, c)}
+		dst := make([]byte, len(src))
+		MulSliceAssign(c, src, dst)
+		for i, s := range src {
+			if dst[i] != Mul(c, s) {
+				t.Fatalf("MulSliceAssign[%d] = %#x, want Mul(%#x, %#x) = %#x", i, dst[i], c, s, Mul(c, s))
+			}
+		}
+		acc := make([]byte, len(src))
+		copy(acc, dst)
+		MulSlice(b, src, acc)
+		for i, s := range src {
+			want := Add(dst[i], Mul(b, s))
+			if acc[i] != want {
+				t.Fatalf("MulSlice[%d] = %#x, want dst ^ b·src = %#x", i, acc[i], want)
+			}
+		}
+	})
+}

@@ -1,9 +1,14 @@
 // Package history records operation histories of the replicated register
 // and checks them against the atomicity definition of §2 (properties A1–A3).
 //
-// The checker exploits the tag structure of every algorithm in this library
-// (Lemma 20): each completed operation carries the tag it wrote or returned.
-// Atomicity of a tag-based history reduces to:
+// Two checkers are provided. Verify is the primary one: a value-based
+// Wing–Gong linearizability search (wgl.go) that decides whether the reads
+// and writes, as values over real time, admit a legal sequential order — it
+// catches a stale value smuggled under a fresh tag, which no tag-only check
+// can. Check is the older tag-based checker, exploiting the tag structure
+// of every algorithm in this library (Lemma 20): each completed operation
+// carries the tag it wrote or returned, and atomicity of a tag-based
+// history reduces to:
 //
 //   - Real-time/tag consistency: if π1 completes before π2 begins, then
 //     tag(π1) ≤ tag(π2), strictly when π1 is a write (A1, A2).
@@ -11,6 +16,7 @@
 //   - Read validity: a read's value is the value written by the write
 //     carrying the same tag, or the initial value at t0 (A3).
 //
+// Verify falls back to Check for histories too large for the search.
 // Recording is concurrency-safe; checking runs after the fact.
 package history
 
@@ -45,7 +51,11 @@ func (k Kind) String() string {
 	}
 }
 
-// Op is one completed operation in a history.
+// Op is one operation in a history. A completed operation has both Invoke
+// and Respond stamped; an operation whose response never arrived (the
+// client timed out, crashed, or the run ended) has Incomplete set and a
+// zero Respond — it may or may not have taken effect, and the value-based
+// checker treats it as free to linearize at any point after Invoke.
 type Op struct {
 	Kind    Kind
 	Client  types.ProcessID
@@ -53,17 +63,100 @@ type Op struct {
 	Respond time.Time
 	Tag     tag.Tag
 	Value   types.Value
+	// Incomplete marks a write whose outcome is unknown (invoked, never
+	// acknowledged). Reads that fail are simply dropped — an unanswered
+	// read constrains nothing.
+	Incomplete bool
 }
 
-// Recorder accumulates completed operations from concurrent clients.
+// Recorder accumulates operations from concurrent clients, including
+// writes that were invoked but never acknowledged — the operations a
+// fault-injected run inevitably produces, and exactly the ones a sound
+// linearizability verdict must account for.
 type Recorder struct {
-	mu  sync.Mutex
-	ops []Op
+	mu      sync.Mutex
+	ops     []Op
+	pending map[int64]*Op
+	nextID  int64
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{}
+	return &Recorder{pending: make(map[int64]*Op)}
+}
+
+// PendingOp is an operation that has been invoked but not yet resolved.
+// Exactly one of Done or Fail should be called; an abandoned PendingOp
+// whose write value is known still surfaces in Ops as incomplete.
+type PendingOp struct {
+	r  *Recorder
+	id int64
+}
+
+// begin registers a pending op. knownValue marks writes whose value was
+// captured at invocation (required for the op to count as incomplete later).
+func (r *Recorder) begin(kind Kind, client types.ProcessID, v types.Value, knownValue bool) *PendingOp {
+	op := &Op{
+		Kind:       kind,
+		Client:     client,
+		Invoke:     time.Now(),
+		Value:      v.Clone(),
+		Incomplete: knownValue, // resolved by Done; stays set if abandoned
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextID
+	r.nextID++
+	r.pending[id] = op
+	return &PendingOp{r: r, id: id}
+}
+
+// BeginWrite registers a write invocation carrying its value. If the write
+// is never acknowledged (Fail, or neither Done nor Fail by snapshot time),
+// it is recorded as incomplete: it may have taken effect.
+func (r *Recorder) BeginWrite(client types.ProcessID, v types.Value) *PendingOp {
+	return r.begin(Write, client, v, true)
+}
+
+// BeginRead registers a read invocation. A read that fails or is abandoned
+// is discarded — it observed nothing and constrains nothing.
+func (r *Recorder) BeginRead(client types.ProcessID) *PendingOp {
+	return r.begin(Read, client, nil, false)
+}
+
+// Done resolves the operation as completed with its tag and value, stamping
+// the response time.
+func (p *PendingOp) Done(t tag.Tag, v types.Value) {
+	r := p.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.pending[p.id]
+	if !ok {
+		return
+	}
+	delete(r.pending, p.id)
+	op.Respond = time.Now()
+	op.Tag = t
+	op.Value = v.Clone()
+	op.Incomplete = false
+	r.ops = append(r.ops, *op)
+}
+
+// Fail resolves the operation as unacknowledged: writes with a known value
+// are recorded as incomplete (they may have taken effect), everything else
+// is dropped.
+func (p *PendingOp) Fail() {
+	r := p.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.pending[p.id]
+	if !ok {
+		return
+	}
+	delete(r.pending, p.id)
+	if op.Kind == Write && op.Incomplete {
+		r.ops = append(r.ops, *op)
+	}
 }
 
 // Start stamps an invocation and returns a closure that records the
@@ -72,6 +165,11 @@ func NewRecorder() *Recorder {
 //	done := rec.Start(history.Write, "w1")
 //	tag, err := client.Write(ctx, v)
 //	if err == nil { done(tag, v) }
+//
+// Operations whose closure is never called are dropped entirely (the write
+// value is unknown at invocation) and leave no recorder state behind;
+// fault-injected workloads should use BeginWrite/BeginRead so
+// unacknowledged writes are retained as incomplete.
 func (r *Recorder) Start(kind Kind, client types.ProcessID) func(tag.Tag, types.Value) {
 	invoke := time.Now()
 	return func(t tag.Tag, v types.Value) {
@@ -89,16 +187,22 @@ func (r *Recorder) Start(kind Kind, client types.ProcessID) func(tag.Tag, types.
 	}
 }
 
-// Ops returns a snapshot of the recorded operations.
+// Ops returns a snapshot of the recorded operations: all resolved ones plus
+// any still-pending writes with known values (as incomplete).
 func (r *Recorder) Ops() []Op {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Op, len(r.ops))
+	out := make([]Op, len(r.ops), len(r.ops)+len(r.pending))
 	copy(out, r.ops)
+	for _, op := range r.pending {
+		if op.Kind == Write && op.Incomplete {
+			out = append(out, *op)
+		}
+	}
 	return out
 }
 
-// Len returns the number of recorded operations.
+// Len returns the number of resolved recorded operations.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -119,14 +223,20 @@ func (v Violation) Error() string {
 }
 
 // Check verifies the recorded history against A1–A3 and returns every
-// violation found (empty means the history is atomic).
+// violation found (empty means the history is atomic). Incomplete
+// operations are skipped: they carry no tag, and an unacknowledged write
+// cannot violate a tag-ordering rule.
 func Check(ops []Op) []Violation {
 	var violations []Violation
 
 	// Sort by invocation time for deterministic reporting; correctness uses
 	// the precedes relation, not this order.
-	sorted := make([]Op, len(ops))
-	copy(sorted, ops)
+	sorted := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if !op.Incomplete {
+			sorted = append(sorted, op)
+		}
+	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Invoke.Before(sorted[j].Invoke) })
 
 	// A2 half: distinct writes carry distinct tags.

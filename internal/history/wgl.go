@@ -1,0 +1,394 @@
+// Value-based linearizability checking (Wing–Gong / Lowe's just-in-time
+// linearization search) for single-register histories.
+//
+// The tag-based Check is sound only against the tag discipline: a buggy
+// implementation that attaches a *fresh* tag to a *stale* value sails
+// through it. Verify instead decides the real question — do the observed
+// values admit a legal sequential order consistent with real time? — by
+// searching over linearization points:
+//
+//	state ← initial value; repeatedly pick a "minimal" operation (one whose
+//	call event precedes every unlinearized return), apply it to the state
+//	(a write sets the value, a read must see it), and recurse; backtrack at
+//	a return event that cannot be passed.
+//
+// The search memoizes (linearized-set, state) pairs (Lowe's optimization),
+// so its cost is bounded by the number of distinct frontier sets — in
+// practice near-linear for histories whose concurrency window is small
+// (ops overlap only with their contemporaries), exponential only in the
+// window width w: O(n · 2^w) cached configurations. CheckOptions bounds
+// both the history size and the step budget; past either bound Verify
+// falls back to the tag-based Check so every run still ends in a verdict.
+//
+// Incomplete writes (invoked, never acknowledged) carry a +∞ return time:
+// the search may linearize them at any point after invocation, and a
+// leftover incomplete write can always be appended at the end of the order
+// (nothing observes the register afterwards), so they never cause false
+// alarms yet still legitimize reads that observed them.
+package history
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CheckOptions bounds Verify's value-based search.
+type CheckOptions struct {
+	// MaxOps is the largest history the value-based search accepts;
+	// larger histories are checked with the tag-based Check instead.
+	// Zero means the default (4096).
+	MaxOps int
+	// MaxSteps is the search-step budget; an exhausted budget falls back
+	// to the tag-based Check. Zero means the default (5,000,000).
+	MaxSteps int
+}
+
+// Default search bounds.
+const (
+	DefaultMaxOps   = 4096
+	DefaultMaxSteps = 5_000_000
+)
+
+// Method names the checking algorithm that produced a verdict.
+type Method string
+
+// The checking methods.
+const (
+	// MethodWingGong is the value-based linearizability search.
+	MethodWingGong Method = "wing-gong"
+	// MethodTag is the tag-ordering check (fallback for oversized or
+	// search-budget-exhausted histories).
+	MethodTag Method = "tag"
+)
+
+// Report is the outcome of Verify.
+type Report struct {
+	// Method is the algorithm that produced the verdict.
+	Method Method
+	// Linearizable is the verdict.
+	Linearizable bool
+	// Ops counts the operations checked; Incomplete of them were
+	// unacknowledged writes.
+	Ops        int
+	Incomplete int
+	// Steps is the number of search steps the value-based phase used.
+	Steps int
+	// Note carries diagnostics (e.g. why a fallback happened).
+	Note string
+	// Violations describes what failed (empty when Linearizable).
+	Violations []Violation
+}
+
+// Verify checks a single-register history for linearizability by value,
+// falling back to the tag-based Check when the history exceeds the search
+// bounds. The empty history is linearizable.
+func Verify(ops []Op, opts CheckOptions) Report {
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = DefaultMaxOps
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+
+	// Incomplete reads observe nothing and constrain nothing; drop them.
+	// Incomplete writes whose value no completed read returned are dropped
+	// too: such a write can always be linearized at the very end of any
+	// legal order (nothing observes the register after it), and removing
+	// it never changes another read's legality — the write latest-before
+	// any read is unaffected, since that write is never the unread one.
+	// This pruning is what keeps fault-heavy histories (hundreds of
+	// timed-out writes) inside the search budget: only the incomplete
+	// writes that were actually observed stay open-ended.
+	readVals := make(map[string]bool)
+	for _, op := range ops {
+		if op.Kind == Read && !op.Incomplete {
+			readVals[string(op.Value)] = true
+		}
+	}
+	filtered := make([]Op, 0, len(ops))
+	incomplete := 0
+	for _, op := range ops {
+		if op.Incomplete {
+			if op.Kind != Write || !readVals[string(op.Value)] {
+				continue
+			}
+			incomplete++
+		}
+		filtered = append(filtered, op)
+	}
+	rep := Report{Method: MethodWingGong, Ops: len(filtered), Incomplete: incomplete}
+	if len(filtered) == 0 {
+		rep.Linearizable = true
+		return rep
+	}
+	if len(filtered) > opts.MaxOps {
+		return tagFallback(filtered, rep, fmt.Sprintf("history of %d ops exceeds MaxOps=%d", len(filtered), opts.MaxOps))
+	}
+
+	// Intern values; id 0 is the register's initial (empty) value.
+	valID := map[string]int{"": 0}
+	intern := func(v []byte) int {
+		id, ok := valID[string(v)]
+		if !ok {
+			id = len(valID)
+			valID[string(v)] = id
+		}
+		return id
+	}
+	// Event times are durations from a common base rather than UnixNano:
+	// time.Sub preserves the monotonic reading time.Now stamped, so a
+	// wall-clock step (NTP) during a recorded run cannot invert the
+	// real-time order the search depends on.
+	base := filtered[0].Invoke
+	written := map[int]bool{0: true}
+	w := make([]wglOp, len(filtered))
+	for i, op := range filtered {
+		w[i] = wglOp{
+			kind: op.Kind,
+			val:  intern(op.Value),
+			call: op.Invoke.Sub(base).Nanoseconds(),
+			ret:  math.MaxInt64,
+		}
+		if !op.Incomplete {
+			w[i].ret = op.Respond.Sub(base).Nanoseconds()
+		}
+		if op.Kind == Write {
+			written[w[i].val] = true
+		}
+	}
+
+	// Fast pre-check: a read may only return a value some write (complete
+	// or incomplete) actually carried, or the initial value. A value from
+	// nowhere can never linearize; report it directly with its culprit.
+	for i, op := range w {
+		if op.kind == Read && !written[op.val] {
+			rep.Violations = append(rep.Violations, Violation{
+				Rule:   "read-validity",
+				Detail: fmt.Sprintf("read by %s returned value %q that no write carried", filtered[i].Client, filtered[i].Value),
+				First:  filtered[i],
+			})
+		}
+	}
+	if len(rep.Violations) > 0 {
+		return rep
+	}
+
+	verdict, steps, culprit := wglSearch(w, opts.MaxSteps)
+	rep.Steps = steps
+	switch verdict {
+	case wglOK:
+		rep.Linearizable = true
+	case wglViolation:
+		op := filtered[culprit]
+		rep.Violations = append(rep.Violations, Violation{
+			Rule: "linearizability",
+			Detail: fmt.Sprintf("%s by %s (value %q, tag %v) admits no legal linearization point",
+				op.Kind, op.Client, op.Value, op.Tag),
+			First: op,
+		})
+	case wglInconclusive:
+		return tagFallback(filtered, rep, fmt.Sprintf("search budget of %d steps exhausted", opts.MaxSteps))
+	}
+	return rep
+}
+
+// tagFallback produces a tag-based verdict for histories the search cannot
+// afford.
+func tagFallback(ops []Op, rep Report, why string) Report {
+	rep.Method = MethodTag
+	rep.Note = why
+	rep.Violations = Check(ops)
+	rep.Linearizable = len(rep.Violations) == 0
+	return rep
+}
+
+// wglOp is one operation in the search's compact form.
+type wglOp struct {
+	kind      Kind
+	val       int   // interned value: written (writes) or returned (reads)
+	call, ret int64 // event times; ret is MaxInt64 for incomplete writes
+}
+
+// Search outcomes.
+type wglVerdict uint8
+
+const (
+	wglOK wglVerdict = iota
+	wglViolation
+	wglInconclusive
+)
+
+// entryNode is one call or return event in the doubly-linked event list.
+type entryNode struct {
+	prev, next *entryNode
+	op         int
+	call       bool
+	match      *entryNode // call → its return entry; nil for incomplete ops
+}
+
+// wglSearch runs the memoized linearization search. It returns the
+// verdict, the steps used, and — for a violation — the index of the
+// operation at the first impassable return event.
+func wglSearch(ops []wglOp, maxSteps int) (wglVerdict, int, int) {
+	type event struct {
+		t    int64
+		call bool
+		op   int
+	}
+	events := make([]event, 0, 2*len(ops))
+	for i, op := range ops {
+		events = append(events, event{t: op.call, call: true, op: i})
+		if op.ret != math.MaxInt64 {
+			events = append(events, event{t: op.ret, call: false, op: i})
+		}
+	}
+	// Calls sort before returns at equal timestamps: ties are treated as
+	// concurrency, which only admits more orders (no false positives).
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].call && !events[j].call
+	})
+
+	head := &entryNode{} // sentinel
+	prev := head
+	calls := make(map[int]*entryNode, len(ops))
+	for _, ev := range events {
+		n := &entryNode{prev: prev, op: ev.op, call: ev.call}
+		prev.next = n
+		if ev.call {
+			calls[ev.op] = n
+		} else {
+			calls[ev.op].match = n
+		}
+		prev = n
+	}
+
+	words := (len(ops) + 63) / 64
+	linearized := make([]uint64, words)
+	cache := newWglCache()
+	state := 0 // initial value
+	type frame struct {
+		entry     *entryNode
+		prevState int
+	}
+	var stack []frame
+
+	lift := func(e *entryNode) {
+		e.prev.next = e.next
+		if e.next != nil {
+			e.next.prev = e.prev
+		}
+		if m := e.match; m != nil {
+			m.prev.next = m.next
+			if m.next != nil {
+				m.next.prev = m.prev
+			}
+		}
+	}
+	unlift := func(e *entryNode) {
+		if m := e.match; m != nil {
+			m.prev.next = m
+			if m.next != nil {
+				m.next.prev = m
+			}
+		}
+		e.prev.next = e
+		if e.next != nil {
+			e.next.prev = e
+		}
+	}
+
+	steps := 0
+	entry := head.next
+	for {
+		steps++
+		if steps > maxSteps {
+			return wglInconclusive, steps, 0
+		}
+		if head.next == nil {
+			return wglOK, steps, 0 // every event consumed: a legal order exists
+		}
+		if entry != nil && entry.call {
+			op := ops[entry.op]
+			newState, legal := state, true
+			if op.kind == Write {
+				newState = op.val
+			} else if op.val != state {
+				legal = false
+			}
+			if legal {
+				linearized[entry.op/64] |= 1 << (entry.op % 64)
+				if cache.insert(linearized, newState) {
+					stack = append(stack, frame{entry: entry, prevState: state})
+					state = newState
+					lift(entry)
+					entry = head.next
+					continue
+				}
+				linearized[entry.op/64] &^= 1 << (entry.op % 64)
+			}
+			entry = entry.next
+			continue
+		}
+		// A return event (or the end of the list) that cannot be passed:
+		// undo the most recent tentative linearization, or report.
+		if len(stack) == 0 {
+			culprit := head.next.op
+			if entry != nil {
+				culprit = entry.op
+			}
+			return wglViolation, steps, culprit
+		}
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = fr.prevState
+		linearized[fr.entry.op/64] &^= 1 << (fr.entry.op % 64)
+		unlift(fr.entry)
+		entry = fr.entry.next
+	}
+}
+
+// wglCache memoizes (linearized-set, state) configurations. Keys collide
+// only on full equality: the hash buckets hold the actual bitsets.
+type wglCache struct {
+	buckets map[uint64][]wglCacheRec
+}
+
+type wglCacheRec struct {
+	bits  []uint64
+	state int
+}
+
+func newWglCache() *wglCache {
+	return &wglCache{buckets: make(map[uint64][]wglCacheRec)}
+}
+
+// insert adds the configuration and reports whether it was new.
+func (c *wglCache) insert(bits []uint64, state int) bool {
+	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+	h := uint64(fnvOffset)
+	for _, w := range bits {
+		h = (h ^ w) * fnvPrime
+	}
+	h = (h ^ uint64(state)) * fnvPrime
+	for _, rec := range c.buckets[h] {
+		if rec.state != state {
+			continue
+		}
+		equal := true
+		for i := range bits {
+			if rec.bits[i] != bits[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return false
+		}
+	}
+	c.buckets[h] = append(c.buckets[h], wglCacheRec{bits: append([]uint64(nil), bits...), state: state})
+	return true
+}

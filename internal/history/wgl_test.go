@@ -1,0 +1,339 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// mkInc builds an incomplete write invoked at start (no response ever).
+func mkInc(client string, start int, t tag.Tag, v string) Op {
+	op := mk(Write, client, start, start, t, v)
+	op.Respond = time.Time{}
+	op.Incomplete = true
+	return op
+}
+
+// goldenHistory is one corpus entry: a hand-written history with a known
+// verdict. The corpus guards against a checker that accepts everything —
+// every buggy entry MUST be flagged — and against one that rejects valid
+// concurrency — every linearizable entry MUST pass.
+type goldenHistory struct {
+	name         string
+	ops          []Op
+	linearizable bool
+	// tagCheckPasses marks histories the old tag-based checker wrongly
+	// accepts — the stale-value-under-fresh-tag class that motivated the
+	// value-based checker.
+	tagCheckPasses bool
+}
+
+func goldenCorpus() []goldenHistory {
+	return []goldenHistory{
+		// ---- histories that MUST be flagged ----
+		{
+			// The motivating bug: a read returns the OLD value under a
+			// fresh tag (higher than every write's). Tag order looks
+			// perfect; the value is stale.
+			name: "stale-read-fresh-tag",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Write, "w1", 20, 30, tg(2, "w1"), "b"),
+				mk(Read, "r1", 40, 50, tg(3, "w1"), "a"), // stale value, fresh tag
+			},
+			linearizable:   false,
+			tagCheckPasses: true,
+		},
+		{
+			// Lost update: the second write's value vanishes — every
+			// subsequent read observes only the first.
+			name: "lost-update",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Write, "w2", 20, 30, tg(2, "w2"), "b"),
+				mk(Read, "r1", 40, 50, tg(2, "w2"), "b"),
+				mk(Read, "r1", 60, 70, tg(3, "w2"), "a"), // b's update lost
+			},
+			linearizable:   false,
+			tagCheckPasses: true,
+		},
+		{
+			// Non-monotonic read: r1 sees the in-flight write, r2 (strictly
+			// after r1) sees the older value again.
+			name: "non-monotonic-read",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Write, "w1", 20, 200, tg(2, "w1"), "b"), // long in-flight write
+				mk(Read, "r1", 30, 40, tg(2, "w1"), "b"),
+				mk(Read, "r2", 50, 60, tg(1, "w1"), "a"),
+			},
+			linearizable: false,
+		},
+		{
+			// Split-brain write: two concurrent writes both "win" — reads
+			// oscillate between them after both completed, which no single
+			// order of the two writes explains.
+			name: "split-brain-write",
+			ops: []Op{
+				mk(Write, "w1", 0, 100, tg(1, "w1"), "a"),
+				mk(Write, "w2", 0, 100, tg(1, "w2"), "b"),
+				mk(Read, "r1", 110, 120, tg(1, "w1"), "a"),
+				mk(Read, "r1", 130, 140, tg(1, "w2"), "b"),
+				mk(Read, "r1", 150, 160, tg(1, "w1"), "a"),
+			},
+			linearizable: false,
+		},
+		{
+			// A value no write ever carried.
+			name: "value-from-nowhere",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Read, "r1", 20, 30, tg(1, "w1"), "z"),
+			},
+			linearizable: false,
+		},
+		{
+			// Initial value re-observed after a completed overwrite.
+			name: "resurrected-initial-value",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Read, "r1", 20, 30, tag.Zero, ""),
+			},
+			linearizable: false,
+		},
+
+		// ---- histories that MUST pass ----
+		{
+			name: "sequential",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Read, "r1", 20, 30, tg(1, "w1"), "a"),
+				mk(Write, "w1", 40, 50, tg(2, "w1"), "b"),
+				mk(Read, "r1", 60, 70, tg(2, "w1"), "b"),
+			},
+			linearizable:   true,
+			tagCheckPasses: true,
+		},
+		{
+			// A read concurrent with a write may return either value; two
+			// concurrent reads may even split — one old, one new — as long
+			// as neither precedes the other.
+			name: "concurrent-read-split",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Write, "w1", 20, 100, tg(2, "w1"), "b"),
+				mk(Read, "r1", 30, 90, tg(2, "w1"), "b"),
+				mk(Read, "r2", 40, 95, tg(1, "w1"), "a"),
+			},
+			linearizable:   true,
+			tagCheckPasses: true,
+		},
+		{
+			// Reading an incomplete write's value is legal: the write may
+			// have taken effect even though its writer never heard back.
+			name: "read-of-incomplete-write",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mkInc("w2", 20, tag.Tag{}, "b"),
+				mk(Read, "r1", 30, 40, tg(2, "w2"), "b"),
+				mk(Read, "r1", 50, 60, tg(2, "w2"), "b"),
+			},
+			linearizable:   true,
+			tagCheckPasses: true,
+		},
+		{
+			// An incomplete write that never takes effect is also legal.
+			name: "incomplete-write-no-effect",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mkInc("w2", 20, tag.Tag{}, "b"),
+				mk(Read, "r1", 30, 40, tg(1, "w1"), "a"),
+			},
+			linearizable:   true,
+			tagCheckPasses: true,
+		},
+		{
+			// The initial (empty) value is readable while the first write
+			// is still in flight.
+			name: "initial-value-under-concurrent-write",
+			ops: []Op{
+				mk(Write, "w1", 0, 100, tg(1, "w1"), "a"),
+				mk(Read, "r1", 10, 20, tag.Zero, ""),
+				mk(Read, "r2", 110, 120, tg(1, "w1"), "a"),
+			},
+			linearizable:   true,
+			tagCheckPasses: true,
+		},
+		{
+			// Requires actually reordering concurrent ops: r1 must
+			// linearize before w2 even though w2 was invoked first.
+			name: "reorder-concurrent-ops",
+			ops: []Op{
+				mk(Write, "w1", 0, 10, tg(1, "w1"), "a"),
+				mk(Write, "w2", 20, 100, tg(2, "w2"), "b"),
+				mk(Read, "r1", 30, 40, tg(1, "w1"), "a"),
+				mk(Read, "r2", 50, 60, tg(2, "w2"), "b"),
+			},
+			linearizable: true,
+		},
+	}
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	t.Parallel()
+	for _, g := range goldenCorpus() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			rep := Verify(g.ops, CheckOptions{})
+			if rep.Method != MethodWingGong {
+				t.Fatalf("method = %s, want wing-gong for a %d-op history", rep.Method, len(g.ops))
+			}
+			if rep.Linearizable != g.linearizable {
+				t.Fatalf("linearizable = %v, want %v (violations: %v)", rep.Linearizable, g.linearizable, rep.Violations)
+			}
+			if !g.linearizable && len(rep.Violations) == 0 {
+				t.Fatal("non-linearizable verdict must carry at least one violation")
+			}
+		})
+	}
+}
+
+// TestValueCheckerStrictlyStrongerThanTagCheck pins the motivation: the
+// corpus entries marked tagCheckPasses are accepted by the tag-based
+// checker, yet the buggy ones among them are caught by Verify.
+func TestValueCheckerStrictlyStrongerThanTagCheck(t *testing.T) {
+	t.Parallel()
+	caught := 0
+	for _, g := range goldenCorpus() {
+		if !g.tagCheckPasses {
+			continue
+		}
+		if v := Check(g.ops); len(v) != 0 {
+			t.Errorf("%s: tag check flagged %v, corpus says it passes", g.name, v)
+		}
+		if !g.linearizable {
+			if rep := Verify(g.ops, CheckOptions{}); rep.Linearizable {
+				t.Errorf("%s: value checker missed a bug the corpus requires it to catch", g.name)
+			} else {
+				caught++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatal("corpus has no tag-passing bug caught by the value checker; it no longer guards anything")
+	}
+}
+
+func TestVerifyEmptyHistory(t *testing.T) {
+	t.Parallel()
+	rep := Verify(nil, CheckOptions{})
+	if !rep.Linearizable || rep.Ops != 0 {
+		t.Fatalf("empty history: %+v", rep)
+	}
+}
+
+func TestVerifyFallsBackOnOversizedHistory(t *testing.T) {
+	t.Parallel()
+	var ops []Op
+	for i := 0; i < 20; i++ {
+		v := fmt.Sprintf("v%d", i)
+		ops = append(ops, mk(Write, "w1", i*20, i*20+10, tg(int64(i+1), "w1"), v))
+	}
+	rep := Verify(ops, CheckOptions{MaxOps: 10})
+	if rep.Method != MethodTag {
+		t.Fatalf("method = %s, want tag fallback above MaxOps", rep.Method)
+	}
+	if !rep.Linearizable {
+		t.Fatalf("tag fallback flagged a clean history: %v", rep.Violations)
+	}
+	if !strings.Contains(rep.Note, "MaxOps") {
+		t.Fatalf("note %q should explain the fallback", rep.Note)
+	}
+}
+
+func TestVerifyFallsBackOnStepBudget(t *testing.T) {
+	t.Parallel()
+	// Many identical-window concurrent writes plus contradictory
+	// post-quiescence reads: proving non-linearizability requires
+	// exploring the write orders, which exhausts a tiny step budget.
+	var ops []Op
+	for i := 0; i < 12; i++ {
+		w := fmt.Sprintf("w%d", i)
+		ops = append(ops, mk(Write, w, 0, 1000, tg(1, w), fmt.Sprintf("v%d", i)))
+	}
+	ops = append(ops,
+		mk(Read, "r1", 2000, 2010, tg(1, "w0"), "v0"),
+		mk(Read, "r1", 2020, 2030, tg(1, "w1"), "v1"),
+	)
+	rep := Verify(ops, CheckOptions{MaxSteps: 50})
+	if rep.Method != MethodTag {
+		t.Fatalf("method = %s, want tag fallback on exhausted budget (steps=%d)", rep.Method, rep.Steps)
+	}
+}
+
+// TestVerifyLongSequentialHistoryIsCheap guards the complexity claim: a
+// mostly-sequential history must check in near-linear steps, not blow the
+// budget.
+func TestVerifyLongSequentialHistoryIsCheap(t *testing.T) {
+	t.Parallel()
+	var ops []Op
+	for i := 0; i < 2000; i++ {
+		v := fmt.Sprintf("v%d", i)
+		ops = append(ops, mk(Write, "w1", i*20, i*20+10, tg(int64(i+1), "w1"), v))
+		ops = append(ops, mk(Read, "r1", i*20+12, i*20+18, tg(int64(i+1), "w1"), v))
+	}
+	rep := Verify(ops, CheckOptions{})
+	if !rep.Linearizable || rep.Method != MethodWingGong {
+		t.Fatalf("sequential history: %+v", rep)
+	}
+	if rep.Steps > 10*len(ops) {
+		t.Fatalf("steps = %d for %d ops; search should be near-linear on sequential histories", rep.Steps, len(ops))
+	}
+}
+
+// TestRecorderIncompleteWrites exercises the Begin/Done/Fail surface.
+func TestRecorderIncompleteWrites(t *testing.T) {
+	t.Parallel()
+	rec := NewRecorder()
+
+	p := rec.BeginWrite("w1", types.Value("a"))
+	p.Done(tg(1, "w1"), types.Value("a"))
+
+	// A failed write is retained as incomplete.
+	p = rec.BeginWrite("w1", types.Value("b"))
+	p.Fail()
+
+	// A failed read is dropped.
+	q := rec.BeginRead("r1")
+	q.Fail()
+
+	// An abandoned write (neither Done nor Fail) still surfaces.
+	rec.BeginWrite("w2", types.Value("c"))
+
+	ops := rec.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("ops = %d, want 3 (completed a, incomplete b, abandoned c)", len(ops))
+	}
+	var complete, incomplete int
+	for _, op := range ops {
+		if op.Incomplete {
+			incomplete++
+			if op.Respond != (time.Time{}) {
+				t.Fatal("incomplete op must not carry a response time")
+			}
+		} else {
+			complete++
+		}
+	}
+	if complete != 1 || incomplete != 2 {
+		t.Fatalf("complete = %d incomplete = %d, want 1 and 2", complete, incomplete)
+	}
+	if rep := Verify(ops, CheckOptions{}); !rep.Linearizable {
+		t.Fatalf("history with incomplete writes should pass: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// countingHandler echoes and counts deliveries.
+func countingHandler(calls *atomic.Int64) Handler {
+	return HandlerFunc(func(from types.ProcessID, req Request) Response {
+		calls.Add(1)
+		return OKResponse(req.Payload)
+	})
+}
+
+// invokeShort sends one request with a short deadline and reports success.
+func invokeShort(net *Simnet, from, to types.ProcessID) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := net.Client(from).Invoke(ctx, to, Request{Service: "t", Type: "x"})
+	return err == nil
+}
+
+func TestBlockLinkIsDirectional(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	var aCalls, bCalls atomic.Int64
+	net.Register("a", countingHandler(&aCalls))
+	net.Register("b", countingHandler(&bCalls))
+	net.BlockLink("a", "b")
+
+	// a → b messages are dropped: a's request never reaches b.
+	if invokeShort(net, "a", "b") {
+		t.Fatal("a → b should be blocked")
+	}
+	if bCalls.Load() != 0 {
+		t.Fatal("b's handler ran despite the a → b block")
+	}
+	// The reverse direction carries messages: b's request reaches a (the
+	// handler runs), but a's *response* is an a → b message and is dropped,
+	// so the RPC still fails at b. One-way blocking is per message, not per
+	// RPC.
+	if invokeShort(net, "b", "a") {
+		t.Fatal("b → a RPC should fail: the response travels the blocked direction")
+	}
+	if aCalls.Load() != 1 {
+		t.Fatalf("a's handler calls = %d, want 1 (b's request travels the open direction)", aCalls.Load())
+	}
+	if !net.LinkBlocked("a", "b") || net.LinkBlocked("b", "a") {
+		t.Fatal("LinkBlocked should report exactly the a → b direction")
+	}
+
+	net.UnblockLink("a", "b")
+	if !invokeShort(net, "a", "b") {
+		t.Fatal("a → b should be open after UnblockLink")
+	}
+	// Idempotence: repeated block/unblock leaves a consistent state.
+	net.UnblockLink("a", "b")
+	net.BlockLink("a", "b")
+	net.BlockLink("a", "b")
+	if invokeShort(net, "a", "b") {
+		t.Fatal("a → b should be blocked after repeated BlockLink")
+	}
+}
+
+func TestPartitionBlocksBothDirectionsAndHeals(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	for _, id := range []types.ProcessID{"a1", "a2", "b1", "b2", "c1"} {
+		net.Register(id, echoHandler(nil))
+	}
+	net.Partition([]types.ProcessID{"a1", "a2"}, []types.ProcessID{"b1", "b2"})
+
+	if invokeShort(net, "a1", "b1") || invokeShort(net, "b2", "a2") {
+		t.Fatal("cross-partition links should be cut in both directions")
+	}
+	if !invokeShort(net, "a1", "a2") || !invokeShort(net, "b1", "b2") {
+		t.Fatal("intra-group links should stay open")
+	}
+	// A process in neither group keeps full connectivity.
+	if !invokeShort(net, "c1", "a1") || !invokeShort(net, "c1", "b1") {
+		t.Fatal("a process outside both groups should reach everyone")
+	}
+
+	net.Heal([]types.ProcessID{"a1", "a2"}, []types.ProcessID{"b1", "b2"})
+	if !invokeShort(net, "a1", "b1") || !invokeShort(net, "b2", "a2") {
+		t.Fatal("cross-partition links should be open after Heal")
+	}
+}
+
+func TestCrashRestartIdempotentAndStatePreserving(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet()
+	var calls atomic.Int64
+	net.Register("s1", countingHandler(&calls))
+
+	// Idempotent restart of a never-crashed process is a no-op.
+	net.Restart("s1")
+	if !invokeShort(net, "c1", "s1") {
+		t.Fatal("restart of a live process should be a no-op")
+	}
+
+	net.Crash("s1")
+	net.Crash("s1") // idempotent
+	if !net.Crashed("s1") {
+		t.Fatal("Crashed should report the crash")
+	}
+	if invokeShort(net, "c1", "s1") {
+		t.Fatal("crashed server should not respond")
+	}
+
+	net.Restart("s1")
+	net.Restart("s1") // idempotent
+	if net.Crashed("s1") {
+		t.Fatal("Crashed should clear after Restart")
+	}
+	before := calls.Load()
+	if !invokeShort(net, "c1", "s1") {
+		t.Fatal("restarted server should respond")
+	}
+	// The handler object survived the crash: same counter keeps counting,
+	// i.e. server state is preserved across crash-recovery.
+	if calls.Load() != before+1 {
+		t.Fatalf("handler state lost across crash-restart: calls %d → %d", before, calls.Load())
+	}
+}
+
+func TestLinkFaultsDropFailsFast(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithSeed(7))
+	net.Register("s1", echoHandler(nil))
+	net.SetLinkFaults("c1", "s1", LinkFaults{Drop: 1.0})
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := net.Client("c1").Invoke(ctx, "s1", Request{Service: "t", Type: "x"}); err == nil {
+		t.Fatal("Drop=1 link should fail every request")
+	}
+	// The failure must be a fast detected omission, not a hang until the
+	// context deadline: quorum logic depends on routing around it promptly.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("dropped request took %v, want fast failure", elapsed)
+	}
+
+	net.SetLinkFaults("c1", "s1", LinkFaults{}) // zero faults clears the link
+	if !invokeShort(net, "c1", "s1") {
+		t.Fatal("link should be clean after clearing faults")
+	}
+}
+
+func TestLinkFaultsResponseDropExecutesHandler(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithSeed(7))
+	var calls atomic.Int64
+	net.Register("s1", countingHandler(&calls))
+	// Faults on the response direction: requests arrive and execute, the
+	// answer is lost.
+	net.SetLinkFaults("s1", "c1", LinkFaults{Drop: 1.0})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := net.Client("c1").Invoke(ctx, "s1", Request{Service: "t", Type: "x"}); err == nil {
+		t.Fatal("response-dropped request should error at the caller")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("handler calls = %d, want 1 (effect must stand when only the response is lost)", calls.Load())
+	}
+}
+
+func TestLinkFaultsDuplicateDelivery(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithSeed(7))
+	var calls atomic.Int64
+	net.Register("s1", countingHandler(&calls))
+	net.SetLinkFaults("c1", "s1", LinkFaults{Dup: 1.0})
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		if !invokeShort(net, "c1", "s1") {
+			t.Fatal("duplicated requests must still succeed for the caller")
+		}
+	}
+	net.Quiesce() // duplicates deliver in the background
+	if got := calls.Load(); got != 2*n {
+		t.Fatalf("handler calls = %d, want %d (every request delivered twice)", got, 2*n)
+	}
+}
+
+func TestDefaultLinkFaultsAndPerLinkOverride(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithSeed(7))
+	net.Register("s1", echoHandler(nil))
+	net.Register("s2", echoHandler(nil))
+	net.SetDefaultLinkFaults(LinkFaults{Drop: 1.0})
+	// Per-link override wins over the default: a zero-fault override on
+	// both directions keeps the c1 ↔ s2 round trip clean.
+	net.SetLinkFaults("c1", "s2", LinkFaults{})
+	net.SetLinkFaults("s2", "c1", LinkFaults{})
+
+	if invokeShort(net, "c1", "s1") {
+		t.Fatal("default Drop=1 should fail un-overridden links")
+	}
+	if !invokeShort(net, "c1", "s2") {
+		t.Fatal("per-link override should shield c1 → s2 from the default")
+	}
+
+	net.ClearLinkFaults()
+	if !invokeShort(net, "c1", "s1") {
+		t.Fatal("ClearLinkFaults should remove the default faults")
+	}
+}
+
+func TestLinkFaultsDelaySpike(t *testing.T) {
+	t.Parallel()
+	net := NewSimnet(WithSeed(7))
+	net.Register("s1", echoHandler(nil))
+	// The spike is directional: configured on c1 → s1 it delays only the
+	// request leg of the round trip. The spike is large relative to
+	// scheduling noise so the upper bound (strictly below the two-leg
+	// floor of 120ms) holds even on loaded race-instrumented CI runners.
+	const spike = 60 * time.Millisecond
+	net.SetLinkFaults("c1", "s1", LinkFaults{Extra: Fixed(spike)})
+
+	start := time.Now()
+	if _, err := net.Client("c1").Invoke(context.Background(), "s1", Request{Service: "t", Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	oneWay := time.Since(start)
+	if oneWay < spike {
+		t.Fatalf("round trip took %v, want ≥ %v with a request-leg spike", oneWay, spike)
+	}
+	if oneWay > spike+50*time.Millisecond {
+		t.Fatalf("round trip took %v: a one-direction spike must not delay the response leg too", oneWay)
+	}
+
+	// Spiking the response direction as well delays both legs.
+	net.SetLinkFaults("s1", "c1", LinkFaults{Extra: Fixed(spike)})
+	start = time.Now()
+	if _, err := net.Client("c1").Invoke(context.Background(), "s1", Request{Service: "t", Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*spike {
+		t.Fatalf("round trip took %v, want ≥ %v with spikes on both directions", elapsed, 2*spike)
+	}
+	net.Close()
+}

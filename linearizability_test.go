@@ -61,15 +61,16 @@ func runLinScenario(t *testing.T, sc linScenario) {
 				default:
 				}
 				v := ares.Value(fmt.Sprintf("%s/%d", id, seq))
-				done := rec.Start(history.Write, id)
+				p := rec.BeginWrite(id, v)
 				tg, err := client.Write(ctx, v)
 				if err != nil {
+					p.Fail() // retained as incomplete: the write may have landed
 					if ctx.Err() == nil {
 						t.Errorf("%s write: %v", id, err)
 					}
 					return
 				}
-				done(tg, v)
+				p.Done(tg, v)
 			}
 		}(id, client)
 	}
@@ -88,15 +89,16 @@ func runLinScenario(t *testing.T, sc linScenario) {
 					return
 				default:
 				}
-				done := rec.Start(history.Read, id)
+				p := rec.BeginRead(id)
 				pair, err := client.Read(ctx)
 				if err != nil {
+					p.Fail()
 					if ctx.Err() == nil {
 						t.Errorf("%s read: %v", id, err)
 					}
 					return
 				}
-				done(pair.Tag, pair.Value)
+				p.Done(pair.Tag, pair.Value)
 			}
 		}(id, client)
 	}
@@ -135,7 +137,17 @@ func runLinScenario(t *testing.T, sc linScenario) {
 		}
 		t.Fatalf("%d atomicity violations in %d ops (seed %d)", len(violations), len(ops), sc.seed)
 	}
-	t.Logf("%s: %d atomic operations (seed %d)", sc.name, len(ops), sc.seed)
+	rep := history.Verify(ops, history.CheckOptions{})
+	if !rep.Linearizable {
+		for i, v := range rep.Violations {
+			if i >= 3 {
+				break
+			}
+			t.Error(v)
+		}
+		t.Fatalf("%s: history of %d ops not linearizable by value (%s, seed %d)", sc.name, len(ops), rep.Method, sc.seed)
+	}
+	t.Logf("%s: %d atomic operations, value-checked via %s (seed %d)", sc.name, len(ops), rep.Method, sc.seed)
 }
 
 // TestLinearizabilityMatrix soaks a grid of deployments and churn patterns.
@@ -244,15 +256,16 @@ func TestStoreLinearizabilityMultiKeySoak(t *testing.T) {
 					default:
 					}
 					v := ares.Value(fmt.Sprintf("%s/%d", id, seq))
-					done := rec.Start(history.Write, id)
+					p := rec.BeginWrite(id, v)
 					tg, err := store.WriteKey(ctx, key, v)
 					if err != nil {
+						p.Fail()
 						if ctx.Err() == nil {
 							t.Errorf("%s write: %v", id, err)
 						}
 						return
 					}
-					done(tg, v)
+					p.Done(tg, v)
 				}
 			}(id)
 		}
@@ -267,15 +280,16 @@ func TestStoreLinearizabilityMultiKeySoak(t *testing.T) {
 						return
 					default:
 					}
-					done := rec.Start(history.Read, id)
+					p := rec.BeginRead(id)
 					pair, err := store.ReadKey(ctx, key)
 					if err != nil {
+						p.Fail()
 						if ctx.Err() == nil {
 							t.Errorf("%s read: %v", id, err)
 						}
 						return
 					}
-					done(pair.Tag, pair.Value)
+					p.Done(pair.Tag, pair.Value)
 				}
 			}(id)
 		}
@@ -311,6 +325,18 @@ func TestStoreLinearizabilityMultiKeySoak(t *testing.T) {
 				t.Errorf("key %s: %v", key, v)
 			}
 			t.Errorf("key %s: %d atomicity violations in %d ops", key, len(violations), len(ops))
+		}
+		// Each key is an independent register, so the value-based check is
+		// per-key partitioned: every key's history must independently
+		// linearize.
+		if rep := history.Verify(ops, history.CheckOptions{}); !rep.Linearizable {
+			for i, v := range rep.Violations {
+				if i >= 3 {
+					break
+				}
+				t.Errorf("key %s: %v", key, v)
+			}
+			t.Errorf("key %s: not linearizable by value (%s)", key, rep.Method)
 		}
 	}
 	t.Logf("multi-key soak: %d atomic operations across %d keys", totalOps, len(keys))
