@@ -44,6 +44,11 @@ const (
 	LDR = cfg.LDR
 )
 
+// CtlServiceName names the node-scoped control service through which
+// configurations are provisioned remotely. Exposed so operational tooling
+// (and tests) can account install traffic separately from data traffic.
+const CtlServiceName = core.CtlServiceName
+
 // Client is an ARES reader/writer. Obtain one from Cluster.NewClient (or
 // assemble over TCP with NewTCPClient + NewRemoteClient).
 type Client = core.Client

@@ -34,7 +34,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	ares "github.com/ares-storage/ares"
@@ -285,22 +287,37 @@ type workloadResult struct {
 	Write       latencySummary `json:"write"`
 }
 
+// firstTouchResult reports the high-cardinality first-touch phase: the cost
+// of the very first operation on N fresh keys under keyed hosting. The
+// install_rpcs field pins the zero-installation invariant; heap bytes/key
+// and service_instances are the per-key footprint the keyed refactor turned
+// from "installed service stack" into "map entries".
+type firstTouchResult struct {
+	Keys             int            `json:"keys"`
+	Latency          latencySummary `json:"latency"`
+	OpsPerSec        float64        `json:"ops_per_sec"`
+	HeapBytesPerKey  float64        `json:"heap_bytes_per_key"`
+	ServiceInstances int            `json:"service_instances"`
+	InstallRPCs      int64          `json:"install_rpcs"`
+}
+
 // suiteSummary is the machine-readable artifact -json emits, shaped to seed
 // the BENCH_*.json perf trajectory.
 type suiteSummary struct {
-	Generated  string           `json:"generated"`
-	Suite      string           `json:"suite"`
-	DurationMS int64            `json:"duration_ms_per_workload"`
-	Workers    int              `json:"workers"`
-	Keys       int              `json:"keys"`
-	ValueSize  int              `json:"value_size"`
-	Seed       int64            `json:"seed"`
-	Workloads  []workloadResult `json:"workloads"`
+	Generated  string            `json:"generated"`
+	Suite      string            `json:"suite"`
+	DurationMS int64             `json:"duration_ms_per_workload"`
+	Workers    int               `json:"workers"`
+	Keys       int               `json:"keys"`
+	ValueSize  int               `json:"value_size"`
+	Seed       int64             `json:"seed"`
+	FirstTouch *firstTouchResult `json:"first_touch,omitempty"`
+	Workloads  []workloadResult  `json:"workloads"`
 }
 
 // newSuiteStore deploys a fresh cluster + sharded ObjectStore for one
 // workload, isolated so workloads don't warm each other's registers.
-func newSuiteStore(prefix string) (*ares.ObjectStore, error) {
+func newSuiteStore(prefix string, opts ...ares.NetworkOption) (*ares.ObjectStore, *ares.Cluster, *ares.Network, error) {
 	const n, k, delta = 5, 3, 32
 	template := ares.Config{Algorithm: ares.TREAS, K: k, Delta: delta}
 	for i := 1; i <= n; i++ {
@@ -308,12 +325,101 @@ func newSuiteStore(prefix string) (*ares.ObjectStore, error) {
 	}
 	root := template
 	root.ID = ares.ConfigID(prefix + "/root")
-	net := ares.NewSimNetwork(ares.WithDelayRange(100*time.Microsecond, 300*time.Microsecond))
+	net := ares.NewSimNetwork(opts...)
 	cluster, err := ares.NewCluster(root, net)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	store, err := ares.NewObjectStore(cluster, template)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return store, cluster, net, nil
+}
+
+// runFirstTouch drives one Put against each of p.keys fresh keys with
+// p.workers concurrent workers over a zero-delay network, so the recorded
+// latency is the system's own first-touch cost (state materialization, not
+// simulated wire time). It verifies on the way that no install RPC crossed
+// the wire and that the service-instance count stayed flat.
+func runFirstTouch(p storeSuiteParams) (*firstTouchResult, error) {
+	store, cluster, net, err := newSuiteStore("bench-firsttouch")
 	if err != nil {
 		return nil, err
 	}
-	return ares.NewObjectStore(cluster, template)
+	instancesBefore := cluster.ServiceInstances()
+	net.Counters().Reset()
+	lat := benchutil.NewLatencyRecorder()
+	value := make(ares.Value, p.valSize)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	ctx := context.Background()
+	workers := p.workers
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		latMu   sync.Mutex
+		firstEr error
+		erMu    sync.Mutex
+	)
+	next := make(chan string, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range next {
+				opStart := time.Now()
+				err := store.Put(ctx, key, value)
+				d := time.Since(opStart)
+				if err != nil {
+					erMu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("first touch of %s: %w", key, err)
+					}
+					erMu.Unlock()
+					continue
+				}
+				latMu.Lock()
+				lat.Record(d)
+				latMu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < p.keys; i++ {
+		next <- fmt.Sprintf("ft-%07d", i)
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstEr != nil {
+		return nil, firstEr
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	heapPerKey := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(p.keys)
+
+	if rpcs := net.Counters().TotalMessages(ares.CtlServiceName); rpcs != 0 {
+		return nil, fmt.Errorf("first-touch phase performed %d install RPCs, want 0", rpcs)
+	}
+	if got := cluster.ServiceInstances(); got != instancesBefore {
+		return nil, fmt.Errorf("service instances grew %d → %d across %d keys", instancesBefore, got, p.keys)
+	}
+	return &firstTouchResult{
+		Keys:             p.keys,
+		Latency:          toLatencySummary(lat.Summarize()),
+		OpsPerSec:        float64(p.keys) / elapsed.Seconds(),
+		HeapBytesPerKey:  heapPerKey,
+		ServiceInstances: cluster.ServiceInstances(),
+		InstallRPCs:      0,
+	}, nil
 }
 
 func runStoreSuite(p storeSuiteParams) error {
@@ -328,8 +434,16 @@ func runStoreSuite(p storeSuiteParams) error {
 	}
 	table := benchutil.NewTable("workload", "ops", "errs", "ops/s", "keys", "read p50", "read p99", "write p50", "write p99")
 
+	// High-cardinality first-touch phase: p.keys fresh keys, no installs.
+	ft, err := runFirstTouch(p)
+	if err != nil {
+		return fmt.Errorf("store suite first-touch: %w", err)
+	}
+	summary.FirstTouch = ft
+
 	for _, w := range storeSuite {
-		store, err := newSuiteStore("bench-" + w.Name)
+		store, _, _, err := newSuiteStore("bench-"+w.Name,
+			ares.WithDelayRange(100*time.Microsecond, 300*time.Microsecond))
 		if err != nil {
 			return fmt.Errorf("store suite %s: %w", w.Name, err)
 		}
@@ -376,6 +490,8 @@ func runStoreSuite(p storeSuiteParams) error {
 	fmt.Printf("\n== STORE: multi-key ObjectStore workload suite (%v per workload, %d workers, %d keys)\n\n",
 		p.duration, p.workers, p.keys)
 	table.Render(os.Stdout)
+	fmt.Printf("\n  first-touch (%d fresh keys): p50 %.0fµs p99 %.0fµs, %.0f ops/s, %.0f heap B/key, %d service instances, %d install RPCs\n",
+		ft.Keys, ft.Latency.P50Micro, ft.Latency.P99Micro, ft.OpsPerSec, ft.HeapBytesPerKey, ft.ServiceInstances, ft.InstallRPCs)
 
 	if p.jsonPath != "" {
 		data, err := json.MarshalIndent(summary, "", "  ")

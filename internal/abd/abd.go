@@ -6,6 +6,10 @@
 // put-data the propagation phase; quorums are majorities of the
 // configuration's servers. Its DAPs satisfy C1 and C2 (Lemmas 34–37), so the
 // A1 template over them is atomic.
+//
+// A node hosts a single Service for the whole keyspace: each (key, config)
+// register is one lazily-created entry in a striped-lock map, materialized
+// by the first message that names the pair (no per-key installation).
 package abd
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/transport"
@@ -48,42 +53,75 @@ type (
 	}
 )
 
-// Service is the per-configuration server state: one tag-value pair,
+// register is the per-(key, config) server state: one tag-value pair,
 // monotonically advanced by write messages (Alg. 12 primitive handlers).
-type Service struct {
+type register struct {
 	mu  sync.Mutex
 	tag tag.Tag
 	val types.Value
 }
 
-// NewService returns a fresh ABD store holding (t0, v0).
-func NewService() *Service {
-	return &Service{}
+// Service hosts every ABD register of one node. Per-(key, config) registers
+// are created on first touch after resolving the addressed configuration and
+// checking this server's membership.
+type Service struct {
+	self   types.ProcessID
+	cfgs   cfg.Source
+	states *keystate.Map[*register]
 }
 
-var _ node.Service = (*Service)(nil)
+// NewService returns the node-wide ABD store for server self. cfgs resolves
+// the configurations messages address; state for unresolvable or non-member
+// configurations is never created.
+func NewService(self types.ProcessID, cfgs cfg.Source) *Service {
+	return &Service{
+		self:   self,
+		cfgs:   cfgs,
+		states: keystate.New[*register](keystate.DefaultShards),
+	}
+}
 
-// Handle implements node.Service.
-func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+var _ node.KeyedService = (*Service)(nil)
+
+// state returns (creating on first touch) the register for (key, configID).
+func (s *Service) state(key, configID string) (*register, error) {
+	return keystate.Materialize(s.states, s.cfgs, ServiceName, s.self, key, configID,
+		func(c cfg.Configuration) (*register, error) {
+			if c.Algorithm != cfg.ABD {
+				return nil, fmt.Errorf("abd: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+			}
+			if _, ok := c.ServerIndex(s.self); !ok {
+				return nil, fmt.Errorf("abd: server %s is not a member of %s", s.self, c.ID)
+			}
+			return &register{}, nil
+		})
+}
+
+// HandleKeyed implements node.KeyedService.
+func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, payload []byte) (any, error) {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return nil, err
+	}
 	switch msgType {
 	case msgQueryTag:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return tagResp{Tag: s.tag}, nil
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return tagResp{Tag: st.tag}, nil
 	case msgQuery:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return pairResp{Tag: s.tag, Value: s.val.Clone()}, nil
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return pairResp{Tag: st.tag, Value: st.val.Clone()}, nil
 	case msgWrite:
 		var req writeReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.tag.Less(req.Tag) {
-			s.tag = req.Tag
-			s.val = types.Value(req.Value).Clone()
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.tag.Less(req.Tag) {
+			st.tag = req.Tag
+			st.val = types.Value(req.Value).Clone()
 		}
 		return nil, nil // ACK
 	default:
@@ -91,19 +129,34 @@ func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any
 	}
 }
 
-// StorageBytes reports the bytes of object data at rest on this server — the
-// paper's storage-cost metric (metadata excluded).
+// StorageBytes reports the bytes of object data at rest across every
+// register on this server — the paper's storage-cost metric (metadata
+// excluded).
 func (s *Service) StorageBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.val)
+	total := 0
+	s.states.Range(func(_ keystate.Ref, st *register) bool {
+		st.mu.Lock()
+		total += len(st.val)
+		st.mu.Unlock()
+		return true
+	})
+	return total
 }
 
-// Current returns the stored pair (for tests and introspection).
-func (s *Service) Current() tag.Pair {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return tag.Pair{Tag: s.tag, Value: s.val.Clone()}
+// States reports how many (key, config) registers have been materialized
+// (for tests asserting lazy creation and O(1)-in-keys service hosting).
+func (s *Service) States() int { return s.states.Len() }
+
+// Current returns the stored pair of one register (for tests and
+// introspection). The bool reports whether the register exists.
+func (s *Service) Current(key, configID string) (tag.Pair, bool) {
+	st, ok := s.states.Get(keystate.Ref{Key: key, Config: configID})
+	if !ok {
+		return tag.Pair{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return tag.Pair{Tag: st.tag, Value: st.val.Clone()}, true
 }
 
 // Client implements dap.Client over a configuration using majority quorums.
@@ -135,7 +188,7 @@ var _ dap.Client = (*Client)(nil)
 func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 	q := c.cfg.Quorum()
 	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
-		transport.Phase[tagResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQueryTag, Body: struct{}{}},
+		transport.Phase[tagResp]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQueryTag, Body: struct{}{}},
 		transport.AtLeast[tagResp](q.Size()),
 	)
 	if err != nil {
@@ -153,7 +206,7 @@ func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 	q := c.cfg.Quorum()
 	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
-		transport.Phase[pairResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQuery, Body: struct{}{}},
+		transport.Phase[pairResp]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQuery, Body: struct{}{}},
 		transport.AtLeast[pairResp](q.Size()),
 	)
 	if err != nil {
@@ -172,7 +225,7 @@ func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 	q := c.cfg.Quorum()
 	_, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
-		transport.Phase[struct{}]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgWrite, Body: writeReq{Tag: p.Tag, Value: p.Value}},
+		transport.Phase[struct{}]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgWrite, Body: writeReq{Tag: p.Tag, Value: p.Value}},
 		transport.AtLeast[struct{}](q.Size()),
 	)
 	if err != nil {

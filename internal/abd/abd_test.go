@@ -17,22 +17,34 @@ import (
 )
 
 // deploy installs an ABD configuration of n servers on a fresh simnet and
-// returns the configuration, the network, and the per-server services.
+// returns the configuration, the network, and the per-server keyed services.
 func deploy(t *testing.T, n int) (cfg.Configuration, *transport.Simnet, map[types.ProcessID]*Service) {
 	t.Helper()
 	net := transport.NewSimnet()
 	c := cfg.Configuration{ID: "c0", Algorithm: cfg.ABD}
-	services := make(map[types.ProcessID]*Service, n)
 	for i := 0; i < n; i++ {
-		id := types.ProcessID(fmt.Sprintf("s%d", i+1))
-		c.Servers = append(c.Servers, id)
+		c.Servers = append(c.Servers, types.ProcessID(fmt.Sprintf("s%d", i+1)))
+	}
+	services := make(map[types.ProcessID]*Service, n)
+	for _, id := range c.Servers {
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(id)
-		svc := NewService()
-		nd.Install(ServiceName, string(c.ID), svc)
+		svc := NewService(id, src)
+		nd.InstallKeyed(ServiceName, svc)
 		net.Register(id, nd)
 		services[id] = svc
 	}
 	return c, net, services
+}
+
+// soloService builds a one-server keyed service for direct handler tests; it
+// returns the service and the configuration ID its state lives under.
+func soloService() (*Service, string) {
+	c := cfg.Configuration{ID: "solo", Algorithm: cfg.ABD, Servers: []types.ProcessID{"s1"}}
+	src := cfg.NewResolver()
+	src.Add(c)
+	return NewService("s1", src), string(c.ID)
 }
 
 func TestWriteThenRead(t *testing.T) {
@@ -179,38 +191,85 @@ func TestServerMonotonicity(t *testing.T) {
 	t.Parallel()
 	// Lemma 34: server tags never regress, even when writes arrive out of
 	// tag order.
-	svc := NewService()
+	svc, configID := soloService()
 	write := func(z int64, v string) {
 		payload := transport.MustMarshal(writeReq{Tag: tag.Tag{Z: z, W: "w1"}, Value: []byte(v)})
-		if _, err := svc.Handle("w1", msgWrite, payload); err != nil {
+		if _, err := svc.HandleKeyed("w1", "", configID, msgWrite, payload); err != nil {
 			t.Fatal(err)
 		}
 	}
 	write(5, "newer")
 	write(3, "stale")
-	cur := svc.Current()
-	if cur.Tag.Z != 5 || string(cur.Value) != "newer" {
+	cur, ok := svc.Current("", configID)
+	if !ok || cur.Tag.Z != 5 || string(cur.Value) != "newer" {
 		t.Fatalf("stale write regressed server state: %v %q", cur.Tag, cur.Value)
 	}
 }
 
 func TestServiceUnknownMessage(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
-	if _, err := svc.Handle("x", "bogus", nil); err == nil {
+	svc, configID := soloService()
+	if _, err := svc.HandleKeyed("x", "", configID, "bogus", nil); err == nil {
 		t.Fatal("unknown message type accepted")
+	}
+}
+
+func TestServiceUnknownConfig(t *testing.T) {
+	t.Parallel()
+	svc, _ := soloService()
+	_, err := svc.HandleKeyed("x", "", "ghost", msgQueryTag, nil)
+	if !errors.Is(err, cfg.ErrUnknownConfig) {
+		t.Fatalf("err = %v, want ErrUnknownConfig", err)
+	}
+	// A key the configuration was not derived for must not alias the state.
+	_, err = svc.HandleKeyed("x", "other-key", "solo", msgQueryTag, nil)
+	if !errors.Is(err, cfg.ErrUnknownConfig) {
+		t.Fatalf("mismatched key err = %v, want ErrUnknownConfig", err)
+	}
+	if svc.States() != 0 {
+		t.Fatalf("rejected messages materialized %d states", svc.States())
 	}
 }
 
 func TestStorageBytes(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
+	svc, configID := soloService()
 	payload := transport.MustMarshal(writeReq{Tag: tag.Tag{Z: 1, W: "w"}, Value: make([]byte, 1000)})
-	if _, err := svc.Handle("w", msgWrite, payload); err != nil {
+	if _, err := svc.HandleKeyed("w", "", configID, msgWrite, payload); err != nil {
 		t.Fatal(err)
 	}
 	if got := svc.StorageBytes(); got != 1000 {
 		t.Fatalf("StorageBytes = %d, want 1000 (full replication)", got)
+	}
+}
+
+// TestPerKeyIsolation pins the keyed hosting model: one service instance,
+// independent per-key registers, lazily materialized.
+func TestPerKeyIsolation(t *testing.T) {
+	t.Parallel()
+	c := cfg.Configuration{
+		ID:        cfg.ID("store/" + cfg.KeyPlaceholder + "/c0"),
+		Algorithm: cfg.ABD,
+		Servers:   []types.ProcessID{"s1"},
+	}
+	src := cfg.NewResolver()
+	src.Add(c)
+	svc := NewService("s1", src)
+	write := func(key, configID, v string, z int64) {
+		payload := transport.MustMarshal(writeReq{Tag: tag.Tag{Z: z, W: "w"}, Value: []byte(v)})
+		if _, err := svc.HandleKeyed("w", key, configID, msgWrite, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a", "store/a/c0", "va", 7)
+	write("b", "store/b/c0", "vb", 3)
+	if got := svc.States(); got != 2 {
+		t.Fatalf("States = %d, want 2", got)
+	}
+	pa, _ := svc.Current("a", "store/a/c0")
+	pb, _ := svc.Current("b", "store/b/c0")
+	if string(pa.Value) != "va" || string(pb.Value) != "vb" || pa.Tag.Z != 7 || pb.Tag.Z != 3 {
+		t.Fatalf("per-key state aliased: a=%v %q b=%v %q", pa.Tag, pa.Value, pb.Tag, pb.Value)
 	}
 }
 
@@ -255,7 +314,7 @@ func TestConcurrentWritersConverge(t *testing.T) {
 	}
 	count := 0
 	for _, svc := range services {
-		if svc.Current().Tag == pair.Tag {
+		if cur, ok := svc.Current("", string(c.ID)); ok && cur.Tag == pair.Tag {
 			count++
 		}
 	}

@@ -63,8 +63,15 @@ func (s Status) String() string {
 // Configuration describes one configuration c (§2): its servers, quorum
 // system, and the DAP implementation parameters.
 type Configuration struct {
-	// ID is the unique configuration identifier.
+	// ID is the unique configuration identifier. Template configurations —
+	// the per-key blueprints a composed store stamps out — embed
+	// KeyPlaceholder in their ID; ForKey instantiates them.
 	ID ID
+	// Key names the object (register) this configuration serves. Every
+	// message addressed to the configuration carries it, and servers route on
+	// (service, key, config). Empty for a deployment's default register and
+	// for templates; ForKey fills it in.
+	Key string
 	// Algorithm selects the DAP implementation for this configuration.
 	Algorithm Algorithm
 	// Servers lists the member server processes (c.Servers).
@@ -152,6 +159,30 @@ func (c Configuration) ServerIndex(s types.ProcessID) (int, bool) {
 // (compared by ID; IDs are unique by construction).
 func (c Configuration) Equal(other Configuration) bool {
 	return c.ID == other.ID
+}
+
+// Same reports whether two configurations are identical in every field that
+// affects protocol behaviour — the test installation paths use to tell an
+// idempotent re-install (harmless) from a conflicting one (an error: IDs
+// must be unique by construction, so two different configurations under one
+// ID is a deployment bug).
+func (c Configuration) Same(other Configuration) bool {
+	if c.ID != other.ID || c.Key != other.Key || c.Algorithm != other.Algorithm ||
+		c.K != other.K || c.Delta != other.Delta || c.FReplicas != other.FReplicas ||
+		len(c.Servers) != len(other.Servers) || len(c.Directories) != len(other.Directories) {
+		return false
+	}
+	for i := range c.Servers {
+		if c.Servers[i] != other.Servers[i] {
+			return false
+		}
+	}
+	for i := range c.Directories {
+		if c.Directories[i] != other.Directories[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders a compact description.

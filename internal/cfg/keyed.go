@@ -1,0 +1,151 @@
+package cfg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// This file holds the keyspace side of configurations: templates that stand
+// for a whole family of per-key configurations, and the Resolver servers use
+// to materialize the configuration addressed by a (key, config-ID) pair
+// without a per-key installation round-trip.
+//
+// The paper's §1 composability claim ("large shared memory systems from
+// individual atomic data objects") needs one configuration chain per key, but
+// per-key chains must not cost per-key service installations. A template is
+// installed once; each key's initial configuration is derived locally on
+// both the client and the server by splicing the key into the template's ID.
+
+// KeyPlaceholder marks where the object key is spliced into a template
+// configuration's ID. A configuration whose ID contains the placeholder is a
+// template (IsTemplate); ForKey instantiates it for a concrete key.
+const KeyPlaceholder = "{key}"
+
+// IsTemplate reports whether the configuration is a per-key template rather
+// than a concrete configuration.
+func (c Configuration) IsTemplate() bool {
+	return strings.Contains(string(c.ID), KeyPlaceholder)
+}
+
+// ForKey instantiates a template for one object key: the placeholder in the
+// ID is replaced by the key and the Key field is set. Calling ForKey on a
+// concrete (non-template) configuration only sets Key, which is how a
+// reconfiguration target proposed for a single key is bound to it.
+func (c Configuration) ForKey(key string) Configuration {
+	c.ID = ID(strings.ReplaceAll(string(c.ID), KeyPlaceholder, key))
+	c.Key = key
+	return c
+}
+
+// Source resolves the configuration a message is addressed to. Keyed
+// services consult it to materialize per-(key, config) state lazily: the
+// first message for a fresh key finds its configuration here instead of
+// requiring an installation round-trip.
+type Source interface {
+	// ResolveConfig returns the concrete configuration addressed by
+	// (key, id), instantiated for key when it matches a template. ok is
+	// false when no installed configuration or template matches — an
+	// unknown-configuration error at the caller.
+	ResolveConfig(key string, id ID) (Configuration, bool)
+}
+
+// ErrUnknownConfig reports a message addressed to a configuration the
+// resolving process has neither installed nor can derive from an installed
+// template.
+var ErrUnknownConfig = errors.New("cfg: unknown configuration")
+
+// Resolver is the standard Source: a set of concrete configurations (added
+// by explicit installation, e.g. over a control service during
+// reconfiguration) plus a set of templates (added once per key family).
+// Lookups are exact-first; template matches re-derive the ID for the
+// message's key, so a key/config mismatch resolves to nothing rather than to
+// another key's configuration.
+type Resolver struct {
+	mu        sync.RWMutex
+	exact     map[ID]Configuration
+	templates []Configuration
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{exact: make(map[ID]Configuration)}
+}
+
+// Add registers a configuration (concrete or template). Like service
+// installation, Add is idempotent and first-wins: re-adding an ID that is
+// already present is ignored and reported false.
+func (r *Resolver) Add(c Configuration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.IsTemplate() {
+		for _, t := range r.templates {
+			if t.ID == c.ID {
+				return false
+			}
+		}
+		r.templates = append(r.templates, c)
+		return true
+	}
+	if _, ok := r.exact[c.ID]; ok {
+		return false
+	}
+	r.exact[c.ID] = c
+	return true
+}
+
+// Registered returns the configuration (concrete or template) registered
+// under the raw id, if any — the hook installation paths use to distinguish
+// an idempotent re-install from a conflicting one.
+func (r *Resolver) Registered(id ID) (Configuration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.exact[id]; ok {
+		return c, true
+	}
+	for _, t := range r.templates {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Configuration{}, false
+}
+
+// ResolveConfig implements Source.
+func (r *Resolver) ResolveConfig(key string, id ID) (Configuration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.exact[id]; ok {
+		// A concrete configuration serves exactly the key it was bound to;
+		// an envelope naming another key is mis-addressed.
+		if c.Key != key {
+			return Configuration{}, false
+		}
+		return c, true
+	}
+	for _, t := range r.templates {
+		inst := t.ForKey(key)
+		if inst.ID == id {
+			return inst, true
+		}
+	}
+	return Configuration{}, false
+}
+
+// Known returns how many concrete configurations and templates are
+// registered (for tests and introspection).
+func (r *Resolver) Known() (exact, templates int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.exact), len(r.templates)
+}
+
+// ValidateTemplate checks a template's structural invariants by probing a
+// representative instantiation; concrete configurations validate directly.
+func ValidateTemplate(c Configuration) error {
+	if !c.IsTemplate() {
+		return fmt.Errorf("cfg %q: not a template (no %s in ID)", c.ID, KeyPlaceholder)
+	}
+	return c.ForKey("probe").Validate()
+}

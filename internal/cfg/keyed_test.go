@@ -1,0 +1,135 @@
+package cfg
+
+import (
+	"testing"
+
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// roundTrip encodes and decodes a configuration through the wire codec.
+func roundTrip(t *testing.T, in Configuration) Configuration {
+	t.Helper()
+	data, err := transport.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Configuration
+	if err := transport.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func tmpl(id ID) Configuration {
+	return Configuration{
+		ID:        id,
+		Algorithm: ABD,
+		Servers:   []types.ProcessID{"s1", "s2", "s3"},
+	}
+}
+
+func TestForKeyInstantiatesTemplate(t *testing.T) {
+	t.Parallel()
+	c := tmpl(ID("store/" + KeyPlaceholder + "/c0"))
+	if !c.IsTemplate() {
+		t.Fatal("placeholder ID not recognized as template")
+	}
+	inst := c.ForKey("user:42")
+	if inst.ID != "store/user:42/c0" || inst.Key != "user:42" {
+		t.Fatalf("ForKey = %s key %q", inst.ID, inst.Key)
+	}
+	if inst.IsTemplate() {
+		t.Fatal("instantiated configuration still a template")
+	}
+	// The template itself is unchanged (value semantics).
+	if c.Key != "" || !c.IsTemplate() {
+		t.Fatal("ForKey mutated the template")
+	}
+}
+
+func TestForKeyOnConcreteBindsKeyOnly(t *testing.T) {
+	t.Parallel()
+	c := tmpl("next-cfg")
+	inst := c.ForKey("k1")
+	if inst.ID != "next-cfg" || inst.Key != "k1" {
+		t.Fatalf("ForKey on concrete = %s key %q", inst.ID, inst.Key)
+	}
+}
+
+func TestResolverExactMatch(t *testing.T) {
+	t.Parallel()
+	r := NewResolver()
+	c := tmpl("c1").ForKey("k1")
+	if !r.Add(c) {
+		t.Fatal("first Add reported false")
+	}
+	if r.Add(c) {
+		t.Fatal("duplicate Add reported true")
+	}
+	got, ok := r.ResolveConfig("k1", "c1")
+	if !ok || got.ID != "c1" || got.Key != "k1" {
+		t.Fatalf("resolve = %+v ok=%v", got, ok)
+	}
+	// The same config addressed with another key must not resolve: a
+	// concrete configuration serves exactly the key it is bound to.
+	if _, ok := r.ResolveConfig("k2", "c1"); ok {
+		t.Fatal("concrete configuration resolved for a foreign key")
+	}
+}
+
+func TestResolverTemplateMatch(t *testing.T) {
+	t.Parallel()
+	r := NewResolver()
+	r.Add(tmpl(ID("store/" + KeyPlaceholder + "/c0")))
+
+	got, ok := r.ResolveConfig("alpha", "store/alpha/c0")
+	if !ok || got.Key != "alpha" || got.ID != "store/alpha/c0" {
+		t.Fatalf("template resolve = %+v ok=%v", got, ok)
+	}
+	// Key/ID mismatch: the ID derived for the envelope's key differs, so no
+	// resolution — one key cannot alias another key's configuration.
+	if _, ok := r.ResolveConfig("beta", "store/alpha/c0"); ok {
+		t.Fatal("template resolved with mismatched key")
+	}
+	if _, ok := r.ResolveConfig("alpha", "store/alpha/c9"); ok {
+		t.Fatal("unknown suffix resolved")
+	}
+	exact, templates := r.Known()
+	if exact != 0 || templates != 1 {
+		t.Fatalf("Known = (%d, %d)", exact, templates)
+	}
+}
+
+func TestResolverTemplateDuplicate(t *testing.T) {
+	t.Parallel()
+	r := NewResolver()
+	id := ID("store/" + KeyPlaceholder + "/c0")
+	if !r.Add(tmpl(id)) || r.Add(tmpl(id)) {
+		t.Fatal("template Add idempotence broken")
+	}
+}
+
+func TestValidateTemplate(t *testing.T) {
+	t.Parallel()
+	if err := ValidateTemplate(tmpl(ID("store/" + KeyPlaceholder + "/c0"))); err != nil {
+		t.Fatalf("valid template rejected: %v", err)
+	}
+	if err := ValidateTemplate(tmpl("concrete")); err == nil {
+		t.Fatal("concrete configuration accepted as template")
+	}
+	bad := Configuration{ID: ID("x/" + KeyPlaceholder), Algorithm: "nope", Servers: []types.ProcessID{"s1"}}
+	if err := ValidateTemplate(bad); err == nil {
+		t.Fatal("invalid template accepted")
+	}
+}
+
+func TestTemplateGobRoundTripWithKey(t *testing.T) {
+	t.Parallel()
+	// Key travels on the wire (install commands, consensus proposals).
+	in := tmpl("c-wire").ForKey("obj-7")
+	out := roundTrip(t, in)
+	if out.Key != "obj-7" {
+		t.Fatalf("Key lost on wire round trip: %+v", out)
+	}
+}

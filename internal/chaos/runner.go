@@ -138,6 +138,17 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 		}
 	}
 
+	// reconfigures reports whether key k runs the reconfiguration walk:
+	// all chain scenarios do unless ReconfigKeys caps the walk to the first
+	// N keys (the timebox for high-cardinality scenarios, where the point
+	// of the remaining keys is keyed routing, not a thousand walks).
+	reconfigures := func(k int) bool {
+		if len(sc.Chain) == 0 {
+			return false
+		}
+		return sc.ReconfigKeys <= 0 || k < sc.ReconfigKeys
+	}
+
 	// Deterministic process naming, so schedules can aim at clients.
 	keyName := func(k int) string { return fmt.Sprintf("k%d", k) }
 	var clients []types.ProcessID
@@ -151,7 +162,7 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 		for i := 0; i < readers; i++ {
 			clients = append(clients, readerID(k, i))
 		}
-		if len(sc.Chain) > 0 {
+		if reconfigures(k) {
 			clients = append(clients, reconID(k))
 		}
 	}
@@ -168,17 +179,20 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 		schedule = sc.Schedule(env).stretch(stretch)
 	}
 
-	// One register per key, each with its own configuration chain.
+	// One register per key, each with its own configuration chain — all
+	// derived from a single template installed once. Per-key server state
+	// materializes lazily on the keys' first operations (keyed routing), so
+	// scenario setup is O(1) in the key count.
+	tmpl := sc.Template
+	tmpl.ID = cfg.ID(fmt.Sprintf("chaos/%s/%s/c0", sc.Name, cfg.KeyPlaceholder))
+	if err := cluster.InstallConfiguration(tmpl); err != nil {
+		return Verdict{}, fmt.Errorf("chaos: installing template for %s: %w", sc.Name, err)
+	}
 	keyConf := func(k int) cfg.Configuration {
-		conf := sc.Template
-		conf.ID = cfg.ID(fmt.Sprintf("chaos/%s/%s/c0", sc.Name, keyName(k)))
-		return conf
+		return tmpl.ForKey(keyName(k))
 	}
 	recorders := make([]*history.Recorder, keys)
 	for k := 0; k < keys; k++ {
-		if err := cluster.InstallConfiguration(keyConf(k)); err != nil {
-			return Verdict{}, fmt.Errorf("chaos: installing register %s: %w", keyName(k), err)
-		}
 		recorders[k] = history.NewRecorder()
 	}
 
@@ -256,7 +270,7 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 				}
 			}()
 		}
-		if len(sc.Chain) > 0 {
+		if reconfigures(k) {
 			g, err := cluster.NewReconfigurerFor(reconID(k), conf, recon.Options{DirectTransfer: true})
 			if err != nil {
 				return setupFail(err)

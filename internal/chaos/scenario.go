@@ -38,6 +38,10 @@ type Scenario struct {
 	Chain []cfg.Configuration
 	// Keys is the number of independent registers driven concurrently.
 	Keys int
+	// ReconfigKeys caps how many keys run the Chain walk (0 = every key).
+	// High-cardinality scenarios use it to keep the run timeboxed while all
+	// keys still exercise keyed routing under the scenario's faults.
+	ReconfigKeys int
 	// Writers and Readers are the client counts per key.
 	Writers, Readers int
 	// Duration is the workload window (scaled by Options.Stretch).
@@ -173,6 +177,28 @@ func Matrix() []Scenario {
 				return Schedule{
 					{At: 250 * time.Millisecond, Kind: EvCrash, Target: env.Servers[5]},
 					{At: 400 * time.Millisecond, Kind: EvCrash, Target: env.Servers[6]},
+				}
+			},
+		},
+		{
+			Name:        "keyed-1k-partition-reconfig",
+			Description: "1000 independent keys routed through one keyed service stack while a minority partition opens and heals and 16 keys walk a reconfiguration; every key gets its own linearizability verdict",
+			Template:    abdTemplate("k1k", 5),
+			Chain: []cfg.Configuration{
+				treasTemplate("k1k-b", 5, 3, 8),
+			},
+			Keys: 1000, ReconfigKeys: 16, Writers: 1, Readers: 1,
+			Duration: 600 * time.Millisecond,
+			// A wide delay range paces each client's op rate so a thousand
+			// concurrent registers stay within a timeboxed run.
+			Delay:     transport.DelayRange{Min: 2 * time.Millisecond, Max: 8 * time.Millisecond},
+			OpTimeout: 2 * time.Second,
+			Schedule: func(env Env) Schedule {
+				minority := env.Servers[3:]
+				rest := append(append([]types.ProcessID{}, env.Servers[:3]...), env.Clients...)
+				return Schedule{
+					{At: 150 * time.Millisecond, Kind: EvPartition, A: minority, B: rest},
+					{At: 450 * time.Millisecond, Kind: EvHeal, A: minority, B: rest},
 				}
 			},
 		},

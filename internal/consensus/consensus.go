@@ -2,8 +2,8 @@
 // ARES attaches to every configuration (§4.1, Definition 41): a single-decree,
 // multi-proposer Paxos instance running on the configuration's servers.
 //
-// ARES uses one instance per configuration to agree on the next
-// configuration in the global sequence GL. The service guarantees:
+// ARES uses one instance per (key, configuration) to agree on the next
+// configuration in that key's global sequence GL. The service guarantees:
 //
 //   - Agreement: no two processes decide different values;
 //   - Validity: a decided value was proposed by some process;
@@ -12,6 +12,9 @@
 //     partial-synchrony escape from the FLP impossibility).
 //
 // Values are opaque byte strings; ARES proposes gob-encoded configurations.
+// A node hosts a single acceptor Service for the whole keyspace: each
+// (key, config) Paxos instance is one lazily-created entry in a striped-lock
+// map, so per-key reconfiguration chains need no per-key installation.
 package consensus
 
 import (
@@ -23,6 +26,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/quorum"
 	"github.com/ares-storage/ares/internal/transport"
@@ -94,8 +99,9 @@ type (
 	}
 )
 
-// Service is the acceptor/learner state of one Paxos instance on one server.
-type Service struct {
+// acceptor is the acceptor/learner state of one (key, config) Paxos
+// instance on one server.
+type acceptor struct {
 	mu            sync.Mutex
 	promised      Ballot
 	hasPromised   bool
@@ -106,101 +112,138 @@ type Service struct {
 	decidedValue  []byte
 }
 
-// NewService returns a fresh acceptor.
-func NewService() *Service {
-	return &Service{}
+// Service hosts every Paxos acceptor of one node.
+type Service struct {
+	self   types.ProcessID
+	cfgs   cfg.Source
+	states *keystate.Map[*acceptor]
 }
 
-var _ node.Service = (*Service)(nil)
+// NewService returns the node-wide acceptor service for server self; each
+// per-(key, config) instance starts fresh on first touch.
+func NewService(self types.ProcessID, cfgs cfg.Source) *Service {
+	return &Service{
+		self:   self,
+		cfgs:   cfgs,
+		states: keystate.New[*acceptor](keystate.DefaultShards),
+	}
+}
 
-// Handle implements node.Service.
-func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+var _ node.KeyedService = (*Service)(nil)
+
+// state returns (creating on first touch) the acceptor for (key, configID).
+func (s *Service) state(key, configID string) (*acceptor, error) {
+	return keystate.Materialize(s.states, s.cfgs, ServiceName, s.self, key, configID,
+		func(c cfg.Configuration) (*acceptor, error) {
+			if _, ok := c.ServerIndex(s.self); !ok {
+				return nil, fmt.Errorf("consensus: server %s is not a member of %s", s.self, c.ID)
+			}
+			return &acceptor{}, nil
+		})
+}
+
+// HandleKeyed implements node.KeyedService.
+func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, payload []byte) (any, error) {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return nil, err
+	}
 	switch msgType {
 	case msgPrepare:
 		var req prepareReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		return s.prepare(req), nil
+		return st.prepare(req), nil
 	case msgAccept:
 		var req acceptReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		return s.accept(req), nil
+		return st.accept(req), nil
 	case msgDecide:
 		var req decideReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		s.decide(req.Value)
+		st.decide(req.Value)
 		return nil, nil
 	case msgLearn:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return learnResp{Decided: s.decided, Value: s.decidedValue}, nil
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return learnResp{Decided: st.decided, Value: st.decidedValue}, nil
 	default:
 		return nil, fmt.Errorf("consensus: unknown message type %q", msgType)
 	}
 }
 
-func (s *Service) prepare(req prepareReq) prepareResp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.decided {
-		return prepareResp{Decided: true, DecidedValue: s.decidedValue}
+func (st *acceptor) prepare(req prepareReq) prepareResp {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.decided {
+		return prepareResp{Decided: true, DecidedValue: st.decidedValue}
 	}
-	if s.hasPromised && !s.promised.Less(req.Ballot) {
+	if st.hasPromised && !st.promised.Less(req.Ballot) {
 		return prepareResp{Promised: false}
 	}
-	s.promised = req.Ballot
-	s.hasPromised = true
+	st.promised = req.Ballot
+	st.hasPromised = true
 	return prepareResp{
 		Promised:       true,
-		HasAccepted:    s.hasAccepted,
-		AcceptedBallot: s.accepted,
-		AcceptedValue:  s.acceptedValue,
+		HasAccepted:    st.hasAccepted,
+		AcceptedBallot: st.accepted,
+		AcceptedValue:  st.acceptedValue,
 	}
 }
 
-func (s *Service) accept(req acceptReq) acceptResp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.decided {
+func (st *acceptor) accept(req acceptReq) acceptResp {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.decided {
 		// An accept after decision is stale; reject so the proposer learns
 		// the decided value through its next prepare.
 		return acceptResp{Accepted: false}
 	}
-	if s.hasPromised && req.Ballot.Less(s.promised) {
+	if st.hasPromised && req.Ballot.Less(st.promised) {
 		return acceptResp{Accepted: false}
 	}
-	s.promised = req.Ballot
-	s.hasPromised = true
-	s.accepted = req.Ballot
-	s.acceptedValue = req.Value
-	s.hasAccepted = true
+	st.promised = req.Ballot
+	st.hasPromised = true
+	st.accepted = req.Ballot
+	st.acceptedValue = req.Value
+	st.hasAccepted = true
 	return acceptResp{Accepted: true}
 }
 
-func (s *Service) decide(value []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.decided {
-		s.decided = true
-		s.decidedValue = value
+func (st *acceptor) decide(value []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.decided {
+		st.decided = true
+		st.decidedValue = value
 	}
 }
 
-// Decided reports this acceptor's learned outcome (for tests).
-func (s *Service) Decided() (value []byte, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.decidedValue, s.decided
+// States reports how many (key, config) acceptors have been materialized
+// (for tests).
+func (s *Service) States() int { return s.states.Len() }
+
+// Decided reports the learned outcome of the (key, configID) instance (for
+// tests). ok is false when the instance is undecided or not materialized.
+func (s *Service) Decided(key, configID string) (value []byte, ok bool) {
+	st, found := s.states.Get(keystate.Ref{Key: key, Config: configID})
+	if !found {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.decidedValue, st.decided
 }
 
 // Proposer drives the propose protocol against one instance.
 type Proposer struct {
 	self     types.ProcessID
+	key      string
 	configID string
 	servers  []types.ProcessID
 	q        quorum.System
@@ -211,8 +254,8 @@ type Proposer struct {
 }
 
 // NewProposer constructs a proposer for the instance hosted on servers,
-// keyed under configID.
-func NewProposer(self types.ProcessID, configID string, servers []types.ProcessID, rpc transport.Client) (*Proposer, error) {
+// addressed by (key, configID).
+func NewProposer(self types.ProcessID, key, configID string, servers []types.ProcessID, rpc transport.Client) (*Proposer, error) {
 	q, err := quorum.Majority(len(servers))
 	if err != nil {
 		return nil, fmt.Errorf("consensus: %w", err)
@@ -220,6 +263,7 @@ func NewProposer(self types.ProcessID, configID string, servers []types.ProcessI
 	seed := int64(proposerID(self)) ^ time.Now().UnixNano()
 	return &Proposer{
 		self:     self,
+		key:      key,
 		configID: configID,
 		servers:  servers,
 		q:        q,
@@ -254,7 +298,7 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 
 	// Phase 1: prepare.
 	promises, err := transport.Broadcast(ctx, p.rpc, p.servers,
-		transport.Phase[prepareResp]{Service: ServiceName, Config: p.configID, Type: msgPrepare, Body: prepareReq{Ballot: ballot}},
+		transport.Phase[prepareResp]{Service: ServiceName, Key: p.key, Config: p.configID, Type: msgPrepare, Body: prepareReq{Ballot: ballot}},
 		func(got []transport.GatherResult[prepareResp]) bool {
 			// Stop early on a decided report or a promise quorum.
 			promised := 0
@@ -302,7 +346,7 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 	// Phase 2: accept. The accept body carries the (possibly large) proposed
 	// value to every acceptor; the phase engine encodes it once.
 	accepts, err := transport.Broadcast(ctx, p.rpc, p.servers,
-		transport.Phase[acceptResp]{Service: ServiceName, Config: p.configID, Type: msgAccept, Body: acceptReq{Ballot: ballot, Value: chosen}},
+		transport.Phase[acceptResp]{Service: ServiceName, Key: p.key, Config: p.configID, Type: msgAccept, Body: acceptReq{Ballot: ballot, Value: chosen}},
 		func(got []transport.GatherResult[acceptResp]) bool {
 			accepted := 0
 			for _, g := range got {
@@ -338,7 +382,7 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 // later proposer's prepare quorum intersects a decided acceptor.
 func (p *Proposer) broadcastDecide(ctx context.Context, value []byte) {
 	_, _ = transport.Broadcast(ctx, p.rpc, p.servers,
-		transport.Phase[struct{}]{Service: ServiceName, Config: p.configID, Type: msgDecide, Body: decideReq{Value: value}},
+		transport.Phase[struct{}]{Service: ServiceName, Key: p.key, Config: p.configID, Type: msgDecide, Body: decideReq{Value: value}},
 		transport.AtLeast[struct{}](p.q.Size()),
 	)
 }
@@ -346,7 +390,7 @@ func (p *Proposer) broadcastDecide(ctx context.Context, value []byte) {
 // Learn polls the servers for an existing decision without proposing.
 func (p *Proposer) Learn(ctx context.Context) ([]byte, bool, error) {
 	got, err := transport.Broadcast(ctx, p.rpc, p.servers,
-		transport.Phase[learnResp]{Service: ServiceName, Config: p.configID, Type: msgLearn, Body: struct{}{}},
+		transport.Phase[learnResp]{Service: ServiceName, Key: p.key, Config: p.configID, Type: msgLearn, Body: struct{}{}},
 		func(got []transport.GatherResult[learnResp]) bool {
 			for _, g := range got {
 				if g.Value.Decided {

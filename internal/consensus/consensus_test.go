@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/types"
@@ -17,24 +18,43 @@ import (
 func deploy(t *testing.T, net *transport.Simnet, configID string, n int) ([]types.ProcessID, map[types.ProcessID]*Service) {
 	t.Helper()
 	var servers []types.ProcessID
-	services := make(map[types.ProcessID]*Service, n)
 	for i := 0; i < n; i++ {
-		id := types.ProcessID(fmt.Sprintf("s%d", i+1))
-		servers = append(servers, id)
+		servers = append(servers, types.ProcessID(fmt.Sprintf("s%d", i+1)))
+	}
+	c := cfg.Configuration{ID: cfg.ID(configID), Algorithm: cfg.ABD, Servers: servers}
+	services := make(map[types.ProcessID]*Service, n)
+	for _, id := range servers {
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(id)
-		svc := NewService()
-		nd.Install(ServiceName, configID, svc)
+		svc := NewService(id, src)
+		nd.InstallKeyed(ServiceName, svc)
 		net.Register(id, nd)
 		services[id] = svc
 	}
 	return servers, services
 }
 
+// soloAcceptor returns a one-server service and its materialized acceptor
+// for direct protocol-state tests.
+func soloAcceptor(t *testing.T) (*Service, *acceptor) {
+	t.Helper()
+	c := cfg.Configuration{ID: "solo", Algorithm: cfg.ABD, Servers: []types.ProcessID{"s1"}}
+	src := cfg.NewResolver()
+	src.Add(c)
+	svc := NewService("s1", src)
+	st, err := svc.state("", "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, st
+}
+
 func TestSingleProposerDecides(t *testing.T) {
 	t.Parallel()
 	net := transport.NewSimnet()
 	servers, _ := deploy(t, net, "c0", 3)
-	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +83,7 @@ func TestAgreementUnderContention(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			id := types.ProcessID(fmt.Sprintf("g%d", i))
-			p, err := NewProposer(id, "c0", servers, net.Client(id))
+			p, err := NewProposer(id, "", "c0", servers, net.Client(id))
 			if err != nil {
 				t.Error(err)
 				return
@@ -102,7 +122,7 @@ func TestDecisionSurvivesProposerCrashMidway(t *testing.T) {
 	// broadcasting the decision (we simulate by running only the attempt).
 	net := transport.NewSimnet()
 	servers, _ := deploy(t, net, "c0", 3)
-	p1, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p1, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +135,7 @@ func TestDecisionSurvivesProposerCrashMidway(t *testing.T) {
 
 	// A second proposer must decide the same value (it adopts the accepted
 	// proposal from the promise quorum).
-	p2, err := NewProposer("g2", "c0", servers, net.Client("g2"))
+	p2, err := NewProposer("g2", "", "c0", servers, net.Client("g2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +154,7 @@ func TestToleratesMinorityCrash(t *testing.T) {
 	servers, _ := deploy(t, net, "c0", 5)
 	net.Crash(servers[0])
 	net.Crash(servers[1])
-	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +175,7 @@ func TestBlocksWithoutMajority(t *testing.T) {
 	servers, _ := deploy(t, net, "c0", 3)
 	net.Crash(servers[0])
 	net.Crash(servers[1])
-	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +190,7 @@ func TestLearn(t *testing.T) {
 	t.Parallel()
 	net := transport.NewSimnet()
 	servers, _ := deploy(t, net, "c0", 3)
-	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +229,7 @@ func TestBallotOrdering(t *testing.T) {
 
 func TestAcceptorRejectsStaleBallots(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
+	_, svc := soloAcceptor(t)
 	newer := Ballot{Round: 5, Proposer: 1}
 	older := Ballot{Round: 3, Proposer: 9}
 
@@ -230,15 +250,15 @@ func TestAcceptorRejectsStaleBallots(t *testing.T) {
 
 func TestDecideIsIdempotentAndSticky(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
-	svc.decide([]byte("first"))
-	svc.decide([]byte("second")) // must be ignored
-	v, ok := svc.Decided()
+	svc, st := soloAcceptor(t)
+	st.decide([]byte("first"))
+	st.decide([]byte("second")) // must be ignored
+	v, ok := svc.Decided("", "solo")
 	if !ok || string(v) != "first" {
 		t.Fatalf("Decided = %q ok=%v, want first", v, ok)
 	}
 	// prepare after decision reports the decision.
-	resp := svc.prepare(prepareReq{Ballot: Ballot{Round: 99}})
+	resp := st.prepare(prepareReq{Ballot: Ballot{Round: 99}})
 	if !resp.Decided || string(resp.DecidedValue) != "first" {
 		t.Fatalf("prepare after decide = %+v", resp)
 	}
@@ -251,19 +271,24 @@ func TestSequentialInstancesIndependent(t *testing.T) {
 	net := transport.NewSimnet()
 	var servers []types.ProcessID
 	for i := 0; i < 3; i++ {
-		id := types.ProcessID(fmt.Sprintf("s%d", i+1))
-		servers = append(servers, id)
+		servers = append(servers, types.ProcessID(fmt.Sprintf("s%d", i+1)))
+	}
+	c0 := cfg.Configuration{ID: "c0", Algorithm: cfg.ABD, Servers: servers}
+	c1 := cfg.Configuration{ID: "c1", Algorithm: cfg.ABD, Servers: servers}
+	for _, id := range servers {
+		src := cfg.NewResolver()
+		src.Add(c0)
+		src.Add(c1)
 		nd := node.New(id)
-		nd.Install(ServiceName, "c0", NewService())
-		nd.Install(ServiceName, "c1", NewService())
+		nd.InstallKeyed(ServiceName, NewService(id, src))
 		net.Register(id, nd)
 	}
 	ctx := context.Background()
-	p0, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p0, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := NewProposer("g1", "c1", servers, net.Client("g1"))
+	p1, err := NewProposer("g1", "", "c1", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}

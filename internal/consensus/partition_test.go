@@ -17,7 +17,7 @@ func TestProposerBlockedByPartitionResumesAfterHeal(t *testing.T) {
 	// Partition the proposer from two of three acceptors: no majority.
 	net.BlockLink("g1", servers[0])
 	net.BlockLink("g1", servers[1])
-	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestDecisionVisibleAcrossPartitionedLearner(t *testing.T) {
 	// heal the second proposer must learn (not overwrite) the decision.
 	net := transport.NewSimnet()
 	servers, _ := deploy(t, net, "c0", 5)
-	p1, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p1, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestDecisionVisibleAcrossPartitionedLearner(t *testing.T) {
 	for _, s := range servers {
 		net.UnblockLink("g2", s)
 	}
-	p2, err := NewProposer("g2", "c0", servers, net.Client("g2"))
+	p2, err := NewProposer("g2", "", "c0", servers, net.Client("g2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,20 +83,20 @@ func TestDecideSpreadsToLateAcceptors(t *testing.T) {
 	servers, services := deploy(t, net, "c0", 3)
 	late := servers[2]
 	net.BlockLink("g1", late)
-	p, err := NewProposer("g1", "c0", servers, net.Client("g1"))
+	p, err := NewProposer("g1", "", "c0", servers, net.Client("g1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p.Propose(context.Background(), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := services[late].Decided(); ok {
+	if _, ok := services[late].Decided("", "c0"); ok {
 		t.Fatal("partitioned acceptor learned the decision impossibly")
 	}
 	net.UnblockLink("g1", late)
 
 	// A second proposer's prepare hits the decided majority and re-broadcasts.
-	p2, err := NewProposer("g2", "c0", servers, net.Client("g2"))
+	p2, err := NewProposer("g2", "", "c0", servers, net.Client("g2"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,11 +86,21 @@ func (c *Cluster) Initial() cfg.Configuration { return c.initial }
 func (c *Cluster) Registry() *dap.Registry { return c.daps }
 
 // InstallConfiguration provisions conf on the cluster: hosts are created for
-// any new servers and the configuration's services installed on every
-// member. Used to bootstrap independent registers (e.g. one per key of a
-// composed store) outside the reconfiguration path.
+// any new servers and the configuration registered with every member's
+// resolver. conf may be a concrete configuration or a per-key template (ID
+// embedding cfg.KeyPlaceholder) — a template registered once serves every
+// key, with per-key state materialized lazily on first touch. Used to
+// bootstrap independent registers outside the reconfiguration path.
 func (c *Cluster) InstallConfiguration(conf cfg.Configuration) error {
-	if err := conf.Validate(); err != nil {
+	// Validate up front: a malformed configuration (e.g. no servers at all)
+	// must fail here, not dissolve into an empty member loop, and must not
+	// leave hosts created for some members before another member's
+	// validation fails.
+	if conf.IsTemplate() {
+		if err := cfg.ValidateTemplate(conf); err != nil {
+			return err
+		}
+	} else if err := conf.Validate(); err != nil {
 		return err
 	}
 	members := append([]types.ProcessID(nil), conf.Servers...)
@@ -101,6 +111,19 @@ func (c *Cluster) InstallConfiguration(conf cfg.Configuration) error {
 		}
 	}
 	return nil
+}
+
+// ServiceInstances sums the hosted service instances across every host —
+// the quantity the keyed hosting model keeps O(1) in keys (for tests and
+// the bench harness).
+func (c *Cluster) ServiceInstances() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, h := range c.hosts {
+		total += h.ServiceInstances()
+	}
+	return total
 }
 
 // NewClient returns an ARES reader/writer rooted at c0.

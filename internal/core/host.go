@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/ares-storage/ares/internal/abd"
@@ -31,15 +30,18 @@ type installReq struct {
 	Cfg cfg.Configuration
 }
 
-// Host is a server process: a node plus its own network endpoint, able to
-// instantiate per-configuration services on demand. Creating a host installs
-// the control service; the caller registers the host's node as the process's
-// transport handler.
+// Host is a server process: a node hosting one keyed service per algorithm
+// family, plus a configuration resolver those services materialize
+// per-(key, config) state from. Creating a host installs every family
+// service and the control service; installing a configuration (or a per-key
+// template) only registers it with the resolver — the first message naming a
+// (key, config) pair creates its state, so a fresh key costs one map entry
+// and zero installation round-trips.
 type Host struct {
 	node *node.Node
 	rpc  transport.Client
+	cfgs *cfg.Resolver
 
-	mu     sync.Mutex
 	stores []storageReporter
 }
 
@@ -52,8 +54,22 @@ type storageReporter interface {
 // NewHost wraps a node and its outbound endpoint. rpc is used by TREAS
 // stores for the §5 server-to-server forwarding.
 func NewHost(n *node.Node, rpc transport.Client) *Host {
-	h := &Host{node: n, rpc: rpc}
+	h := &Host{node: n, rpc: rpc, cfgs: cfg.NewResolver()}
 	n.Install(CtlServiceName, CtlConfigKey, node.ServiceFunc(h.handleCtl))
+
+	// One keyed service per algorithm family, for the whole keyspace: this
+	// is the entire service footprint of the node, independent of how many
+	// keys or configurations it ends up serving.
+	abdSvc := abd.NewService(n.ID(), h.cfgs)
+	treasSvc := treas.NewService(n.ID(), h.cfgs, rpc)
+	ldrRep := ldr.NewReplicaService(n.ID(), h.cfgs)
+	n.InstallKeyed(abd.ServiceName, abdSvc)
+	n.InstallKeyed(treas.ServiceName, treasSvc)
+	n.InstallKeyed(ldr.ReplicaServiceName, ldrRep)
+	n.InstallKeyed(ldr.DirectoryServiceName, ldr.NewDirectoryService(n.ID(), h.cfgs))
+	n.InstallKeyed(recon.ServiceName, recon.NewService(n.ID(), h.cfgs))
+	n.InstallKeyed(consensus.ServiceName, consensus.NewService(n.ID(), h.cfgs))
+	h.stores = []storageReporter{abdSvc, treasSvc, ldrRep}
 	return h
 }
 
@@ -62,6 +78,10 @@ func (h *Host) Node() *node.Node { return h.node }
 
 // ID returns the host's process ID.
 func (h *Host) ID() types.ProcessID { return h.node.ID() }
+
+// Resolver returns the host's configuration resolver (for tests and
+// introspection).
+func (h *Host) Resolver() *cfg.Resolver { return h.cfgs }
 
 func (h *Host) handleCtl(_ types.ProcessID, msgType string, payload []byte) (any, error) {
 	switch msgType {
@@ -76,50 +96,35 @@ func (h *Host) handleCtl(_ types.ProcessID, msgType string, payload []byte) (any
 	}
 }
 
-// InstallConfiguration instantiates configuration c's services on this host:
-// the store service matching c.Algorithm, the reconfiguration pointer
-// service, and the consensus acceptor. Non-members install nothing.
-// Installation is idempotent (node.Install keeps the first instance).
+// InstallConfiguration makes configuration c (or a per-key template — a
+// configuration whose ID embeds cfg.KeyPlaceholder) servable by this host:
+// it validates c and registers it with the resolver. No services are
+// instantiated; per-(key, config) state materializes on the first message
+// addressing it, and membership is checked at that point. Installation is
+// idempotent (the resolver keeps the first registration).
 func (h *Host) InstallConfiguration(c cfg.Configuration) error {
-	if err := c.Validate(); err != nil {
+	if c.IsTemplate() {
+		if err := cfg.ValidateTemplate(c); err != nil {
+			return fmt.Errorf("core: installing template %s on %s: %w", c.ID, h.ID(), err)
+		}
+	} else if err := c.Validate(); err != nil {
 		return fmt.Errorf("core: installing %s on %s: %w", c.ID, h.ID(), err)
 	}
-	member := false
-	if _, ok := c.ServerIndex(h.ID()); ok {
-		member = true
-		store, name, err := h.buildStore(c)
-		if err != nil {
-			return err
-		}
-		if h.node.Install(name, string(c.ID), store) {
-			if r, ok := store.(storageReporter); ok {
-				h.mu.Lock()
-				h.stores = append(h.stores, r)
-				h.mu.Unlock()
-			}
-		}
-		h.node.Install(recon.ServiceName, string(c.ID), recon.NewService())
-		h.node.Install(consensus.ServiceName, string(c.ID), consensus.NewService())
-	}
-	// LDR directory servers may coincide with or differ from the replica
-	// set; install the directory service on directory members.
-	if c.Algorithm == cfg.LDR {
-		for _, d := range c.Directories {
-			if d == h.ID() {
-				h.node.Install(ldr.DirectoryServiceName, string(c.ID), ldr.NewDirectoryService())
-				member = true
-			}
+	if !h.cfgs.Add(c) {
+		// Already registered: idempotent when identical, an error when a
+		// different configuration claims the same ID — first-wins silently
+		// aliasing the newcomer onto old parameters would corrupt routing
+		// (e.g. two ObjectStores sharing a template ID with different codes).
+		if existing, ok := h.cfgs.Registered(c.ID); ok && !existing.Same(c) {
+			return fmt.Errorf("core: installing %s on %s: conflicting configuration already registered under this ID", c.ID, h.ID())
 		}
 	}
-	_ = member
 	return nil
 }
 
 // StorageBytes sums the object-data bytes at rest across every store
-// service installed on this host.
+// service hosted here.
 func (h *Host) StorageBytes() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	total := 0
 	for _, s := range h.stores {
 		total += s.StorageBytes()
@@ -127,23 +132,10 @@ func (h *Host) StorageBytes() int {
 	return total
 }
 
-// buildStore constructs the algorithm-specific store service for c.
-func (h *Host) buildStore(c cfg.Configuration) (node.Service, string, error) {
-	switch c.Algorithm {
-	case cfg.ABD:
-		return abd.NewService(), abd.ServiceName, nil
-	case cfg.TREAS:
-		svc, err := treas.NewService(c, h.ID(), h.rpc)
-		if err != nil {
-			return nil, "", err
-		}
-		return svc, treas.ServiceName, nil
-	case cfg.LDR:
-		return ldr.NewReplicaService(), ldr.ReplicaServiceName, nil
-	default:
-		return nil, "", fmt.Errorf("core: no store for algorithm %q", c.Algorithm)
-	}
-}
+// ServiceInstances reports how many service instances the node hosts —
+// constant in the number of keys and configurations served (the keyed
+// hosting model's O(1) guarantee, pinned by tests and the bench harness).
+func (h *Host) ServiceInstances() int { return h.node.Services() }
 
 // RemoteInstaller returns a recon.Installer that provisions a configuration
 // by sending install commands to its servers' control services over rpc. It
@@ -152,7 +144,9 @@ func (h *Host) buildStore(c cfg.Configuration) (node.Service, string, error) {
 // directory set, so a crashed directory cannot be papered over by extra
 // server acks, while crashed servers beyond the quorum are tolerated (they
 // cannot be provisioned, and quorums suffice for every subsequent protocol
-// step).
+// step). This is the once-per-configuration cost of reconfiguration; the
+// per-key fan-out of a composed store pays it never — templates are
+// installed once and keys materialize lazily.
 func RemoteInstaller(rpc transport.Client) recon.Installer {
 	return func(ctx context.Context, c cfg.Configuration) error {
 		targets := append([]types.ProcessID(nil), c.Servers...)

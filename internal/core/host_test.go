@@ -17,6 +17,14 @@ import (
 	"github.com/ares-storage/ares/internal/types"
 )
 
+// dispatch sends one request directly into a host's node, as the transport
+// would.
+func dispatch(h *Host, service, key, configID, msgType string) transport.Response {
+	return h.Node().HandleRequest("test-client", transport.Request{
+		Service: service, Key: key, Config: configID, Type: msgType,
+	})
+}
+
 func TestInstallConfigurationServices(t *testing.T) {
 	t.Parallel()
 	net := transport.NewSimnet()
@@ -24,12 +32,20 @@ func TestInstallConfigurationServices(t *testing.T) {
 
 	c := treasConfig("c9", "hx", 3, 2, 1)
 	c.Servers[0] = "s1" // make this host a member
+	before := h.ServiceInstances()
 	if err := h.InstallConfiguration(c); err != nil {
 		t.Fatal(err)
 	}
+	// Installation registers the configuration but instantiates nothing: the
+	// service footprint is fixed at host creation.
+	if got := h.ServiceInstances(); got != before {
+		t.Fatalf("ServiceInstances = %d after install, want %d (unchanged)", got, before)
+	}
+	// Messages for the installed configuration now materialize state.
 	for _, svc := range []string{treas.ServiceName, recon.ServiceName, consensus.ServiceName} {
-		if _, ok := h.Node().Lookup(svc, string(c.ID)); !ok {
-			t.Errorf("service %s not installed", svc)
+		msg := map[string]string{treas.ServiceName: "query-tag", recon.ServiceName: "read-config", consensus.ServiceName: "learn"}[svc]
+		if resp := dispatch(h, svc, "", string(c.ID), msg); !resp.OK {
+			t.Errorf("service %s rejected installed configuration: %s", svc, resp.Err)
 		}
 	}
 }
@@ -42,12 +58,10 @@ func TestInstallSkipsNonMembers(t *testing.T) {
 	if err := h.InstallConfiguration(c); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := h.Node().Lookup(abd.ServiceName, string(c.ID)); ok {
-		t.Fatal("non-member installed a store service")
-	}
-	// Only the ctl service is present.
-	if h.Node().Services() != 1 {
-		t.Fatalf("services = %d, want 1 (ctl)", h.Node().Services())
+	// A non-member rejects the configuration's messages and materializes no
+	// state for it.
+	if resp := dispatch(h, abd.ServiceName, "", string(c.ID), "query-tag"); resp.OK {
+		t.Fatal("non-member served a store request")
 	}
 }
 
@@ -65,11 +79,11 @@ func TestInstallLDRDirectoryOnlyMember(t *testing.T) {
 	if err := h.InstallConfiguration(c); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := h.Node().Lookup(ldr.DirectoryServiceName, string(c.ID)); !ok {
-		t.Fatal("directory service not installed on directory member")
+	if resp := dispatch(h, ldr.DirectoryServiceName, "", string(c.ID), "query-tag-location"); !resp.OK {
+		t.Fatalf("directory member rejected directory request: %s", resp.Err)
 	}
-	if _, ok := h.Node().Lookup(ldr.ReplicaServiceName, string(c.ID)); ok {
-		t.Fatal("replica service installed on a directory-only member")
+	if resp := dispatch(h, ldr.ReplicaServiceName, "", string(c.ID), "put-data"); resp.OK {
+		t.Fatal("directory-only member served a replica request")
 	}
 }
 
@@ -108,8 +122,8 @@ func TestCtlServiceInstallOverWire(t *testing.T) {
 	if err := installer(ctx, c); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := h.Node().Lookup(abd.ServiceName, string(c.ID)); !ok {
-		t.Fatal("store service missing after remote install")
+	if resp := dispatch(h, abd.ServiceName, "", string(c.ID), "query-tag"); !resp.OK {
+		t.Fatalf("store request rejected after remote install: %s", resp.Err)
 	}
 }
 

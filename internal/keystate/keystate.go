@@ -1,0 +1,176 @@
+// Package keystate provides the sharded, striped-lock map every keyed
+// service stores its per-(key, configuration) protocol state in.
+//
+// A node hosts exactly one service instance per algorithm family; the
+// keyspace lives inside that instance as map entries, lazily created on the
+// first message that names a (key, config) pair. The map is striped so that
+// unrelated keys never contend on one lock: a read on key "a" and a
+// first-touch materialization on key "b" proceed in parallel whenever the
+// two keys hash to different stripes.
+package keystate
+
+import "sync"
+
+// DefaultShards is the stripe count used by New. 64 stripes keep the
+// collision probability low for the tens of concurrent handlers a node's
+// transport runs while costing ~3 KiB of empty maps per service.
+const DefaultShards = 64
+
+// Ref addresses one piece of per-key state: the object key and the
+// configuration instance it belongs to. A key being reconfigured has state
+// under several Refs at once (one per live configuration), which is exactly
+// the paper's per-key configuration chain.
+type Ref struct {
+	Key    string
+	Config string
+}
+
+// FNV-1a parameters (32-bit).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// HashString is the FNV-1a hash of one string, inlined so hot paths
+// allocate nothing (hash/fnv's New32a escapes to the heap). It is the
+// single definition every sharding layer keys on — ObjectStore shard
+// placement and Ref striping both build on it.
+func HashString(s string) uint32 {
+	return fnvMix(fnvOffset32, s)
+}
+
+// fnvMix folds s into the running FNV-1a state h.
+func fnvMix(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// Hash is the FNV-1a hash of a Ref: the key, a separator, the config. The
+// separator guards against (key, config) pairs whose concatenations collide
+// ("ab","c" vs "a","bc").
+func Hash(key, config string) uint32 {
+	h := fnvMix(fnvOffset32, key)
+	h ^= 0xff
+	h *= fnvPrime32
+	return fnvMix(h, config)
+}
+
+type shard[T any] struct {
+	mu sync.RWMutex
+	m  map[Ref]T
+}
+
+// Map is a striped-lock map from Ref to lazily-created state. The zero Map
+// is not usable; construct with New.
+type Map[T any] struct {
+	shards []shard[T]
+	mask   uint32
+}
+
+// New builds a map with the given stripe count, rounded up to a power of two
+// (so the stripe pick is a mask, not a modulo). n < 1 uses DefaultShards.
+func New[T any](n int) *Map[T] {
+	if n < 1 {
+		n = DefaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	m := &Map[T]{shards: make([]shard[T], size), mask: uint32(size - 1)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[Ref]T)
+	}
+	return m
+}
+
+func (m *Map[T]) shard(ref Ref) *shard[T] {
+	return &m.shards[Hash(ref.Key, ref.Config)&m.mask]
+}
+
+// Get returns the state under ref, if present. It takes only the stripe's
+// read lock — the steady-state path of every message after first touch.
+func (m *Map[T]) Get(ref Ref) (T, bool) {
+	s := m.shard(ref)
+	s.mu.RLock()
+	v, ok := s.m[ref]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// GetOrCreate returns the state under ref, materializing it with create on
+// first touch. create runs under the stripe's write lock, so exactly one
+// caller creates; racing callers observe the winner's state. An error from
+// create installs nothing.
+func (m *Map[T]) GetOrCreate(ref Ref, create func() (T, error)) (T, error) {
+	s := m.shard(ref)
+	s.mu.RLock()
+	v, ok := s.m[ref]
+	s.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[ref]; ok {
+		return v, nil
+	}
+	v, err := create()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	s.m[ref] = v
+	return v, nil
+}
+
+// Delete removes the state under ref, reporting whether it was present.
+func (m *Map[T]) Delete(ref Ref) bool {
+	s := m.shard(ref)
+	s.mu.Lock()
+	_, ok := s.m[ref]
+	delete(s.m, ref)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len counts the stored states across all stripes.
+func (m *Map[T]) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every (ref, state) pair until f returns false. Each
+// stripe is snapshotted under its read lock before f runs, so f may call
+// back into the map.
+func (m *Map[T]) Range(f func(ref Ref, v T) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		snapshot := make([]struct {
+			ref Ref
+			v   T
+		}, 0, len(s.m))
+		for ref, v := range s.m {
+			snapshot = append(snapshot, struct {
+				ref Ref
+				v   T
+			}{ref, v})
+		}
+		s.mu.RUnlock()
+		for _, e := range snapshot {
+			if !f(e.ref, e.v) {
+				return
+			}
+		}
+	}
+}

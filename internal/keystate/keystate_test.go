@@ -1,0 +1,177 @@
+package keystate
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHashMatchesFNV1a(t *testing.T) {
+	t.Parallel()
+	// The inlined loop must agree with the stdlib for the key segment
+	// (before the separator is mixed in), so shard placement is the
+	// documented FNV-1a.
+	ref := fnv.New32a()
+	ref.Write([]byte("object-42"))
+	var manual uint32 = 2166136261
+	for _, b := range []byte("object-42") {
+		manual ^= uint32(b)
+		manual *= 16777619
+	}
+	if ref.Sum32() != manual {
+		t.Fatalf("inline FNV-1a diverges from hash/fnv: %d vs %d", manual, ref.Sum32())
+	}
+}
+
+func TestHashSeparatesKeyAndConfig(t *testing.T) {
+	t.Parallel()
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("concatenation collision: separator not effective")
+	}
+}
+
+func TestGetOrCreateOnce(t *testing.T) {
+	t.Parallel()
+	m := New[*int](8)
+	ref := Ref{Key: "k", Config: "c"}
+	var creates atomic.Int32
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]*int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.GetOrCreate(ref, func() (*int, error) {
+				n := int(creates.Add(1))
+				return &n, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}()
+	}
+	wg.Wait()
+	if got := creates.Load(); got != 1 {
+		t.Fatalf("create ran %d times, want 1", got)
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Fatal("racing creators observed different states")
+		}
+	}
+}
+
+func TestCreateErrorInstallsNothing(t *testing.T) {
+	t.Parallel()
+	m := New[int](4)
+	ref := Ref{Key: "k", Config: "c"}
+	boom := errors.New("boom")
+	if _, err := m.GetOrCreate(ref, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := m.Get(ref); ok {
+		t.Fatal("failed create left state behind")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestDeleteAndRange(t *testing.T) {
+	t.Parallel()
+	m := New[string](4)
+	for i := 0; i < 20; i++ {
+		ref := Ref{Key: fmt.Sprintf("k%d", i), Config: "c"}
+		if _, err := m.GetOrCreate(ref, func() (string, error) { return ref.Key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", m.Len())
+	}
+	if !m.Delete(Ref{Key: "k3", Config: "c"}) {
+		t.Fatal("Delete reported absent")
+	}
+	if m.Delete(Ref{Key: "k3", Config: "c"}) {
+		t.Fatal("double Delete reported present")
+	}
+	seen := 0
+	m.Range(func(ref Ref, v string) bool {
+		if ref.Key != v {
+			t.Errorf("ref %v holds %q", ref, v)
+		}
+		seen++
+		return true
+	})
+	if seen != 19 {
+		t.Fatalf("Range visited %d, want 19", seen)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	t.Parallel()
+	m := New[int](2)
+	for i := 0; i < 10; i++ {
+		ref := Ref{Key: fmt.Sprintf("k%d", i)}
+		if _, err := m.GetOrCreate(ref, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visits := 0
+	m.Range(func(Ref, int) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("Range visited %d after stop, want 1", visits)
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32}, {0, DefaultShards}, {-5, DefaultShards}} {
+		m := New[int](tc.in)
+		if len(m.shards) != tc.want {
+			t.Errorf("New(%d) built %d stripes, want %d", tc.in, len(m.shards), tc.want)
+		}
+	}
+}
+
+// TestZeroAllocSteadyState pins the hot-path property the inline hash
+// exists for: a Get on existing state allocates nothing.
+func TestZeroAllocSteadyState(t *testing.T) {
+	m := New[int](16)
+	ref := Ref{Key: "hot-key", Config: "store/hot-key/c0"}
+	if _, err := m.GetOrCreate(ref, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := m.Get(ref); !ok {
+			t.Fatal("state lost")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkGetSteadyState(b *testing.B) {
+	m := New[int](DefaultShards)
+	ref := Ref{Key: "hot-key", Config: "store/hot-key/c0"}
+	if _, err := m.GetOrCreate(ref, func() (int, error) { return 1, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Get(ref); !ok {
+			b.Fatal("state lost")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package keystate
+
+import (
+	"fmt"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Materialize is the shared first-touch path of every keyed service: return
+// the state under (key, configID), or resolve the addressed configuration
+// and build the state exactly once. An unresolvable (key, configID) pair —
+// unknown configuration, or a key the configuration was not derived for —
+// reports cfg.ErrUnknownConfig naming the family and server, and installs
+// nothing. build performs the service-specific checks (algorithm,
+// membership) and constructs the state; its error likewise installs
+// nothing. GetOrCreate's own double-checked fast path makes the steady
+// state one stripe RLock.
+func Materialize[T any](
+	m *Map[T],
+	cfgs cfg.Source,
+	family string,
+	self types.ProcessID,
+	key, configID string,
+	build func(c cfg.Configuration) (T, error),
+) (T, error) {
+	return m.GetOrCreate(Ref{Key: key, Config: configID}, func() (T, error) {
+		c, ok := cfgs.ResolveConfig(key, cfg.ID(configID))
+		if !ok {
+			var zero T
+			return zero, fmt.Errorf("%w: %s %s (key %q) at %s", cfg.ErrUnknownConfig, family, configID, key, self)
+		}
+		return build(c)
+	})
+}

@@ -11,6 +11,10 @@
 //
 // LDR's DAPs satisfy C1, C2 and C3, so it supports the A2 template whose
 // reads skip the propagation phase.
+//
+// A node hosts at most one DirectoryService and one ReplicaService for the
+// whole keyspace; per-(key, config) metadata and values are lazily-created
+// entries in striped-lock maps (no per-key installation).
 package ldr
 
 import (
@@ -20,6 +24,8 @@ import (
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/keystate"
+	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/quorum"
 	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/transport"
@@ -64,36 +70,70 @@ type (
 	}
 )
 
-// DirectoryService holds ⟨tag, locations⟩ metadata on a directory server.
-type DirectoryService struct {
+// dirState holds the ⟨tag, locations⟩ metadata of one (key, config) on a
+// directory server; the initial tag is t0 with no locations (the initial
+// value is known everywhere by convention).
+type dirState struct {
 	mu  sync.Mutex
 	tag tag.Tag
 	loc []types.ProcessID
 }
 
-// NewDirectoryService returns a directory with the initial tag t0 and no
-// locations (the initial value is known everywhere by convention).
-func NewDirectoryService() *DirectoryService {
-	return &DirectoryService{}
+// DirectoryService hosts every LDR directory of one node.
+type DirectoryService struct {
+	self   types.ProcessID
+	cfgs   cfg.Source
+	states *keystate.Map[*dirState]
 }
 
-// Handle implements node.Service.
-func (s *DirectoryService) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+// NewDirectoryService returns the node-wide directory service for server
+// self.
+func NewDirectoryService(self types.ProcessID, cfgs cfg.Source) *DirectoryService {
+	return &DirectoryService{
+		self:   self,
+		cfgs:   cfgs,
+		states: keystate.New[*dirState](keystate.DefaultShards),
+	}
+}
+
+var _ node.KeyedService = (*DirectoryService)(nil)
+
+func (s *DirectoryService) state(key, configID string) (*dirState, error) {
+	return keystate.Materialize(s.states, s.cfgs, DirectoryServiceName, s.self, key, configID,
+		func(c cfg.Configuration) (*dirState, error) {
+			if c.Algorithm != cfg.LDR {
+				return nil, fmt.Errorf("ldr: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+			}
+			for _, d := range c.Directories {
+				if d == s.self {
+					return &dirState{}, nil
+				}
+			}
+			return nil, fmt.Errorf("ldr: server %s is not a directory of %s", s.self, c.ID)
+		})
+}
+
+// HandleKeyed implements node.KeyedService.
+func (s *DirectoryService) HandleKeyed(_ types.ProcessID, key, configID, msgType string, payload []byte) (any, error) {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return nil, err
+	}
 	switch msgType {
 	case msgQueryTagLocation:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return tagLocationResp{Tag: s.tag, Loc: append([]types.ProcessID(nil), s.loc...)}, nil
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return tagLocationResp{Tag: st.tag, Loc: append([]types.ProcessID(nil), st.loc...)}, nil
 	case msgPutMetadata:
 		var req putMetadataReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.tag.Less(req.Tag) {
-			s.tag = req.Tag
-			s.loc = append([]types.ProcessID(nil), req.Loc...)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.tag.Less(req.Tag) {
+			st.tag = req.Tag
+			st.loc = append([]types.ProcessID(nil), req.Loc...)
 		}
 		return nil, nil
 	default:
@@ -101,46 +141,87 @@ func (s *DirectoryService) Handle(_ types.ProcessID, msgType string, payload []b
 	}
 }
 
-// Current returns the directory's metadata (for tests).
-func (s *DirectoryService) Current() (tag.Tag, []types.ProcessID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tag, append([]types.ProcessID(nil), s.loc...)
+// States reports how many (key, config) directories have been materialized
+// (for tests).
+func (s *DirectoryService) States() int { return s.states.Len() }
+
+// Current returns the directory metadata for (key, configID) (for tests);
+// ok is false when the state does not exist.
+func (s *DirectoryService) Current(key, configID string) (tag.Tag, []types.ProcessID, bool) {
+	st, found := s.states.Get(keystate.Ref{Key: key, Config: configID})
+	if !found {
+		return tag.Tag{}, nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.tag, append([]types.ProcessID(nil), st.loc...), true
 }
 
-// ReplicaService stores the value for the latest tag this replica has seen.
-type ReplicaService struct {
+// repState stores the value for the latest tag one (key, config) replica has
+// seen.
+type repState struct {
 	mu  sync.Mutex
 	tag tag.Tag
 	val types.Value
 }
 
-// NewReplicaService returns a replica holding (t0, v0).
-func NewReplicaService() *ReplicaService {
-	return &ReplicaService{}
+// ReplicaService hosts every LDR replica of one node.
+type ReplicaService struct {
+	self   types.ProcessID
+	cfgs   cfg.Source
+	states *keystate.Map[*repState]
 }
 
-// Handle implements node.Service.
-func (s *ReplicaService) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+// NewReplicaService returns the node-wide replica service for server self;
+// each (key, config) replica starts at (t0, v0) on first touch.
+func NewReplicaService(self types.ProcessID, cfgs cfg.Source) *ReplicaService {
+	return &ReplicaService{
+		self:   self,
+		cfgs:   cfgs,
+		states: keystate.New[*repState](keystate.DefaultShards),
+	}
+}
+
+var _ node.KeyedService = (*ReplicaService)(nil)
+
+func (s *ReplicaService) state(key, configID string) (*repState, error) {
+	return keystate.Materialize(s.states, s.cfgs, ReplicaServiceName, s.self, key, configID,
+		func(c cfg.Configuration) (*repState, error) {
+			if c.Algorithm != cfg.LDR {
+				return nil, fmt.Errorf("ldr: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+			}
+			if _, ok := c.ServerIndex(s.self); !ok {
+				return nil, fmt.Errorf("ldr: server %s is not a replica of %s", s.self, c.ID)
+			}
+			return &repState{}, nil
+		})
+}
+
+// HandleKeyed implements node.KeyedService.
+func (s *ReplicaService) HandleKeyed(_ types.ProcessID, key, configID, msgType string, payload []byte) (any, error) {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return nil, err
+	}
 	switch msgType {
 	case msgGetData:
 		var req getDataReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return pairResp{Tag: s.tag, Value: s.val.Clone()}, nil
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return pairResp{Tag: st.tag, Value: st.val.Clone()}, nil
 	case msgPutData:
 		var req putDataReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.tag.Less(req.Tag) {
-			s.tag = req.Tag
-			s.val = types.Value(req.Value).Clone()
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.tag.Less(req.Tag) {
+			st.tag = req.Tag
+			st.val = types.Value(req.Value).Clone()
 		}
 		return nil, nil
 	default:
@@ -148,11 +229,21 @@ func (s *ReplicaService) Handle(_ types.ProcessID, msgType string, payload []byt
 	}
 }
 
-// StorageBytes reports the value bytes at rest on this replica.
+// States reports how many (key, config) replicas have been materialized
+// (for tests).
+func (s *ReplicaService) States() int { return s.states.Len() }
+
+// StorageBytes reports the value bytes at rest across every replica state on
+// this server.
 func (s *ReplicaService) StorageBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.val)
+	total := 0
+	s.states.Range(func(_ keystate.Ref, st *repState) bool {
+		st.mu.Lock()
+		total += len(st.val)
+		st.mu.Unlock()
+		return true
+	})
+	return total
 }
 
 // Client implements dap.Client with the LDR protocols.
@@ -224,7 +315,7 @@ func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 	// replica counts as a failure (Check), not as progress toward the quorum.
 	results, err := transport.Broadcast(ctx, c.rpc, best.Loc,
 		transport.Phase[pairResp]{
-			Service: ReplicaServiceName, Config: string(c.cfg.ID), Type: msgGetData,
+			Service: ReplicaServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgGetData,
 			Body: getDataReq{Tag: best.Tag},
 			Check: func(dst types.ProcessID, resp pairResp) error {
 				if resp.Tag.Less(best.Tag) {
@@ -258,7 +349,7 @@ func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 	}
 	acked, err := transport.Broadcast(ctx, c.rpc, targets,
 		transport.Phase[struct{}]{
-			Service: ReplicaServiceName, Config: string(c.cfg.ID), Type: msgPutData,
+			Service: ReplicaServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgPutData,
 			Body: putDataReq{Tag: p.Tag, Value: p.Value},
 		},
 		transport.AtLeast[struct{}](c.cfg.FReplicas+1),
@@ -278,7 +369,7 @@ func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 
 func (c *Client) queryDirectories(ctx context.Context) ([]transport.GatherResult[tagLocationResp], error) {
 	return transport.Broadcast(ctx, c.rpc, c.cfg.Directories,
-		transport.Phase[tagLocationResp]{Service: DirectoryServiceName, Config: string(c.cfg.ID), Type: msgQueryTagLocation, Body: struct{}{}},
+		transport.Phase[tagLocationResp]{Service: DirectoryServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQueryTagLocation, Body: struct{}{}},
 		transport.AtLeast[tagLocationResp](c.dirQ.Size()),
 	)
 }
@@ -286,7 +377,7 @@ func (c *Client) queryDirectories(ctx context.Context) ([]transport.GatherResult
 func (c *Client) putMetadata(ctx context.Context, t tag.Tag, loc []types.ProcessID) error {
 	_, err := transport.Broadcast(ctx, c.rpc, c.cfg.Directories,
 		transport.Phase[struct{}]{
-			Service: DirectoryServiceName, Config: string(c.cfg.ID), Type: msgPutMetadata,
+			Service: DirectoryServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgPutMetadata,
 			Body: putMetadataReq{Tag: t, Loc: loc},
 		},
 		transport.AtLeast[struct{}](c.dirQ.Size()),

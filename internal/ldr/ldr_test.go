@@ -20,24 +20,40 @@ func deploy(t *testing.T, nReplicas, nDirs, f int) (cfg.Configuration, *transpor
 	t.Helper()
 	net := transport.NewSimnet()
 	c := cfg.Configuration{ID: "c0", Algorithm: cfg.LDR, FReplicas: f}
-	replicas := make(map[types.ProcessID]*ReplicaService)
 	for i := 1; i <= nReplicas; i++ {
-		id := types.ProcessID(fmt.Sprintf("rep%d", i))
-		c.Servers = append(c.Servers, id)
+		c.Servers = append(c.Servers, types.ProcessID(fmt.Sprintf("rep%d", i)))
+	}
+	for i := 1; i <= nDirs; i++ {
+		c.Directories = append(c.Directories, types.ProcessID(fmt.Sprintf("dir%d", i)))
+	}
+	replicas := make(map[types.ProcessID]*ReplicaService)
+	for _, id := range c.Servers {
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(id)
-		svc := NewReplicaService()
-		nd.Install(ReplicaServiceName, string(c.ID), svc)
+		svc := NewReplicaService(id, src)
+		nd.InstallKeyed(ReplicaServiceName, svc)
 		net.Register(id, nd)
 		replicas[id] = svc
 	}
-	for i := 1; i <= nDirs; i++ {
-		id := types.ProcessID(fmt.Sprintf("dir%d", i))
-		c.Directories = append(c.Directories, id)
+	for _, id := range c.Directories {
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(id)
-		nd.Install(DirectoryServiceName, string(c.ID), NewDirectoryService())
+		nd.InstallKeyed(DirectoryServiceName, NewDirectoryService(id, src))
 		net.Register(id, nd)
 	}
 	return c, net, replicas
+}
+
+// soloLDR builds a one-process LDR deployment for direct handler tests: the
+// process is both the sole replica and the sole directory of config "solo".
+func soloLDR() (*DirectoryService, *ReplicaService) {
+	c := cfg.Configuration{ID: "solo", Algorithm: cfg.LDR, FReplicas: 0,
+		Servers: []types.ProcessID{"s1"}, Directories: []types.ProcessID{"s1"}}
+	src := cfg.NewResolver()
+	src.Add(c)
+	return NewDirectoryService("s1", src), NewReplicaService("s1", src)
 }
 
 func TestWriteThenReadA2(t *testing.T) {
@@ -235,26 +251,49 @@ func TestValidation(t *testing.T) {
 
 func TestServiceUnknownMessages(t *testing.T) {
 	t.Parallel()
-	if _, err := NewDirectoryService().Handle("x", "bogus", nil); err == nil {
+	dir, rep := soloLDR()
+	if _, err := dir.HandleKeyed("x", "", "solo", "bogus", nil); err == nil {
 		t.Fatal("directory accepted unknown message")
 	}
-	if _, err := NewReplicaService().Handle("x", "bogus", nil); err == nil {
+	if _, err := rep.HandleKeyed("x", "", "solo", "bogus", nil); err == nil {
 		t.Fatal("replica accepted unknown message")
+	}
+}
+
+func TestServicesRejectNonLDRConfigurations(t *testing.T) {
+	t.Parallel()
+	// An ldr-rep/ldr-dir message addressed to an ABD configuration this
+	// server belongs to must be rejected, not answered from a silently
+	// materialized shadow register.
+	abdC := cfg.Configuration{ID: "abd-c0", Algorithm: cfg.ABD,
+		Servers: []types.ProcessID{"s1"}, Directories: []types.ProcessID{"s1"}}
+	src := cfg.NewResolver()
+	src.Add(abdC)
+	rep := NewReplicaService("s1", src)
+	if _, err := rep.HandleKeyed("x", "", "abd-c0", msgGetData, transport.MustMarshal(getDataReq{})); err == nil {
+		t.Fatal("replica served an ABD configuration")
+	}
+	dir := NewDirectoryService("s1", src)
+	if _, err := dir.HandleKeyed("x", "", "abd-c0", msgQueryTagLocation, nil); err == nil {
+		t.Fatal("directory served an ABD configuration")
+	}
+	if rep.States() != 0 || dir.States() != 0 {
+		t.Fatal("rejected messages materialized state")
 	}
 }
 
 func TestDirectoryMonotone(t *testing.T) {
 	t.Parallel()
-	svc := NewDirectoryService()
+	svc, _ := soloLDR()
 	newer := putMetadataReq{Tag: tag.Tag{Z: 5, W: "w"}, Loc: []types.ProcessID{"rep1"}}
 	older := putMetadataReq{Tag: tag.Tag{Z: 2, W: "w"}, Loc: []types.ProcessID{"rep9"}}
-	if _, err := svc.Handle("x", msgPutMetadata, transport.MustMarshal(newer)); err != nil {
+	if _, err := svc.HandleKeyed("x", "", "solo", msgPutMetadata, transport.MustMarshal(newer)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Handle("x", msgPutMetadata, transport.MustMarshal(older)); err != nil {
+	if _, err := svc.HandleKeyed("x", "", "solo", msgPutMetadata, transport.MustMarshal(older)); err != nil {
 		t.Fatal(err)
 	}
-	gotTag, gotLoc := svc.Current()
+	gotTag, gotLoc, _ := svc.Current("", "solo")
 	if gotTag.Z != 5 || len(gotLoc) != 1 || gotLoc[0] != "rep1" {
 		t.Fatalf("directory regressed: %v %v", gotTag, gotLoc)
 	}

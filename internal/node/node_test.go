@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/types"
@@ -132,5 +133,183 @@ func TestConcurrentInstallAndDispatch(t *testing.T) {
 			}
 		}()
 	}
+	wg.Wait()
+}
+
+func TestKeyedDispatchRoutesKeyAndConfig(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	n.InstallKeyed("store", KeyedServiceFunc(func(_ types.ProcessID, key, configID, msgType string, _ []byte) (any, error) {
+		return struct{ K, C, T string }{K: key, C: configID, T: msgType}, nil
+	}))
+	resp := n.HandleRequest("c1", transport.Request{Service: "store", Key: "obj-9", Config: "store/obj-9/c0", Type: "get"})
+	if !resp.OK {
+		t.Fatalf("keyed dispatch failed: %s", resp.Err)
+	}
+	var out struct{ K, C, T string }
+	if err := transport.Unmarshal(resp.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.K != "obj-9" || out.C != "store/obj-9/c0" || out.T != "get" {
+		t.Fatalf("routed coordinates = %+v", out)
+	}
+}
+
+func TestKeyedTakesPrecedenceOverExact(t *testing.T) {
+	t.Parallel()
+	// One family name must resolve to one handler: a keyed family instance
+	// shadows any exact (service, config) leftovers.
+	n := New("s1")
+	n.Install("svc", "c0", ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+		return struct{ From string }{"exact"}, nil
+	}))
+	n.InstallKeyed("svc", KeyedServiceFunc(func(types.ProcessID, string, string, string, []byte) (any, error) {
+		return struct{ From string }{"keyed"}, nil
+	}))
+	resp := n.HandleRequest("c1", transport.Request{Service: "svc", Config: "c0"})
+	var out struct{ From string }
+	if err := transport.Unmarshal(resp.Payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.From != "keyed" {
+		t.Fatalf("dispatched to %q, want keyed", out.From)
+	}
+}
+
+func TestKeyedInstallIdempotentAndUninstall(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	first := KeyedServiceFunc(func(types.ProcessID, string, string, string, []byte) (any, error) {
+		return struct{ V int }{1}, nil
+	})
+	second := KeyedServiceFunc(func(types.ProcessID, string, string, string, []byte) (any, error) {
+		return struct{ V int }{2}, nil
+	})
+	if !n.InstallKeyed("svc", first) {
+		t.Fatal("first InstallKeyed reported false")
+	}
+	if n.InstallKeyed("svc", second) {
+		t.Fatal("second InstallKeyed reported true; must not replace state")
+	}
+	if n.Services() != 1 {
+		t.Fatalf("Services = %d, want 1", n.Services())
+	}
+	if !n.UninstallKeyed("svc") || n.UninstallKeyed("svc") {
+		t.Fatal("UninstallKeyed semantics broken")
+	}
+	resp := n.HandleRequest("c1", transport.Request{Service: "svc", Key: "k", Config: "c0"})
+	if resp.OK || !errors.Is(errorFromResponse(resp), ErrNoService) && !strings.Contains(resp.Err, "no such service") {
+		t.Fatalf("dispatch after uninstall = %+v", resp)
+	}
+}
+
+// errorFromResponse converts a failed response back to an error-ish for
+// matching; transport deliberately flattens errors to strings on the wire.
+func errorFromResponse(resp transport.Response) error {
+	if resp.OK {
+		return nil
+	}
+	return errors.New(resp.Err)
+}
+
+func TestUnknownKeyAndConfigErrorPaths(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	// Keyed service mimicking the real ones: it rejects unknown configs.
+	n.InstallKeyed("store", KeyedServiceFunc(func(_ types.ProcessID, key, configID, _ string, _ []byte) (any, error) {
+		if configID != "store/"+key+"/c0" {
+			return nil, errors.New("unknown configuration " + configID + " for key " + key)
+		}
+		return nil, nil
+	}))
+	// Well-formed key/config pair: served.
+	if resp := n.HandleRequest("c", transport.Request{Service: "store", Key: "a", Config: "store/a/c0"}); !resp.OK {
+		t.Fatalf("valid keyed request rejected: %s", resp.Err)
+	}
+	// Key/config mismatch: surfaced as a service error naming both.
+	resp := n.HandleRequest("c", transport.Request{Service: "store", Key: "b", Config: "store/a/c0"})
+	if resp.OK || !strings.Contains(resp.Err, "key b") {
+		t.Fatalf("mismatched key = %+v", resp)
+	}
+	// Unknown family: node-level ErrNoService naming the key.
+	resp = n.HandleRequest("c", transport.Request{Service: "ghost", Key: "a", Config: "store/a/c0"})
+	if resp.OK || !strings.Contains(resp.Err, "no such service") || !strings.Contains(resp.Err, `"a"`) {
+		t.Fatalf("unknown family = %+v", resp)
+	}
+}
+
+// TestConcurrentKeyedInstallDispatchUninstall is the keyed-envelope race
+// test: installs, dispatches across many (key, config) pairs, uninstalls,
+// and node-scoped traffic all proceed concurrently (run under -race).
+func TestConcurrentKeyedInstallDispatchUninstall(t *testing.T) {
+	t.Parallel()
+	n := New("s1")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Installer/uninstaller loops on two family names.
+	for _, svc := range []string{"fam-a", "fam-b"} {
+		svc := svc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n.InstallKeyed(svc, KeyedServiceFunc(func(types.ProcessID, string, string, string, []byte) (any, error) {
+					return nil, nil
+				}))
+				if i%3 == 0 {
+					n.UninstallKeyed(svc)
+				}
+			}
+		}()
+	}
+	// Node-scoped churn on the exact map.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n.Install("ctl", "node", ServiceFunc(func(types.ProcessID, string, []byte) (any, error) {
+				return nil, nil
+			}))
+			if i%5 == 0 {
+				n.Uninstall("ctl", "node")
+			}
+		}
+	}()
+	// Dispatchers across keys and families; any outcome is fine (service
+	// present or not), it just must not race or panic.
+	for d := 0; d < 4; d++ {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc := "fam-a"
+				if i%2 == 0 {
+					svc = "fam-b"
+				}
+				key := string(rune('a' + (i+d)%8))
+				n.HandleRequest("c", transport.Request{Service: svc, Key: key, Config: "store/" + key + "/c0"})
+				n.Services()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
 	wg.Wait()
 }

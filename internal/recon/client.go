@@ -119,7 +119,7 @@ func (cl *Client) setSequence(seq cfg.Sequence) error {
 func (cl *Client) ReadNextConfig(ctx context.Context, c cfg.Configuration) (cfg.Entry, bool, error) {
 	q := c.Quorum()
 	got, err := transport.Broadcast(ctx, cl.rpc, c.Servers,
-		transport.Phase[readConfigResp]{Service: ServiceName, Config: string(c.ID), Type: msgReadConfig, Body: struct{}{}},
+		transport.Phase[readConfigResp]{Service: ServiceName, Key: c.Key, Config: string(c.ID), Type: msgReadConfig, Body: struct{}{}},
 		transport.AtLeast[readConfigResp](q.Size()),
 	)
 	if err != nil {
@@ -147,7 +147,7 @@ func (cl *Client) ReadNextConfig(ctx context.Context, c cfg.Configuration) (cfg.
 func (cl *Client) PutConfig(ctx context.Context, c cfg.Configuration, next cfg.Entry) error {
 	q := c.Quorum()
 	_, err := transport.Broadcast(ctx, cl.rpc, c.Servers,
-		transport.Phase[struct{}]{Service: ServiceName, Config: string(c.ID), Type: msgWriteConfig, Body: writeConfigReq{Next: next}},
+		transport.Phase[struct{}]{Service: ServiceName, Key: c.Key, Config: string(c.ID), Type: msgWriteConfig, Body: writeConfigReq{Next: next}},
 		transport.AtLeast[struct{}](q.Size()),
 	)
 	if err != nil {
@@ -196,7 +196,7 @@ func (cl *Client) proposer(c cfg.Configuration) (*consensus.Proposer, error) {
 	if p, ok := cl.proposers[c.ID]; ok {
 		return p, nil
 	}
-	p, err := consensus.NewProposer(cl.self, string(c.ID), c.Servers, cl.rpc)
+	p, err := consensus.NewProposer(cl.self, c.Key, string(c.ID), c.Servers, cl.rpc)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +255,10 @@ func (cl *Client) Reconfig(ctx context.Context, proposal cfg.Configuration) (cfg
 // put-config.
 func (cl *Client) addConfig(ctx context.Context, seq cfg.Sequence, proposal cfg.Configuration) (cfg.Sequence, cfg.Configuration, error) {
 	last := seq.Last().Cfg
+	// The proposal extends this chain, so it serves this chain's key: bind it
+	// before proposing so every server routes the new configuration's
+	// messages to the same per-key state the rest of the chain uses.
+	proposal.Key = last.Key
 	p, err := cl.proposer(last)
 	if err != nil {
 		return nil, cfg.Configuration{}, err

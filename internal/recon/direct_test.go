@@ -7,28 +7,17 @@ import (
 	"time"
 
 	"github.com/ares-storage/ares/internal/cfg"
-	"github.com/ares-storage/ares/internal/consensus"
 	"github.com/ares-storage/ares/internal/dap"
 	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/treas"
 	"github.com/ares-storage/ares/internal/types"
 )
 
-// treasWorld extends testWorld with TREAS provisioning.
+// installTreas provisions a TREAS configuration: with keyed services already
+// hosted on every node, provisioning is just resolver registration.
 func (w *testWorld) installTreas(t *testing.T, c cfg.Configuration) {
 	t.Helper()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for _, s := range c.Servers {
-		n := w.ensureNode(s)
-		svc, err := treas.NewService(c, s, w.net.Client(s))
-		if err != nil {
-			t.Fatal(err)
-		}
-		n.Install(treas.ServiceName, string(c.ID), svc)
-		n.Install(ServiceName, string(c.ID), NewService())
-		n.Install(consensus.ServiceName, string(c.ID), consensus.NewService())
-	}
+	w.installLocal(c)
 }
 
 func treasCfg(id cfg.ID, prefix string, n, k, delta int) cfg.Configuration {

@@ -16,11 +16,13 @@ import (
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/treas"
 	"github.com/ares-storage/ares/internal/types"
 )
 
-// testWorld is a minimal deployment for recon tests: nodes indexed by ID
-// with an installer that provisions ABD configurations locally.
+// testWorld is a minimal deployment for recon tests: nodes indexed by ID,
+// each hosting one keyed service per family, with an installer that
+// registers configurations with the nodes' resolvers.
 type testWorld struct {
 	net *transport.Simnet
 	reg *dap.Registry
@@ -28,17 +30,21 @@ type testWorld struct {
 	// mu guards nodes: concurrent reconfigurers (e.g.
 	// TestConcurrentReconfigsUniqueSuccessor) install configurations — and
 	// hence ensure nodes — from racing goroutines.
-	mu    sync.Mutex
-	nodes map[types.ProcessID]*node.Node
+	mu        sync.Mutex
+	nodes     map[types.ProcessID]*node.Node
+	resolvers map[types.ProcessID]*cfg.Resolver
+	pointers  map[types.ProcessID]*Service
 }
 
 func newWorld() *testWorld {
 	r := dap.NewRegistry()
 	r.Register(cfg.ABD, abd.Factory)
 	return &testWorld{
-		net:   transport.NewSimnet(),
-		nodes: make(map[types.ProcessID]*node.Node),
-		reg:   r,
+		net:       transport.NewSimnet(),
+		nodes:     make(map[types.ProcessID]*node.Node),
+		resolvers: make(map[types.ProcessID]*cfg.Resolver),
+		pointers:  make(map[types.ProcessID]*Service),
+		reg:       r,
 	}
 }
 
@@ -47,20 +53,27 @@ func (w *testWorld) ensureNode(id types.ProcessID) *node.Node {
 		return n
 	}
 	n := node.New(id)
+	src := cfg.NewResolver()
+	ptr := NewService(id, src)
+	n.InstallKeyed(abd.ServiceName, abd.NewService(id, src))
+	n.InstallKeyed(treas.ServiceName, treas.NewService(id, src, w.net.Client(id)))
+	n.InstallKeyed(ServiceName, ptr)
+	n.InstallKeyed(consensus.ServiceName, consensus.NewService(id, src))
 	w.nodes[id] = n
+	w.resolvers[id] = src
+	w.pointers[id] = ptr
 	w.net.Register(id, n)
 	return n
 }
 
-// installLocal provisions an ABD configuration's services directly.
+// installLocal registers a configuration with every member's resolver; the
+// keyed services materialize per-config state lazily.
 func (w *testWorld) installLocal(c cfg.Configuration) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for _, s := range c.Servers {
-		n := w.ensureNode(s)
-		n.Install(abd.ServiceName, string(c.ID), abd.NewService())
-		n.Install(ServiceName, string(c.ID), NewService())
-		n.Install(consensus.ServiceName, string(c.ID), consensus.NewService())
+		w.ensureNode(s)
+		w.resolvers[s].Add(c)
 	}
 }
 
@@ -270,25 +283,33 @@ func TestConcurrentReconfigsUniqueSuccessor(t *testing.T) {
 	}
 }
 
+// soloPointer builds a one-member pointer service for direct handler tests.
+func soloPointer() *Service {
+	c := abdCfg("solo", "x", 3)
+	src := cfg.NewResolver()
+	src.Add(c)
+	return NewService("x1", src)
+}
+
 func TestServicePointerRules(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
+	svc := soloPointer()
 	entryP := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Pending}
 	entryF := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Finalized}
 
 	// ⊥ → P allowed.
-	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryP})); err != nil {
+	if _, err := svc.HandleKeyed("q", "", "solo", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryP})); err != nil {
 		t.Fatal(err)
 	}
 	// P → F allowed.
-	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryF})); err != nil {
+	if _, err := svc.HandleKeyed("q", "", "solo", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryF})); err != nil {
 		t.Fatal(err)
 	}
 	// F is immutable: write-back of P leaves F in place.
-	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryP})); err != nil {
+	if _, err := svc.HandleKeyed("q", "", "solo", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: entryP})); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := svc.Next()
+	got, ok := svc.Next("", "solo")
 	if !ok || got.Status != cfg.Finalized {
 		t.Fatalf("nextC = %+v ok=%v, want finalized", got, ok)
 	}
@@ -296,13 +317,13 @@ func TestServicePointerRules(t *testing.T) {
 
 func TestServiceRejectsConflictingSuccessor(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
+	svc := soloPointer()
 	first := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Pending}
 	conflicting := cfg.Entry{Cfg: abdCfg("cX", "y", 3), Status: cfg.Pending}
-	if _, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: first})); err != nil {
+	if _, err := svc.HandleKeyed("q", "", "solo", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: first})); err != nil {
 		t.Fatal(err)
 	}
-	_, err := svc.Handle("q", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: conflicting}))
+	_, err := svc.HandleKeyed("q", "", "solo", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: conflicting}))
 	if err == nil || !strings.Contains(err.Error(), "conflicting") {
 		t.Fatalf("err = %v, want conflict report", err)
 	}
@@ -310,9 +331,30 @@ func TestServiceRejectsConflictingSuccessor(t *testing.T) {
 
 func TestServiceUnknownMessage(t *testing.T) {
 	t.Parallel()
-	svc := NewService()
-	if _, err := svc.Handle("q", "bogus", nil); err == nil {
+	svc := soloPointer()
+	if _, err := svc.HandleKeyed("q", "", "solo", "bogus", nil); err == nil {
 		t.Fatal("unknown message type accepted")
+	}
+}
+
+// TestPerKeyPointerIndependence pins the keyed pointer service: two keys'
+// chains derived from one template advance independently inside a single
+// service instance.
+func TestPerKeyPointerIndependence(t *testing.T) {
+	t.Parallel()
+	tmpl := abdCfg(cfg.ID("store/"+cfg.KeyPlaceholder+"/c0"), "x", 3)
+	src := cfg.NewResolver()
+	src.Add(tmpl)
+	svc := NewService("x1", src)
+	next := cfg.Entry{Cfg: abdCfg("c1", "x", 3), Status: cfg.Pending}
+	if _, err := svc.HandleKeyed("q", "a", "store/a/c0", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: next})); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.Next("b", "store/b/c0"); ok {
+		t.Fatal("key b observed key a's pointer")
+	}
+	if _, ok := svc.Next("a", "store/a/c0"); !ok {
+		t.Fatal("key a's pointer lost")
 	}
 }
 
@@ -329,12 +371,12 @@ func TestReadNextConfigPrefersFinalized(t *testing.T) {
 	entryP := cfg.Entry{Cfg: next, Status: cfg.Pending}
 	entryF := cfg.Entry{Cfg: next, Status: cfg.Finalized}
 	for i, s := range c0.Servers {
-		svc, _ := w.nodes[s].Lookup(ServiceName, string(c0.ID))
+		svc := w.pointers[s]
 		e := entryP
 		if i == 0 {
 			e = entryF
 		}
-		if _, err := svc.Handle("test", msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: e})); err != nil {
+		if _, err := svc.HandleKeyed("test", "", string(c0.ID), msgWriteConfig, transport.MustMarshal(writeConfigReq{Next: e})); err != nil {
 			t.Fatal(err)
 		}
 	}

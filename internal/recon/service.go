@@ -4,6 +4,11 @@
 // four-phase reconfig operation (Alg. 5) with both the value-through-client
 // state transfer of Alg. 5 and the direct server-to-server transfer of §5
 // (ARES-TREAS).
+//
+// A node hosts a single pointer Service for the whole keyspace: every
+// (key, config) pair owns its own nextC variable, lazily created in a
+// striped-lock map — each key's configuration chain advances independently
+// (the paper's per-object reconfiguration), without per-key installation.
 package recon
 
 import (
@@ -11,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/types"
@@ -36,47 +42,75 @@ type (
 	}
 )
 
-// Service holds one server's nextC variable for one configuration: the
-// pointer to the following configuration in the global sequence GL, with its
-// status. nextC starts at ⊥ and, once finalized, never changes (Lemma 46).
-type Service struct {
+// pointer holds one server's nextC variable for one (key, configuration):
+// the pointer to the following configuration in that key's global sequence
+// GL, with its status. nextC starts at ⊥ and, once finalized, never changes
+// (Lemma 46).
+type pointer struct {
 	mu      sync.Mutex
 	hasNext bool
 	next    cfg.Entry
 }
 
-// NewService returns a pointer service with nextC = ⊥.
-func NewService() *Service {
-	return &Service{}
+// Service hosts every nextC pointer of one node.
+type Service struct {
+	self   types.ProcessID
+	cfgs   cfg.Source
+	states *keystate.Map[*pointer]
 }
 
-var _ node.Service = (*Service)(nil)
+// NewService returns the node-wide pointer service for server self; every
+// per-(key, config) pointer starts at nextC = ⊥ on first touch.
+func NewService(self types.ProcessID, cfgs cfg.Source) *Service {
+	return &Service{
+		self:   self,
+		cfgs:   cfgs,
+		states: keystate.New[*pointer](keystate.DefaultShards),
+	}
+}
 
-// Handle implements node.Service.
-func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any, error) {
+var _ node.KeyedService = (*Service)(nil)
+
+// state returns (creating on first touch) the pointer for (key, configID).
+func (s *Service) state(key, configID string) (*pointer, error) {
+	return keystate.Materialize(s.states, s.cfgs, ServiceName, s.self, key, configID,
+		func(c cfg.Configuration) (*pointer, error) {
+			if _, ok := c.ServerIndex(s.self); !ok {
+				return nil, fmt.Errorf("recon: server %s is not a member of %s", s.self, c.ID)
+			}
+			return &pointer{}, nil
+		})
+}
+
+// HandleKeyed implements node.KeyedService.
+func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, payload []byte) (any, error) {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return nil, err
+	}
 	switch msgType {
 	case msgReadConfig:
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return readConfigResp{HasNext: s.hasNext, Next: s.next}, nil
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return readConfigResp{HasNext: st.hasNext, Next: st.next}, nil
 	case msgWriteConfig:
 		var req writeConfigReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		st.mu.Lock()
+		defer st.mu.Unlock()
 		// Alg. 6 lines 10–11: accept when nextC is ⊥ or still pending. A
 		// finalized pointer is immutable.
-		if !s.hasNext || s.next.Status == cfg.Pending {
-			if s.hasNext && !s.next.Cfg.Equal(req.Next.Cfg) {
+		if !st.hasNext || st.next.Status == cfg.Pending {
+			if st.hasNext && !st.next.Cfg.Equal(req.Next.Cfg) {
 				// Consensus guarantees a unique successor; a different
 				// configuration here is a protocol violation worth surfacing.
 				return nil, fmt.Errorf("recon: conflicting next configuration %s (have %s)",
-					req.Next.Cfg.ID, s.next.Cfg.ID)
+					req.Next.Cfg.ID, st.next.Cfg.ID)
 			}
-			s.next = req.Next
-			s.hasNext = true
+			st.next = req.Next
+			st.hasNext = true
 		}
 		return nil, nil // ACK
 	default:
@@ -84,9 +118,18 @@ func (s *Service) Handle(_ types.ProcessID, msgType string, payload []byte) (any
 	}
 }
 
-// Next reports the current pointer (for tests).
-func (s *Service) Next() (cfg.Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.next, s.hasNext
+// States reports how many (key, config) pointers have been materialized
+// (for tests).
+func (s *Service) States() int { return s.states.Len() }
+
+// Next reports the pointer for (key, configID) (for tests). ok is false when
+// either the state does not exist or nextC is still ⊥.
+func (s *Service) Next(key, configID string) (cfg.Entry, bool) {
+	st, found := s.states.Get(keystate.Ref{Key: key, Config: configID})
+	if !found {
+		return cfg.Entry{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.next, st.hasNext
 }

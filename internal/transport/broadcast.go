@@ -13,9 +13,10 @@ import (
 // rounds — is an instance of this shape ("send to all servers, await
 // responses from ⌈(n+k)/2⌉ servers / a quorum", Alg. 2, 4, 12).
 type Phase[RespT any] struct {
-	// Service, Config, and Type address the remote service instance, exactly
-	// as in Request.
+	// Service, Key, Config, and Type address the remote per-key state,
+	// exactly as in Request.
 	Service string
+	Key     string
 	Config  string
 	Type    string
 
@@ -72,7 +73,7 @@ func Broadcast[RespT any](
 					return zero, err
 				}
 			}
-			out, err := invokePayload[RespT](ctx, c, dst, p.Service, p.Config, p.Type, payload)
+			out, err := invokePayload[RespT](ctx, c, dst, Addr{Service: p.Service, Key: p.Key, Config: p.Config, Type: p.Type}, payload)
 			if err != nil {
 				return zero, err
 			}

@@ -94,6 +94,16 @@ func AtLeast[T any](n int) func([]GatherResult[T]) bool {
 	return func(got []GatherResult[T]) bool { return len(got) >= n }
 }
 
+// Addr names the remote state a single-destination call addresses: the
+// protocol family, the object key, the configuration, and the message type —
+// the same four coordinates a Phase carries for quorum fan-outs.
+type Addr struct {
+	Service string
+	Key     string
+	Config  string
+	Type    string
+}
+
 // InvokeTyped sends a request whose body encodes to reqBody and decodes the
 // response payload into a fresh RespT. It folds transport and service-level
 // failures into a single error, the shape every protocol client wants.
@@ -103,7 +113,7 @@ func InvokeTyped[RespT any](
 	ctx context.Context,
 	c Client,
 	dst types.ProcessID,
-	service, config, msgType string,
+	addr Addr,
 	reqBody any,
 ) (RespT, error) {
 	payload, err := Marshal(reqBody)
@@ -111,7 +121,7 @@ func InvokeTyped[RespT any](
 		var zero RespT
 		return zero, err
 	}
-	return invokePayload[RespT](ctx, c, dst, service, config, msgType, payload)
+	return invokePayload[RespT](ctx, c, dst, addr, payload)
 }
 
 // invokePayload delivers one pre-encoded request payload and decodes the
@@ -121,14 +131,15 @@ func invokePayload[RespT any](
 	ctx context.Context,
 	c Client,
 	dst types.ProcessID,
-	service, config, msgType string,
+	addr Addr,
 	payload []byte,
 ) (RespT, error) {
 	var zero RespT
 	resp, err := c.Invoke(ctx, dst, Request{
-		Service: service,
-		Config:  config,
-		Type:    msgType,
+		Service: addr.Service,
+		Key:     addr.Key,
+		Config:  addr.Config,
+		Type:    addr.Type,
 		Payload: payload,
 	})
 	if err != nil {

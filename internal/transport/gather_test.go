@@ -156,7 +156,7 @@ func TestInvokeTyped(t *testing.T) {
 		}
 		return OKResponse(MustMarshal(respBody{Y: in.X * 2}))
 	}))
-	out, err := InvokeTyped[respBody](context.Background(), net.Client("c1"), "s1", "svc", "cfg", "op", reqBody{X: 21})
+	out, err := InvokeTyped[respBody](context.Background(), net.Client("c1"), "s1", Addr{Service: "svc", Key: "k", Config: "cfg", Type: "op"}, reqBody{X: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestInvokeTypedServiceError(t *testing.T) {
 	net.Register("s1", HandlerFunc(func(types.ProcessID, Request) Response {
 		return ErrResponse(errors.New("nope"))
 	}))
-	_, err := InvokeTyped[struct{}](context.Background(), net.Client("c1"), "s1", "svc", "cfg", "op", struct{}{})
+	_, err := InvokeTyped[struct{}](context.Background(), net.Client("c1"), "s1", Addr{Service: "svc", Config: "cfg", Type: "op"}, struct{}{})
 	if !errors.Is(err, ErrServiceFailure) {
 		t.Fatalf("err = %v, want ErrServiceFailure", err)
 	}

@@ -165,7 +165,7 @@ func TestTCPGobPayloadTypes(t *testing.T) {
 	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}))
 	defer client.Close()
 
-	out, err := InvokeTyped[body](context.Background(), client, "s1", "svc", "c0", "op", body{
+	out, err := InvokeTyped[body](context.Background(), client, "s1", Addr{Service: "svc", Key: "obj-1", Config: "c0", Type: "op"}, body{
 		Tags:  []string{"a"},
 		Blobs: map[int][]byte{3: {9, 9}},
 	})

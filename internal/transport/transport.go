@@ -30,7 +30,11 @@ import (
 type Request struct {
 	// Service names the protocol family, e.g. "treas", "abd", "recon", "paxos".
 	Service string
-	// Config identifies the configuration whose service instance is addressed.
+	// Key names the object (register) the message concerns. Servers host one
+	// keyed service per protocol family and route on (service, key, config);
+	// the empty key addresses a deployment's default register.
+	Key string
+	// Config identifies the configuration whose per-key state is addressed.
 	Config string
 	// Type is the message type within the service, e.g. "query-tag".
 	Type string

@@ -20,12 +20,10 @@ func benchDeploy(b *testing.B, id cfg.ID, n, k, delta int, net *transport.Simnet
 		c.Servers = append(c.Servers, types.ProcessID(fmt.Sprintf("%s-s%d", id, i+1)))
 	}
 	for _, sid := range c.Servers {
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(sid)
-		svc, err := NewService(c, sid, net.Client(sid))
-		if err != nil {
-			b.Fatal(err)
-		}
-		nd.Install(ServiceName, string(c.ID), svc)
+		nd.InstallKeyed(ServiceName, NewService(sid, src, net.Client(sid)))
 		net.Register(sid, nd)
 	}
 	return c
@@ -104,12 +102,10 @@ func BenchmarkRepairOneServer(b *testing.B) {
 		net.Quiesce()
 		// Wipe one server.
 		lost := c.Servers[2]
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(lost)
-		svc, err := NewService(c, lost, net.Client(lost))
-		if err != nil {
-			b.Fatal(err)
-		}
-		nd.Install(ServiceName, string(c.ID), svc)
+		nd.InstallKeyed(ServiceName, NewService(lost, src, net.Client(lost)))
 		net.Register(lost, nd)
 		b.StartTimer()
 		if _, err := Repair(ctx, net.Client("fixer"), c, lost); err != nil {

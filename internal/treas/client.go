@@ -54,7 +54,7 @@ var _ dap.Client = (*Client)(nil)
 func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 	q := c.cfg.Quorum()
 	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
-		transport.Phase[tagResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQueryTag, Body: struct{}{}},
+		transport.Phase[tagResp]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQueryTag, Body: struct{}{}},
 		transport.AtLeast[tagResp](q.Size()),
 	)
 	if err != nil {
@@ -73,7 +73,7 @@ func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 	q := c.cfg.Quorum()
 	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
-		transport.Phase[listResp]{Service: ServiceName, Config: string(c.cfg.ID), Type: msgQueryList, Body: struct{}{}},
+		transport.Phase[listResp]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQueryList, Body: struct{}{}},
 		transport.AtLeast[listResp](q.Size()),
 	)
 	if err != nil {
@@ -145,7 +145,7 @@ func (c *Client) PutData(ctx context.Context, p tag.Pair) error {
 	q := c.cfg.Quorum()
 	_, err = transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
 		transport.Phase[struct{}]{
-			Service: ServiceName, Config: string(c.cfg.ID), Type: msgPutData,
+			Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgPutData,
 			BodyFor: func(dst types.ProcessID) (any, error) {
 				idx, ok := c.cfg.ServerIndex(dst)
 				if !ok {

@@ -44,7 +44,8 @@ func Repair(ctx context.Context, rpc transport.Client, c cfg.Configuration, targ
 
 	// 1a. Ask the target what it already holds (it must be reachable — a
 	// crashed server cannot be repaired, only reconfigured away).
-	targetList, err := transport.InvokeTyped[listResp](ctx, rpc, target, ServiceName, string(c.ID), msgQueryList, struct{}{})
+	targetList, err := transport.InvokeTyped[listResp](ctx, rpc, target,
+		transport.Addr{Service: ServiceName, Key: c.Key, Config: string(c.ID), Type: msgQueryList}, struct{}{})
 	if err != nil {
 		return 0, fmt.Errorf("treas: repair target %s unreachable: %w", target, err)
 	}
@@ -58,7 +59,7 @@ func Repair(ctx context.Context, rpc transport.Client, c cfg.Configuration, targ
 	// 1b. Collect lists from a quorum (the donors).
 	q := c.Quorum()
 	got, err := transport.Broadcast(ctx, rpc, c.Servers,
-		transport.Phase[listResp]{Service: ServiceName, Config: string(c.ID), Type: msgQueryList, Body: struct{}{}},
+		transport.Phase[listResp]{Service: ServiceName, Key: c.Key, Config: string(c.ID), Type: msgQueryList, Body: struct{}{}},
 		transport.AtLeast[listResp](q.Size()),
 	)
 	if err != nil {
@@ -103,7 +104,8 @@ func Repair(ctx context.Context, rpc transport.Client, c cfg.Configuration, targ
 			return repaired, fmt.Errorf("treas: repair re-encode of tag %v: %w", t, err)
 		}
 		req := putDataReq{Tag: t, Elem: shards[targetIdx], ValueLen: ts.valueLen}
-		if _, err := transport.InvokeTyped[struct{}](ctx, rpc, target, ServiceName, string(c.ID), msgPutData, req); err != nil {
+		if _, err := transport.InvokeTyped[struct{}](ctx, rpc, target,
+			transport.Addr{Service: ServiceName, Key: c.Key, Config: string(c.ID), Type: msgPutData}, req); err != nil {
 			return repaired, fmt.Errorf("treas: repair install of tag %v at %s: %w", t, target, err)
 		}
 		repaired++

@@ -18,13 +18,17 @@ import (
 // modelling a server that lost its disk and rejoined under the same ID.
 func wipeServer(t *testing.T, net *transport.Simnet, c cfg.Configuration, id types.ProcessID) *Service {
 	t.Helper()
+	src := cfg.NewResolver()
+	src.Add(c)
 	nd := node.New(id)
-	svc, err := NewService(c, id, net.Client(id))
-	if err != nil {
+	svc := NewService(id, src, net.Client(id))
+	nd.InstallKeyed(ServiceName, svc)
+	net.Register(id, nd) // replaces the previous handler
+	// Touch the object so the wiped server starts from the initial List
+	// (t0 only), exactly as a disk-lost server rejoining would.
+	if _, err := svc.state("", string(c.ID)); err != nil {
 		t.Fatal(err)
 	}
-	nd.Install(ServiceName, string(c.ID), svc)
-	net.Register(id, nd) // replaces the previous handler
 	return svc
 }
 
@@ -56,7 +60,7 @@ func TestRepairRestoresLostElements(t *testing.T) {
 	// Server s3 loses everything.
 	lost := c.Servers[2]
 	fresh := wipeServer(t, net, c, lost)
-	if tags, _ := fresh.ListSize(); tags != 1 {
+	if tags, _ := fresh.ListSize("", string(c.ID)); tags != 1 {
 		t.Fatalf("wiped server holds %d tags, want 1 (t0)", tags)
 	}
 
@@ -67,7 +71,7 @@ func TestRepairRestoresLostElements(t *testing.T) {
 	if repaired != 3 {
 		t.Fatalf("repaired %d elements, want 3", repaired)
 	}
-	_, withElems := fresh.ListSize()
+	_, withElems := fresh.ListSize("", string(c.ID))
 	if withElems != 4 { // t0 + 3 repaired (δ+1 = 4 bound)
 		t.Fatalf("target holds %d elements after repair, want 4", withElems)
 	}
@@ -202,7 +206,7 @@ func TestRepairWithDonorCrash(t *testing.T) {
 	if repaired == 0 {
 		t.Fatal("nothing repaired despite recoverable state")
 	}
-	if _, withElems := fresh.ListSize(); withElems < 2 {
+	if _, withElems := fresh.ListSize("", string(c.ID)); withElems < 2 {
 		t.Fatalf("target has %d elements", withElems)
 	}
 }

@@ -1,11 +1,19 @@
 // Package treas implements TREAS (§3), the paper's two-round erasure-coded
 // algorithm for MWMR atomic storage, as a DAP implementation.
 //
-// Each server si keeps a List of (tag, coded-element) pairs, bounded so that
-// only the δ+1 highest tags retain their coded elements; older tags keep a ⊥
-// placeholder (Alg. 3). Clients operate against ⌈(n+k)/2⌉ threshold quorums:
-// any two such quorums intersect in at least k servers, which makes a tag
-// written to one quorum decodable by every later reader quorum (Lemma 5).
+// Each server si keeps, per object, a List of (tag, coded-element) pairs,
+// bounded so that only the δ+1 highest tags retain their coded elements;
+// older tags keep a ⊥ placeholder (Alg. 3). Clients operate against
+// ⌈(n+k)/2⌉ threshold quorums: any two such quorums intersect in at least k
+// servers, which makes a tag written to one quorum decodable by every later
+// reader quorum (Lemma 5).
+//
+// A node hosts a single Service for the whole keyspace: each (key, config)
+// object is one lazily-created entry in a striped-lock map, materialized by
+// the first message that names the pair (no per-key installation). Erasure
+// codecs and the coded elements of the empty initial value are shared across
+// all objects with the same [n, k] parameters, so first touch costs a map
+// entry, not a matrix inversion.
 //
 // The package also carries the server-side half of the §5 optimized state
 // transfer (ARES-TREAS): handlers that forward coded elements directly from
@@ -21,6 +29,7 @@ import (
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/erasure"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/transport"
@@ -65,13 +74,12 @@ type (
 	}
 )
 
-// Service is the per-configuration TREAS server state.
-type Service struct {
+// objState is the per-(key, config) TREAS server state: the configuration it
+// was resolved against, this server's shard index in it, and the List.
+type objState struct {
 	cfg   cfg.Configuration
-	self  types.ProcessID
 	index int // this server's shard index in cfg.Servers
 	code  *erasure.Code
-	rpc   transport.Client // used only by the §5 forwarding path; may be nil
 
 	mu   sync.Mutex
 	list map[tag.Tag]listEntry
@@ -82,7 +90,6 @@ type Service struct {
 	pendingD  map[tag.Tag]*pendingDecode
 	recons    map[types.ProcessID]bool
 	forwarded map[string]bool
-	sends     sync.WaitGroup
 }
 
 // pendingDecode accumulates coded elements of a foreign configuration until
@@ -93,155 +100,225 @@ type pendingDecode struct {
 	elems    map[int][]byte
 }
 
-// NewService constructs the TREAS store for server self in configuration c.
-// rpc is the server's own network endpoint, needed only for the §5
-// server-to-server forwarding; pass nil when reconfiguration transfer is not
-// exercised.
-func NewService(c cfg.Configuration, self types.ProcessID, rpc transport.Client) (*Service, error) {
-	if c.Algorithm != cfg.TREAS {
-		return nil, fmt.Errorf("treas: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+// codeParams identify one [n, k] erasure code.
+type codeParams struct{ n, k int }
+
+// sharedCode couples a codec with the coded elements of the empty initial
+// value — both immutable and shared by every object using the same
+// parameters.
+type sharedCode struct {
+	code       *erasure.Code
+	zeroShards [][]byte
+}
+
+// Service hosts every TREAS object of one node. rpc is the server's own
+// network endpoint, needed only for the §5 server-to-server forwarding; it
+// may be nil when reconfiguration transfer is not exercised.
+type Service struct {
+	self   types.ProcessID
+	cfgs   cfg.Source
+	rpc    transport.Client
+	states *keystate.Map[*objState]
+
+	codeMu sync.Mutex
+	codes  map[codeParams]*sharedCode
+
+	sends sync.WaitGroup
+}
+
+// NewService returns the node-wide TREAS store for server self. cfgs
+// resolves the configurations messages address; state for unresolvable or
+// non-member configurations is never created.
+func NewService(self types.ProcessID, cfgs cfg.Source, rpc transport.Client) *Service {
+	return &Service{
+		self:   self,
+		cfgs:   cfgs,
+		rpc:    rpc,
+		states: keystate.New[*objState](keystate.DefaultShards),
+		codes:  make(map[codeParams]*sharedCode),
 	}
-	if err := c.Validate(); err != nil {
-		return nil, err
+}
+
+var _ node.KeyedService = (*Service)(nil)
+
+// codeFor returns the shared codec (and initial-value shards) for [n, k],
+// building it once per parameter pair.
+func (s *Service) codeFor(n, k int) (*sharedCode, error) {
+	s.codeMu.Lock()
+	defer s.codeMu.Unlock()
+	if sc, ok := s.codes[codeParams{n, k}]; ok {
+		return sc, nil
 	}
-	idx, ok := c.ServerIndex(self)
-	if !ok {
-		return nil, fmt.Errorf("treas: server %s is not a member of %s", self, c.ID)
-	}
-	code, err := erasure.New(c.N(), c.K)
+	code, err := erasure.New(n, k)
 	if err != nil {
 		return nil, err
 	}
-	svc := &Service{
-		cfg:      c,
-		self:     self,
-		index:    idx,
-		code:     code,
-		rpc:      rpc,
-		list:     make(map[tag.Tag]listEntry),
-		pendingD: make(map[tag.Tag]*pendingDecode),
-		recons:   make(map[types.ProcessID]bool),
-	}
-	// List is initialized with (t0, Φi(v0)): the coded element of the empty
+	// List is initialized with (t0, Φi(v0)): the coded elements of the empty
 	// initial value, so reads before any write decode v0.
 	shards, err := code.Encode(nil)
 	if err != nil {
 		return nil, err
 	}
-	svc.list[tag.Zero] = listEntry{Tag: tag.Zero, Elem: shards[idx], HasElem: true, ValueLen: 0}
-	return svc, nil
+	sc := &sharedCode{code: code, zeroShards: shards}
+	s.codes[codeParams{n, k}] = sc
+	return sc, nil
 }
 
-var _ node.Service = (*Service)(nil)
+// state returns (creating on first touch) the object state for
+// (key, configID).
+func (s *Service) state(key, configID string) (*objState, error) {
+	return keystate.Materialize(s.states, s.cfgs, ServiceName, s.self, key, configID,
+		func(c cfg.Configuration) (*objState, error) {
+			if c.Algorithm != cfg.TREAS {
+				return nil, fmt.Errorf("treas: configuration %s uses algorithm %q", c.ID, c.Algorithm)
+			}
+			idx, ok := c.ServerIndex(s.self)
+			if !ok {
+				return nil, fmt.Errorf("treas: server %s is not a member of %s", s.self, c.ID)
+			}
+			sc, err := s.codeFor(c.N(), c.K)
+			if err != nil {
+				return nil, err
+			}
+			st := &objState{
+				cfg:       c,
+				index:     idx,
+				code:      sc.code,
+				list:      make(map[tag.Tag]listEntry),
+				pendingD:  make(map[tag.Tag]*pendingDecode),
+				recons:    make(map[types.ProcessID]bool),
+				forwarded: make(map[string]bool),
+			}
+			st.list[tag.Zero] = listEntry{Tag: tag.Zero, Elem: sc.zeroShards[idx], HasElem: true, ValueLen: 0}
+			return st, nil
+		})
+}
 
-// Handle implements node.Service.
-func (s *Service) Handle(from types.ProcessID, msgType string, payload []byte) (any, error) {
+// HandleKeyed implements node.KeyedService.
+func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, payload []byte) (any, error) {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return nil, err
+	}
 	switch msgType {
 	case msgQueryTag:
-		return s.handleQueryTag()
+		return st.handleQueryTag()
 	case msgQueryList:
-		return s.handleQueryList()
+		return st.handleQueryList()
 	case msgPutData:
-		return s.handlePutData(payload)
+		return st.handlePutData(payload)
 	case msgReqForward:
-		return s.handleReqForward(payload)
+		return s.handleReqForward(st, payload)
 	case msgFwdElem:
-		return s.handleFwdElem(payload)
+		return st.handleFwdElem(payload)
 	case msgHasTag:
-		return s.handleHasTag(payload)
+		return st.handleHasTag(payload)
 	default:
 		return nil, fmt.Errorf("treas: unknown message type %q", msgType)
 	}
 }
 
 // handleQueryTag returns the maximum tag in the List (Alg. 3 QUERY-TAG).
-func (s *Service) handleQueryTag() (any, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (st *objState) handleQueryTag() (any, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	max := tag.Zero
-	for t := range s.list {
+	for t := range st.list {
 		max = tag.Max(max, t)
 	}
 	return tagResp{Tag: max}, nil
 }
 
 // handleQueryList returns the whole List (Alg. 3 QUERY-LIST).
-func (s *Service) handleQueryList() (any, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	entries := make([]listEntry, 0, len(s.list))
-	for _, e := range s.list {
+func (st *objState) handleQueryList() (any, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	entries := make([]listEntry, 0, len(st.list))
+	for _, e := range st.list {
 		entries = append(entries, e)
 	}
 	// Deterministic order for reproducible wire traffic and tests.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Tag.Less(entries[j].Tag) })
-	return listResp{Index: s.index, Entries: entries}, nil
+	return listResp{Index: st.index, Entries: entries}, nil
 }
 
 // handlePutData inserts the pair and garbage-collects old coded elements
 // (Alg. 3 PUT-DATA).
-func (s *Service) handlePutData(payload []byte) (any, error) {
+func (st *objState) handlePutData(payload []byte) (any, error) {
 	var req putDataReq
 	if err := transport.Unmarshal(payload, &req); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.insertLocked(req.Tag, req.Elem, req.ValueLen)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.insertLocked(req.Tag, req.Elem, req.ValueLen)
 	return nil, nil // ACK
 }
 
 // insertLocked adds (t, elem) to the List and enforces the δ+1 bound:
 // coded elements of all but the δ+1 highest tags are replaced by ⊥, while
-// the tags themselves are retained (Alg. 3 lines 12–15). Callers hold s.mu.
-func (s *Service) insertLocked(t tag.Tag, elem []byte, valueLen int) {
-	if existing, ok := s.list[t]; ok && existing.HasElem {
+// the tags themselves are retained (Alg. 3 lines 12–15). Callers hold st.mu.
+func (st *objState) insertLocked(t tag.Tag, elem []byte, valueLen int) {
+	if existing, ok := st.list[t]; ok && existing.HasElem {
 		return // already stored with its element; inserts are idempotent
 	}
-	s.list[t] = listEntry{Tag: t, Elem: elem, HasElem: true, ValueLen: valueLen}
-	s.gcLocked()
+	st.list[t] = listEntry{Tag: t, Elem: elem, HasElem: true, ValueLen: valueLen}
+	st.gcLocked()
 }
 
 // gcLocked trims coded elements beyond the δ+1 highest tags.
-func (s *Service) gcLocked() {
-	withElem := make([]tag.Tag, 0, len(s.list))
-	for t, e := range s.list {
+func (st *objState) gcLocked() {
+	withElem := make([]tag.Tag, 0, len(st.list))
+	for t, e := range st.list {
 		if e.HasElem {
 			withElem = append(withElem, t)
 		}
 	}
-	keep := s.cfg.Delta + 1
+	keep := st.cfg.Delta + 1
 	if len(withElem) <= keep {
 		return
 	}
 	// Sort descending; null out elements past the δ+1 highest.
 	sort.Slice(withElem, func(i, j int) bool { return withElem[j].Less(withElem[i]) })
 	for _, t := range withElem[keep:] {
-		e := s.list[t]
+		e := st.list[t]
 		e.Elem = nil
 		e.HasElem = false
-		s.list[t] = e
+		st.list[t] = e
 	}
 }
 
-// StorageBytes reports the coded-element bytes at rest — the storage-cost
-// metric of Theorem 3(i): at most (δ+1)·(value size)/k per server.
+// StorageBytes reports the coded-element bytes at rest across every object —
+// the storage-cost metric of Theorem 3(i): at most (δ+1)·(value size)/k per
+// object per server.
 func (s *Service) StorageBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	total := 0
-	for _, e := range s.list {
-		total += len(e.Elem)
-	}
+	s.states.Range(func(_ keystate.Ref, st *objState) bool {
+		st.mu.Lock()
+		for _, e := range st.list {
+			total += len(e.Elem)
+		}
+		st.mu.Unlock()
+		return true
+	})
 	return total
 }
 
-// ListSize returns how many tags the List holds and how many retain coded
-// elements (for tests asserting the GC bound).
-func (s *Service) ListSize() (tags, withElems int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range s.list {
+// States reports how many (key, config) objects have been materialized (for
+// tests asserting lazy creation and O(1)-in-keys service hosting).
+func (s *Service) States() int { return s.states.Len() }
+
+// ListSize returns how many tags one object's List holds and how many retain
+// coded elements (for tests asserting the GC bound). Missing objects report
+// zeros.
+func (s *Service) ListSize(key, configID string) (tags, withElems int) {
+	st, ok := s.states.Get(keystate.Ref{Key: key, Config: configID})
+	if !ok {
+		return 0, 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range st.list {
 		tags++
 		if e.HasElem {
 			withElems++
@@ -250,12 +327,16 @@ func (s *Service) ListSize() (tags, withElems int) {
 	return tags, withElems
 }
 
-// MaxTag returns the largest tag in the List (for tests).
-func (s *Service) MaxTag() tag.Tag {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// MaxTag returns the largest tag in one object's List (for tests).
+func (s *Service) MaxTag(key, configID string) tag.Tag {
+	st, ok := s.states.Get(keystate.Ref{Key: key, Config: configID})
+	if !ok {
+		return tag.Zero
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	max := tag.Zero
-	for t := range s.list {
+	for t := range st.list {
 		max = tag.Max(max, t)
 	}
 	return max

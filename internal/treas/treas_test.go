@@ -25,12 +25,11 @@ func deploy(t *testing.T, id cfg.ID, n, k, delta int, net *transport.Simnet) (cf
 	}
 	services := make(map[types.ProcessID]*Service, n)
 	for _, sid := range c.Servers {
+		src := cfg.NewResolver()
+		src.Add(c)
 		nd := node.New(sid)
-		svc, err := NewService(c, sid, net.Client(sid))
-		if err != nil {
-			t.Fatal(err)
-		}
-		nd.Install(ServiceName, string(c.ID), svc)
+		svc := NewService(sid, src, net.Client(sid))
+		nd.InstallKeyed(ServiceName, svc)
 		net.Register(sid, nd)
 		services[sid] = svc
 	}
@@ -166,7 +165,7 @@ func TestGarbageCollectionBound(t *testing.T) {
 	}
 	net.Quiesce() // reliable channels: stragglers still receive every write
 	for id, svc := range services {
-		tags, withElems := svc.ListSize()
+		tags, withElems := svc.ListSize("", string(c.ID))
 		if withElems > delta+1 {
 			t.Errorf("%s retains %d coded elements, want <= δ+1 = %d", id, withElems, delta+1)
 		}
@@ -174,8 +173,8 @@ func TestGarbageCollectionBound(t *testing.T) {
 		if tags < delta+1 {
 			t.Errorf("%s retains %d tags, fewer than δ+1", id, tags)
 		}
-		if svc.MaxTag().Z != writes {
-			t.Errorf("%s max tag = %v, want z = %d", id, svc.MaxTag(), writes)
+		if got := svc.MaxTag("", string(c.ID)); got.Z != writes {
+			t.Errorf("%s max tag = %v, want z = %d", id, got, writes)
 		}
 	}
 }
@@ -356,25 +355,43 @@ func TestNewClientValidation(t *testing.T) {
 	}
 }
 
-func TestNewServiceValidation(t *testing.T) {
+func TestServiceMembershipValidation(t *testing.T) {
 	t.Parallel()
 	c := cfg.Configuration{ID: "x", Algorithm: cfg.TREAS, Servers: []types.ProcessID{"s1", "s2", "s3"}, K: 2}
-	if _, err := NewService(c, "outsider", nil); err == nil {
-		t.Fatal("NewService accepted a non-member server")
+	src := cfg.NewResolver()
+	src.Add(c)
+	outsider := NewService("outsider", src, nil)
+	if _, err := outsider.HandleKeyed("q", "", "x", msgQueryTag, nil); err == nil {
+		t.Fatal("non-member server materialized state")
 	}
-	if _, err := NewService(c, "s1", nil); err != nil {
-		t.Fatalf("NewService for member: %v", err)
+	if outsider.States() != 0 {
+		t.Fatal("rejected message left state behind")
+	}
+	member := NewService("s1", src, nil)
+	if _, err := member.HandleKeyed("q", "", "x", msgQueryTag, nil); err != nil {
+		t.Fatalf("member first touch: %v", err)
+	}
+	if member.States() != 1 {
+		t.Fatalf("member States = %d, want 1", member.States())
+	}
+}
+
+func TestServiceUnknownConfig(t *testing.T) {
+	t.Parallel()
+	svc := NewService("s1", cfg.NewResolver(), nil)
+	_, err := svc.HandleKeyed("q", "", "ghost", msgQueryTag, nil)
+	if !errors.Is(err, cfg.ErrUnknownConfig) {
+		t.Fatalf("err = %v, want ErrUnknownConfig", err)
 	}
 }
 
 func TestServiceUnknownMessage(t *testing.T) {
 	t.Parallel()
 	c := cfg.Configuration{ID: "x", Algorithm: cfg.TREAS, Servers: []types.ProcessID{"s1"}, K: 1}
-	svc, err := NewService(c, "s1", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := svc.Handle("q", "bogus", nil); err == nil {
+	src := cfg.NewResolver()
+	src.Add(c)
+	svc := NewService("s1", src, nil)
+	if _, err := svc.HandleKeyed("q", "", "x", "bogus", nil); err == nil {
 		t.Fatal("unknown message type accepted")
 	}
 }

@@ -16,7 +16,9 @@ import (
 // reconfiguration client asks the old configuration C to forward the coded
 // elements of the maximum tag directly to the new configuration C'; C'
 // servers accumulate foreign elements in D, decode once k arrive, re-encode
-// under their own [n', k'] code, and store the result in their List.
+// under their own [n', k'] code, and store the result in their List. All
+// transfer messages carry the object key, so they route to the same per-key
+// state the base protocol uses.
 
 // Message types of the transfer protocol.
 const (
@@ -68,7 +70,7 @@ const sendTimeout = 10 * time.Second
 // handleReqForward implements the old-configuration side of Alg. 9
 // (REQ-FW-CODE-ELEM): relay to peers on first receipt (md-primitive), then
 // push the local coded element for the tag to every server of the target.
-func (s *Service) handleReqForward(payload []byte) (any, error) {
+func (s *Service) handleReqForward(st *objState, payload []byte) (any, error) {
 	if s.rpc == nil {
 		return nil, fmt.Errorf("treas: %s has no transport for forwarding", s.self)
 	}
@@ -78,17 +80,17 @@ func (s *Service) handleReqForward(payload []byte) (any, error) {
 	}
 
 	dedupKey := fmt.Sprintf("%v/%s/%s", req.Tag, req.RC, req.Target.ID)
-	s.mu.Lock()
-	if s.forwarded == nil {
-		s.forwarded = make(map[string]bool)
+	st.mu.Lock()
+	if st.forwarded == nil {
+		st.forwarded = make(map[string]bool)
 	}
-	if s.forwarded[dedupKey] {
-		s.mu.Unlock()
+	if st.forwarded[dedupKey] {
+		st.mu.Unlock()
 		return nil, nil
 	}
-	s.forwarded[dedupKey] = true
-	entry, haveElem := s.list[req.Tag]
-	s.mu.Unlock()
+	st.forwarded[dedupKey] = true
+	entry, haveElem := st.list[req.Tag]
+	st.mu.Unlock()
 
 	// md-primitive echo: relay the request to every peer before acting, so
 	// that delivery is all-or-none across non-faulty servers even when the
@@ -99,7 +101,7 @@ func (s *Service) handleReqForward(payload []byte) (any, error) {
 		relay := req
 		relay.Relayed = true
 		relayPayload := transport.MustMarshal(relay)
-		for _, peer := range s.cfg.Servers {
+		for _, peer := range st.cfg.Servers {
 			if peer == s.self {
 				continue
 			}
@@ -111,7 +113,8 @@ func (s *Service) handleReqForward(payload []byte) (any, error) {
 				defer cancel()
 				_, _ = s.rpc.Invoke(ctx, peer, transport.Request{
 					Service: ServiceName,
-					Config:  string(s.cfg.ID),
+					Key:     st.cfg.Key,
+					Config:  string(st.cfg.ID),
 					Type:    msgReqForward,
 					Payload: relayPayload,
 				})
@@ -124,11 +127,11 @@ func (s *Service) handleReqForward(payload []byte) (any, error) {
 	if haveElem && entry.HasElem {
 		fwd := fwdElemReq{
 			Tag:      req.Tag,
-			SrcIndex: s.index,
+			SrcIndex: st.index,
 			Elem:     entry.Elem,
 			ValueLen: entry.ValueLen,
-			SrcN:     s.cfg.N(),
-			SrcK:     s.cfg.K,
+			SrcN:     st.cfg.N(),
+			SrcK:     st.cfg.K,
 			RC:       req.RC,
 		}
 		fwdPayload := transport.MustMarshal(fwd)
@@ -141,6 +144,7 @@ func (s *Service) handleReqForward(payload []byte) (any, error) {
 				defer cancel()
 				_, _ = s.rpc.Invoke(ctx, dst, transport.Request{
 					Service: ServiceName,
+					Key:     req.Target.Key,
 					Config:  string(req.Target.ID),
 					Type:    msgFwdElem,
 					Payload: fwdPayload,
@@ -155,31 +159,31 @@ func (s *Service) handleReqForward(payload []byte) (any, error) {
 // (FWD-CODE-ELEM): accumulate foreign elements in D; once srcK arrive,
 // decode the value with the source code, re-encode with the local code, and
 // insert the local coded element into the List.
-func (s *Service) handleFwdElem(payload []byte) (any, error) {
+func (st *objState) handleFwdElem(payload []byte) (any, error) {
 	var req fwdElemReq
 	if err := transport.Unmarshal(payload, &req); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
 
-	if s.recons[req.RC] {
+	if st.recons[req.RC] {
 		return nil, nil // rc already served by this server (Alg. 9 line 9)
 	}
-	if _, ok := s.list[req.Tag]; ok {
+	if _, ok := st.list[req.Tag]; ok {
 		// Tag already present locally: nothing to decode (Alg. 9 line 10/20).
-		s.recons[req.RC] = true
+		st.recons[req.RC] = true
 		return nil, nil
 	}
 
-	pd, ok := s.pendingD[req.Tag]
+	pd, ok := st.pendingD[req.Tag]
 	if !ok {
 		pd = &pendingDecode{
 			srcK:     req.SrcK,
 			valueLen: req.ValueLen,
 			elems:    make(map[int][]byte),
 		}
-		s.pendingD[req.Tag] = pd
+		st.pendingD[req.Tag] = pd
 	}
 	pd.elems[req.SrcIndex] = req.Elem
 
@@ -195,14 +199,14 @@ func (s *Service) handleFwdElem(payload []byte) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("treas: decoding forwarded tag %v: %w", req.Tag, err)
 	}
-	delete(s.pendingD, req.Tag) // D ← D − {⟨t, ei⟩} (Alg. 9 line 14)
+	delete(st.pendingD, req.Tag) // D ← D − {⟨t, ei⟩} (Alg. 9 line 14)
 
-	shards, err := s.code.Encode(value)
+	shards, err := st.code.Encode(value)
 	if err != nil {
 		return nil, fmt.Errorf("treas: re-encoding forwarded tag %v: %w", req.Tag, err)
 	}
-	s.insertLocked(req.Tag, shards[s.index], pd.valueLen)
-	s.recons[req.RC] = true // Alg. 9 lines 20–21
+	st.insertLocked(req.Tag, shards[st.index], pd.valueLen)
+	st.recons[req.RC] = true // Alg. 9 lines 20–21
 	return nil, nil
 }
 
@@ -215,14 +219,14 @@ func (s *Service) DrainSends() {
 
 // handleHasTag answers the reconfigurer's completion poll: whether the tag
 // has been installed in this server's List.
-func (s *Service) handleHasTag(payload []byte) (any, error) {
+func (st *objState) handleHasTag(payload []byte) (any, error) {
 	var req hasTagReq
 	if err := transport.Unmarshal(payload, &req); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.list[req.Tag]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.list[req.Tag]
 	return hasTagResp{Done: ok}, nil
 }
 
@@ -241,7 +245,7 @@ func RequestForward(
 	// delivery all-or-none even if only one copy lands.
 	sent, err := transport.Broadcast(ctx, rpc, src.Servers,
 		transport.Phase[struct{}]{
-			Service: ServiceName, Config: string(src.ID), Type: msgReqForward,
+			Service: ServiceName, Key: src.Key, Config: string(src.ID), Type: msgReqForward,
 			Body: reqForwardReq{Tag: t, Target: dst, RC: rc, Relayed: false},
 		},
 		transport.AtLeast[struct{}](1),
@@ -255,7 +259,7 @@ func RequestForward(
 	for {
 		done := 0
 		got, err := transport.Broadcast(ctx, rpc, dst.Servers,
-			transport.Phase[hasTagResp]{Service: ServiceName, Config: string(dst.ID), Type: msgHasTag, Body: hasTagReq{Tag: t}},
+			transport.Phase[hasTagResp]{Service: ServiceName, Key: dst.Key, Config: string(dst.ID), Type: msgHasTag, Body: hasTagReq{Tag: t}},
 			transport.AtLeast[hasTagResp](need),
 		)
 		if err != nil {

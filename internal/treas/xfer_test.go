@@ -12,6 +12,17 @@ import (
 	"github.com/ares-storage/ares/internal/types"
 )
 
+// objOf returns (materializing if needed) a service's per-object state, for
+// white-box assertions on Lists and §5 bookkeeping.
+func objOf(t *testing.T, svc *Service, key, configID string) *objState {
+	t.Helper()
+	st, err := svc.state(key, configID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 // deployPair installs two TREAS configurations (source and target) on one
 // simnet and returns their services.
 func deployPair(t *testing.T, net *transport.Simnet, srcN, srcK, dstN, dstK int) (src, dst cfg.Configuration, srcSvcs, dstSvcs map[types.ProcessID]*Service) {
@@ -103,9 +114,10 @@ func TestRequestForwardReencodesAcrossCodes(t *testing.T) {
 	wantShard := (len(payload) + 5) / 6
 	holders := 0
 	for id, svc := range dstSvcs {
-		svc.mu.Lock()
-		entry, ok := svc.list[written]
-		svc.mu.Unlock()
+		st := objOf(t, svc, "", string(dst.ID))
+		st.mu.Lock()
+		entry, ok := st.list[written]
+		st.mu.Unlock()
 		if !ok {
 			continue
 		}
@@ -238,23 +250,23 @@ func TestHandleFwdElemIgnoresServedReconfigurer(t *testing.T) {
 	t.Parallel()
 	c := cfg.Configuration{ID: "x", Algorithm: cfg.TREAS, K: 2, Delta: 2,
 		Servers: []types.ProcessID{"s1", "s2", "s3"}}
-	svc, err := NewService(c, "s1", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := cfg.NewResolver()
+	src.Add(c)
+	svc := NewService("s1", src, nil)
+	st := objOf(t, svc, "", "x")
 	// Mark rc as served, then send a forwarded element: it must be ignored
 	// (Alg. 9 line 9) and leave no pending state behind.
-	svc.mu.Lock()
-	svc.recons["rc1"] = true
-	svc.mu.Unlock()
+	st.mu.Lock()
+	st.recons["rc1"] = true
+	st.mu.Unlock()
 	req := fwdElemReq{Tag: tag.Tag{Z: 9, W: "w"}, SrcIndex: 0, Elem: []byte{1}, ValueLen: 1, SrcN: 3, SrcK: 1, RC: "rc1"}
-	if _, err := svc.Handle("peer", msgFwdElem, transport.MustMarshal(req)); err != nil {
+	if _, err := svc.HandleKeyed("peer", "", "x", msgFwdElem, transport.MustMarshal(req)); err != nil {
 		t.Fatal(err)
 	}
-	svc.mu.Lock()
-	_, inList := svc.list[req.Tag]
-	pending := len(svc.pendingD)
-	svc.mu.Unlock()
+	st.mu.Lock()
+	_, inList := st.list[req.Tag]
+	pending := len(st.pendingD)
+	st.mu.Unlock()
 	if inList || pending != 0 {
 		t.Fatal("served reconfigurer's element was processed")
 	}
@@ -264,12 +276,12 @@ func TestHasTagReportsInstallation(t *testing.T) {
 	t.Parallel()
 	c := cfg.Configuration{ID: "x", Algorithm: cfg.TREAS, K: 1, Delta: 2,
 		Servers: []types.ProcessID{"s1"}}
-	svc, err := NewService(c, "s1", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := cfg.NewResolver()
+	src.Add(c)
+	svc := NewService("s1", src, nil)
+	st := objOf(t, svc, "", "x")
 	query := func(tg tag.Tag) bool {
-		out, err := svc.Handle("rc", msgHasTag, transport.MustMarshal(hasTagReq{Tag: tg}))
+		out, err := svc.HandleKeyed("rc", "", "x", msgHasTag, transport.MustMarshal(hasTagReq{Tag: tg}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -281,9 +293,9 @@ func TestHasTagReportsInstallation(t *testing.T) {
 	if !query(tag.Zero) {
 		t.Fatal("has-tag false for t0")
 	}
-	svc.mu.Lock()
-	svc.insertLocked(tag.Tag{Z: 5, W: "w"}, []byte{1}, 1)
-	svc.mu.Unlock()
+	st.mu.Lock()
+	st.insertLocked(tag.Tag{Z: 5, W: "w"}, []byte{1}, 1)
+	st.mu.Unlock()
 	if !query(tag.Tag{Z: 5, W: "w"}) {
 		t.Fatal("has-tag false after installation")
 	}
@@ -295,12 +307,11 @@ func TestRequestForwardNoRPCOnService(t *testing.T) {
 	// must fail loudly rather than silently dropping state.
 	c := cfg.Configuration{ID: "x", Algorithm: cfg.TREAS, K: 1, Delta: 2,
 		Servers: []types.ProcessID{"s1"}}
-	svc, err := NewService(c, "s1", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	src := cfg.NewResolver()
+	src.Add(c)
+	svc := NewService("s1", src, nil)
 	req := reqForwardReq{Tag: tag.Zero, Target: c, RC: "rc"}
-	if _, err := svc.Handle("rc", msgReqForward, transport.MustMarshal(req)); err == nil {
+	if _, err := svc.HandleKeyed("rc", "", "x", msgReqForward, transport.MustMarshal(req)); err == nil {
 		t.Fatal("forward without transport succeeded")
 	}
 }
@@ -321,7 +332,7 @@ func TestTransferPreservesListBound(t *testing.T) {
 	}
 	net.Quiesce()
 	for id, svc := range dstSvcs {
-		_, withElems := svc.ListSize()
+		_, withElems := svc.ListSize("", string(dst.ID))
 		if withElems > dst.Delta+1 {
 			t.Errorf("%s holds %d elements after transfers, want <= δ+1 = %d", id, withElems, dst.Delta+1)
 		}

@@ -3,12 +3,13 @@ package ares
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
 
+	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/core"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/treas"
 )
@@ -20,7 +21,11 @@ import (
 //
 // Each key owns its own configuration chain, so per-key operations are
 // atomic, keys never contend, and each key can be reconfigured (even to a
-// different algorithm or code) independently.
+// different algorithm or code) independently. Hosting is keyspace-native:
+// servers run one service per algorithm family and derive each key's
+// configuration from a template installed once at store construction, so a
+// key's first operation triggers no installation round-trips and its
+// steady-state server cost is a map entry, not a service stack.
 //
 // The store's own bookkeeping is sharded: keys hash onto one of N shards,
 // each with its own lock and client map, so unrelated keys never serialize
@@ -30,6 +35,7 @@ import (
 // parallelism.
 type ObjectStore struct {
 	cluster  *Cluster
+	name     string
 	template Config
 	pool     *core.EndpointPool
 
@@ -52,6 +58,7 @@ const (
 
 // storeConfig collects option values before the store is assembled.
 type storeConfig struct {
+	name     string
 	shards   int
 	poolSize int
 	batchPar int
@@ -59,6 +66,16 @@ type storeConfig struct {
 
 // StoreOption configures an ObjectStore.
 type StoreOption func(*storeConfig)
+
+// WithStoreName sets the namespace the store's per-key configuration IDs
+// are derived under (default "store"). Two ObjectStores over one cluster
+// must use distinct names (or identical templates): each name owns one
+// template, and registering a different template under an existing name
+// fails at construction rather than silently aliasing keys onto the first
+// store's parameters.
+func WithStoreName(name string) StoreOption {
+	return func(c *storeConfig) { c.name = name }
+}
 
 // WithShardCount sets the number of metadata shards (default 16). More
 // shards reduce contention on first-touch instantiation when many distinct
@@ -82,15 +99,19 @@ func WithBatchConcurrency(n int) StoreOption {
 // NewObjectStore builds a store whose per-key registers are instantiated
 // from template: the template's Servers, Algorithm, and parameters apply to
 // every key's initial configuration; the ID field is derived per key.
+//
+// The template is installed on the server pool exactly once, here. A fresh
+// key's first operation performs zero installation round-trips: servers
+// derive the key's configuration from the installed template and materialize
+// its state on the first message that names it, so per-key cost is one map
+// entry per server rather than an installed service stack.
 func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*ObjectStore, error) {
-	probe := template
-	probe.ID = "store/template-validation"
-	if err := probe.Validate(); err != nil {
-		return nil, fmt.Errorf("ares: object store template: %w", err)
-	}
-	sc := storeConfig{shards: defaultShardCount, poolSize: defaultPoolSize, batchPar: defaultBatchFanout}
+	sc := storeConfig{name: "store", shards: defaultShardCount, poolSize: defaultPoolSize, batchPar: defaultBatchFanout}
 	for _, opt := range opts {
 		opt(&sc)
+	}
+	if sc.name == "" {
+		sc.name = "store"
 	}
 	if sc.shards < 1 {
 		sc.shards = 1
@@ -98,10 +119,21 @@ func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*Ob
 	if sc.batchPar < 1 {
 		sc.batchPar = 1
 	}
+	tmpl := template
+	tmpl.ID = ConfigID(sc.name + "/" + cfg.KeyPlaceholder + "/c0")
+	if err := cfg.ValidateTemplate(tmpl); err != nil {
+		return nil, fmt.Errorf("ares: object store template: %w", err)
+	}
+	// Installed once; a second store re-registering the same name with a
+	// different template is rejected by the hosts (conflicting ID).
+	if err := cluster.InstallConfiguration(tmpl); err != nil {
+		return nil, fmt.Errorf("ares: installing object store template: %w", err)
+	}
 	s := &ObjectStore{
 		cluster:  cluster,
-		template: template,
-		pool:     cluster.NewEndpointPool("store-client", sc.poolSize),
+		name:     sc.name,
+		template: tmpl,
+		pool:     cluster.NewEndpointPool(sc.name+"-client", sc.poolSize),
 		shards:   make([]storeShard, sc.shards),
 		batchPar: sc.batchPar,
 	}
@@ -112,22 +144,23 @@ func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*Ob
 	return s, nil
 }
 
-// shard maps a key to its metadata shard.
+// shard maps a key to its metadata shard. keystate.HashString is an inlined
+// FNV-1a loop: hash/fnv's New32a allocates its hasher on the heap, which
+// this lookup — on the path of every store operation — must not.
 func (s *ObjectStore) shard(key string) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+	return &s.shards[keystate.HashString(key)%uint32(len(s.shards))]
 }
 
-// keyConfig derives the initial configuration for a key.
+// keyConfig derives the initial configuration for a key by instantiating
+// the installed template — the same derivation every server performs, so
+// client and servers agree on the configuration without talking.
 func (s *ObjectStore) keyConfig(key string) Config {
-	conf := s.template
-	conf.ID = ConfigID("store/" + key + "/c0")
-	return conf
+	return s.template.ForKey(key)
 }
 
 // register returns (instantiating on first use) the register client for key.
-// Only keys in the same shard contend on the instantiation lock.
+// Only keys in the same shard contend on the instantiation lock. No
+// installation happens here — the servers already know the template.
 func (s *ObjectStore) register(key string) (*Client, error) {
 	sh := s.shard(key)
 	sh.mu.Lock()
@@ -135,12 +168,8 @@ func (s *ObjectStore) register(key string) (*Client, error) {
 	if c, ok := sh.clients[key]; ok {
 		return c, nil
 	}
-	conf := s.keyConfig(key)
-	if err := s.cluster.InstallConfiguration(conf); err != nil {
-		return nil, fmt.Errorf("ares: installing register for key %q: %w", key, err)
-	}
 	id, rpc := s.pool.Get()
-	client, err := s.cluster.NewClientVia(id, conf, rpc)
+	client, err := s.cluster.NewClientVia(id, s.keyConfig(key), rpc)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +343,7 @@ func (s *ObjectStore) ReconfigureKey(ctx context.Context, key string, next Confi
 	g, ok := sh.recons[key]
 	if !ok {
 		var err error
-		g, err = s.cluster.NewReconfigurerFor(ProcessID("store-recon/"+key), s.keyConfig(key), opts)
+		g, err = s.cluster.NewReconfigurerFor(ProcessID(s.name+"-recon/"+key), s.keyConfig(key), opts)
 		if err != nil {
 			sh.mu.Unlock()
 			return err
@@ -325,7 +354,9 @@ func (s *ObjectStore) ReconfigureKey(ctx context.Context, key string, next Confi
 	for _, srv := range next.Servers {
 		s.cluster.AddHost(srv)
 	}
-	if _, err := g.Reconfig(ctx, next); err != nil {
+	// Bind the proposal to this key (ForKey also expands a template ID), so
+	// its messages route to this key's state on every server.
+	if _, err := g.Reconfig(ctx, next.ForKey(key)); err != nil {
 		return fmt.Errorf("ares: reconfiguring key %q: %w", key, err)
 	}
 	return nil

@@ -1,0 +1,50 @@
+package ares
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// newShardProbe builds a minimally-initialized store for shard-placement
+// tests (no cluster needed; shard touches only s.shards).
+func newShardProbe(n int) *ObjectStore {
+	return &ObjectStore{shards: make([]storeShard, n)}
+}
+
+// TestShardMatchesFNV1a pins that the inlined loop computes exactly what the
+// previous hash/fnv implementation did, so key→shard placement is unchanged
+// across the optimization.
+func TestShardMatchesFNV1a(t *testing.T) {
+	t.Parallel()
+	s := newShardProbe(16)
+	for _, key := range []string{"", "a", "user:42", "π-κλειδί", "a-much-longer-object-key/with/segments"} {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		want := &s.shards[h.Sum32()%uint32(len(s.shards))]
+		if got := s.shard(key); got != want {
+			t.Errorf("shard(%q) diverged from FNV-1a placement", key)
+		}
+	}
+}
+
+// TestShardZeroAllocs is the satellite assertion: the per-operation shard
+// lookup allocates nothing (hash/fnv's New32a used to heap-allocate a hasher
+// per call).
+func TestShardZeroAllocs(t *testing.T) {
+	s := newShardProbe(16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.shard("benchmark-key/with-some-length")
+	})
+	if allocs != 0 {
+		t.Fatalf("shard lookup allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkStoreShardLookup(b *testing.B) {
+	s := newShardProbe(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.shard("benchmark-key/with-some-length")
+	}
+}

@@ -1,0 +1,155 @@
+package ares_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	ares "github.com/ares-storage/ares"
+)
+
+// keyedFixture deploys a TREAS-template store over a counting simnet.
+func keyedFixture(t *testing.T) (*ares.ObjectStore, *ares.Cluster, *ares.Network) {
+	t.Helper()
+	servers := []ares.ProcessID{"kf-s1", "kf-s2", "kf-s3", "kf-s4", "kf-s5"}
+	root := ares.Config{ID: "kf/root", Algorithm: ares.TREAS, Servers: servers, K: 3, Delta: 8}
+	net := ares.NewSimNetwork()
+	cluster, err := ares.NewCluster(root, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := ares.Config{Algorithm: ares.TREAS, Servers: servers, K: 3, Delta: 8}
+	store, err := ares.NewObjectStore(cluster, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, cluster, net
+}
+
+// TestFirstTouchPerformsZeroInstallRPCs pins the tentpole invariant: the
+// first operation on a fresh key triggers no installation round-trips — no
+// control-service ("ctl") message crosses the wire, ever, for any number of
+// fresh keys. The template registered at store construction is all the
+// servers need.
+func TestFirstTouchPerformsZeroInstallRPCs(t *testing.T) {
+	t.Parallel()
+	store, _, net := keyedFixture(t)
+	ctx := context.Background()
+	net.Counters().Reset()
+
+	const keys = 32
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fresh-%d", i)
+		if err := store.Put(ctx, key, ares.Value("v-"+key)); err != nil {
+			t.Fatalf("first touch of %s: %v", key, err)
+		}
+		if _, err := store.Get(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := net.Counters().TotalMessages(ares.CtlServiceName); got != 0 {
+		t.Fatalf("%d install RPCs crossed the wire for %d fresh keys, want 0", got, keys)
+	}
+	// The store really did traffic (this is not a dead network).
+	if total := net.Counters().TotalMessages(""); total == 0 {
+		t.Fatal("no traffic recorded at all; counter test is vacuous")
+	}
+}
+
+// TestServiceInstancesConstantInKeys pins the hosting model: touching many
+// keys grows no per-key service instances — the node-level footprint stays
+// exactly what it was at deployment.
+func TestServiceInstancesConstantInKeys(t *testing.T) {
+	t.Parallel()
+	store, cluster, _ := keyedFixture(t)
+	ctx := context.Background()
+	before := cluster.ServiceInstances()
+
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := store.Put(ctx, fmt.Sprintf("grow-%d", i), ares.Value("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := cluster.ServiceInstances()
+	if after != before {
+		t.Fatalf("service instances grew %d → %d across %d keys; hosting must be O(1) in keys", before, after, keys)
+	}
+}
+
+// TestSecondStoreConflictingTemplateRejected: two ObjectStores on one
+// cluster must not silently alias keys onto the first store's template —
+// same name + different template fails construction; a distinct name (or an
+// identical template) works.
+func TestSecondStoreConflictingTemplateRejected(t *testing.T) {
+	t.Parallel()
+	_, cluster, _ := keyedFixture(t)
+	servers := []ares.ProcessID{"kf-s1", "kf-s2", "kf-s3"}
+	abdTemplate := ares.Config{Algorithm: ares.ABD, Servers: servers}
+
+	if _, err := ares.NewObjectStore(cluster, abdTemplate); err == nil {
+		t.Fatal("conflicting template under the default store name accepted")
+	}
+	second, err := ares.NewObjectStore(cluster, abdTemplate, ares.WithStoreName("abd-store"))
+	if err != nil {
+		t.Fatalf("distinct-name store rejected: %v", err)
+	}
+	ctx := context.Background()
+	if err := second.Put(ctx, "k", ares.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Get(ctx, "k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("second store read %q err=%v", got, err)
+	}
+}
+
+// TestInstallRejectsEmptyConfiguration: a configuration with no members
+// must fail installation up front, not dissolve into a no-op.
+func TestInstallRejectsEmptyConfiguration(t *testing.T) {
+	t.Parallel()
+	_, cluster, _ := keyedFixture(t)
+	if err := cluster.InstallConfiguration(ares.Config{ID: "empty", Algorithm: ares.ABD}); err == nil {
+		t.Fatal("memberless configuration installed as a silent no-op")
+	}
+}
+
+// TestKeyedReconfigureStillIndependent exercises the reconfiguration path
+// under keyed hosting: one key migrates to a new configuration while another
+// key's data stays put and both remain readable.
+func TestKeyedReconfigureStillIndependent(t *testing.T) {
+	t.Parallel()
+	store, _, _ := keyedFixture(t)
+	ctx := context.Background()
+	if err := store.Put(ctx, "stay", ares.Value("stay-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ctx, "move", ares.Value("move-v1")); err != nil {
+		t.Fatal(err)
+	}
+	next := ares.Config{
+		ID:        "kf/move/c1",
+		Algorithm: ares.ABD,
+		Servers:   []ares.ProcessID{"kf-n1", "kf-n2", "kf-n3"},
+	}
+	if err := store.ReconfigureKey(ctx, "move", next, ares.ReconOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{"stay": "stay-v1", "move": "move-v1"} {
+		got, err := store.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("read %s after reconfig: %v", key, err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s = %q, want %q", key, got, want)
+		}
+	}
+	// The migrated key keeps working for writes against the new chain.
+	if err := store.Put(ctx, "move", ares.Value("move-v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(ctx, "move")
+	if err != nil || string(got) != "move-v2" {
+		t.Fatalf("post-migration write: %q err=%v", got, err)
+	}
+}
