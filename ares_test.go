@@ -34,6 +34,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	ctx := context.Background()
 	w, err := cluster.NewClient("w1")
 	if err != nil {
@@ -143,6 +144,7 @@ func TestLinearizabilityUnderChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	for _, c := range []ares.Config{c1, c2} {
 		for _, s := range c.Servers {
 			cluster.AddHost(s)

@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ares "github.com/ares-storage/ares"
@@ -127,7 +128,7 @@ func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, 
 		Seed:      seed,
 		Stretch:   stretch,
 	}
-	table := benchutil.NewTable("scenario", "ops", "incomplete", "op errs", "reconfigs", "method", "verdict")
+	table := benchutil.NewTable("scenario", "ops", "incomplete", "op errs", "reconfigs", "states", "retired", "method", "verdict")
 	failed := 0
 	for _, sc := range selected {
 		v, err := chaos.Run(sc, chaos.Options{Seed: seed, Stretch: stretch, Logf: logf})
@@ -137,6 +138,11 @@ func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, 
 		verdict := "LINEARIZABLE"
 		if !v.Linearizable {
 			verdict = "VIOLATION"
+			failed++
+		} else if v.StateBoundExceeded {
+			// The lifecycle GC let per-server state grow past the scenario's
+			// bound: an unbounded-leak regression, failed like a safety one.
+			verdict = "STATE-LEAK"
 			failed++
 		}
 		// Keys may fall back to the tag check independently; the row shows
@@ -150,7 +156,7 @@ func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, 
 				method = "mixed"
 			}
 		}
-		table.AddRow(v.Scenario, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, method, verdict)
+		table.AddRow(v.Scenario, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, v.ServerStates, v.RetiredStates, method, verdict)
 		summary.Verdicts = append(summary.Verdicts, v)
 	}
 
@@ -169,11 +175,11 @@ func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, 
 	}
 	if failed > 0 {
 		for _, v := range summary.Verdicts {
-			if !v.Linearizable {
+			if !v.Linearizable || v.StateBoundExceeded {
 				fmt.Printf("  replay: %s\n", v.Replay())
 			}
 		}
-		return fmt.Errorf("chaos: %d of %d scenarios NOT linearizable (seed %d)", failed, len(selected), seed)
+		return fmt.Errorf("chaos: %d of %d scenarios failed (linearizability or state bound; seed %d)", failed, len(selected), seed)
 	}
 	return nil
 }
@@ -301,18 +307,43 @@ type firstTouchResult struct {
 	InstallRPCs      int64          `json:"install_rpcs"`
 }
 
+// reconfigChurnResult reports the reconfiguration-churn phase: every key's
+// register walks through a chain of configurations, and the
+// finalization-driven lifecycle GC must retire the superseded per-(key,
+// config) server state. retired_states pins that GC fired; live_states /
+// live_states_per_key pin that retained state is O(live configs), not
+// O(walks); heap_bytes_per_key (measured after evicting the store's idle
+// per-key clients and a runtime GC) against the no-churn baseline pins that
+// the reclaimed memory is real. The phase fails the run when GC never fires,
+// when live state grows with walks, or when post-churn heap exceeds 1.5× the
+// baseline.
+type reconfigChurnResult struct {
+	Keys                    int     `json:"keys"`
+	WalksPerKey             int     `json:"walks_per_key"`
+	Reconfigs               int     `json:"reconfigs"`
+	RetiredStates           int64   `json:"retired_states"`
+	LiveStates              int     `json:"live_states"`
+	LiveStatesPerKey        float64 `json:"live_states_per_key"`
+	BaselineHeapBytesPerKey float64 `json:"baseline_heap_bytes_per_key"`
+	HeapBytesPerKey         float64 `json:"heap_bytes_per_key"`
+	HeapRatio               float64 `json:"heap_ratio"`
+	ClientsEvicted          int     `json:"clients_evicted"`
+	SecondsTotal            float64 `json:"seconds_total"`
+}
+
 // suiteSummary is the machine-readable artifact -json emits, shaped to seed
 // the BENCH_*.json perf trajectory.
 type suiteSummary struct {
-	Generated  string            `json:"generated"`
-	Suite      string            `json:"suite"`
-	DurationMS int64             `json:"duration_ms_per_workload"`
-	Workers    int               `json:"workers"`
-	Keys       int               `json:"keys"`
-	ValueSize  int               `json:"value_size"`
-	Seed       int64             `json:"seed"`
-	FirstTouch *firstTouchResult `json:"first_touch,omitempty"`
-	Workloads  []workloadResult  `json:"workloads"`
+	Generated     string               `json:"generated"`
+	Suite         string               `json:"suite"`
+	DurationMS    int64                `json:"duration_ms_per_workload"`
+	Workers       int                  `json:"workers"`
+	Keys          int                  `json:"keys"`
+	ValueSize     int                  `json:"value_size"`
+	Seed          int64                `json:"seed"`
+	FirstTouch    *firstTouchResult    `json:"first_touch,omitempty"`
+	ReconfigChurn *reconfigChurnResult `json:"reconfig_churn,omitempty"`
+	Workloads     []workloadResult     `json:"workloads"`
 }
 
 // newSuiteStore deploys a fresh cluster + sharded ObjectStore for one
@@ -412,14 +443,233 @@ func runFirstTouch(p storeSuiteParams) (*firstTouchResult, error) {
 	if got := cluster.ServiceInstances(); got != instancesBefore {
 		return nil, fmt.Errorf("service instances grew %d → %d across %d keys", instancesBefore, got, p.keys)
 	}
-	return &firstTouchResult{
+	result := &firstTouchResult{
 		Keys:             p.keys,
 		Latency:          toLatencySummary(lat.Summarize()),
 		OpsPerSec:        float64(p.keys) / elapsed.Seconds(),
 		HeapBytesPerKey:  heapPerKey,
 		ServiceInstances: cluster.ServiceInstances(),
 		InstallRPCs:      0,
-	}, nil
+	}
+	cluster.Close()
+	return result, nil
+}
+
+// Reconfig-churn phase constants: ≥1k walks across ≥100 keys (the lifecycle
+// GC acceptance regime), sized independently of the workload flags so every
+// run pins the same invariant.
+const (
+	churnKeys        = 100
+	churnWalksPerKey = 10
+	// churnMaxLivePerKey bounds retained server state per key after churn
+	// settles. Live window ≈ tail DAP + tail pointer across 5 servers (~10)
+	// plus stragglers; without GC the 11-config chain retains 100+.
+	churnMaxLivePerKey = 60.0
+	// churnMaxHeapRatio bounds post-GC heap per key against the no-churn
+	// baseline.
+	churnMaxHeapRatio = 1.5
+)
+
+// churnHeapPerKey measures the store-side steady heap per key: touch every
+// key once and report the GC-settled heap delta divided by the key count.
+func churnHeapPerKey(store *ares.ObjectStore, keys []string, value ares.Value, workers int) (float64, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := touchKeys(store, keys, value, workers); err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(len(keys)), nil
+}
+
+// forEachKey runs fn for every key with bounded parallelism, returning the
+// first error. After a failure the remaining keys are still drained (but
+// skipped) so the feeder never blocks on a full channel.
+func forEachKey(keys []string, workers int, fn func(key string) error) error {
+	var (
+		wg      sync.WaitGroup
+		erMu    sync.Mutex
+		firstEr error
+	)
+	failed := func() bool {
+		erMu.Lock()
+		defer erMu.Unlock()
+		return firstEr != nil
+	}
+	next := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range next {
+				if failed() {
+					continue
+				}
+				if err := fn(key); err != nil {
+					erMu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					erMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, k := range keys {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+	return firstEr
+}
+
+// touchKeys puts value to every key with bounded parallelism.
+func touchKeys(store *ares.ObjectStore, keys []string, value ares.Value, workers int) error {
+	ctx := context.Background()
+	return forEachKey(keys, workers, func(key string) error {
+		if err := store.Put(ctx, key, value); err != nil {
+			return fmt.Errorf("touch %s: %w", key, err)
+		}
+		return nil
+	})
+}
+
+// runReconfigChurn drives churnWalksPerKey reconfiguration walks on each of
+// churnKeys keys and checks the lifecycle-GC invariants (see
+// reconfigChurnResult). The no-churn baseline comes from an identical store
+// that only touches its keys.
+func runReconfigChurn(p storeSuiteParams) (*reconfigChurnResult, error) {
+	workers := p.workers
+	if workers < 1 {
+		workers = 1
+	}
+	value := make(ares.Value, 128)
+	keys := make([]string, churnKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ck-%04d", i)
+	}
+
+	// Baseline: same shape, no churn.
+	baseStore, baseCluster, _, err := newSuiteStore("bench-churnbase")
+	if err != nil {
+		return nil, err
+	}
+	baselineHeap, err := churnHeapPerKey(baseStore, keys, value, workers)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	baseCluster.Close()
+
+	store, cluster, _, err := newSuiteStore("bench-churn")
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	// The walk targets reuse the suite's server set (same shape as
+	// newSuiteStore's template).
+	var servers []ares.ProcessID
+	for i := 1; i <= 5; i++ {
+		servers = append(servers, ares.ProcessID(fmt.Sprintf("bench-churn-s%d", i)))
+	}
+
+	// Heap census start: everything from here to the post-churn census —
+	// per-key server state across 10 walks, tombstones, archives — lands in
+	// the delta, measured exactly like the baseline's.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := touchKeys(store, keys, value, workers); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	ctx := context.Background()
+	var reconfigs atomic.Int64
+	err = forEachKey(keys, workers, func(key string) error {
+		for i := 1; i <= churnWalksPerKey; i++ {
+			target := ares.Config{
+				ID:      ares.ConfigID(fmt.Sprintf("bench-churn/%s/c%d", key, i)),
+				Servers: servers,
+			}
+			if i%2 == 0 {
+				target.Algorithm = ares.ABD
+			} else {
+				target.Algorithm = ares.TREAS
+				target.K = 3
+				target.Delta = 32
+			}
+			if err := store.ReconfigureKey(ctx, key, target, ares.ReconOptions{}); err != nil {
+				return fmt.Errorf("churn walk %d of %s: %w", i, key, err)
+			}
+			reconfigs.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One post-churn read per key exercises the redirect path end to end
+	// (clients re-discover the chain tail; retired configs answer from the
+	// archive) before the state census.
+	for _, k := range keys {
+		if _, err := store.Get(ctx, k); err != nil {
+			return nil, fmt.Errorf("post-churn read of %s: %w", k, err)
+		}
+	}
+
+	// Let asynchronous finalization gossip settle, then census.
+	deadline := time.Now().Add(3 * time.Second)
+	live := cluster.MaterializedStates()
+	for float64(live) > churnMaxLivePerKey*float64(len(keys)) && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		live = cluster.MaterializedStates()
+	}
+	retired := cluster.RetiredStates()
+
+	// Client-side bound: evict the store's idle per-key clients (each pins a
+	// full configuration-sequence history) so the census measures retained
+	// server state plus compact tombstones, the terms this phase bounds.
+	evicted := store.EvictIdle(0)
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	heapPerKey := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(len(keys))
+
+	result := &reconfigChurnResult{
+		Keys:                    len(keys),
+		WalksPerKey:             churnWalksPerKey,
+		Reconfigs:               int(reconfigs.Load()),
+		RetiredStates:           retired,
+		LiveStates:              live,
+		LiveStatesPerKey:        float64(live) / float64(len(keys)),
+		BaselineHeapBytesPerKey: baselineHeap,
+		HeapBytesPerKey:         heapPerKey,
+		ClientsEvicted:          evicted,
+		SecondsTotal:            time.Since(start).Seconds(),
+	}
+	if baselineHeap > 0 {
+		result.HeapRatio = heapPerKey / baselineHeap
+	}
+
+	fmt.Printf("  [churn census] live=%d (%.1f/key) retired=%d evicted=%d heap %.0f → %.0f B/key (%.2fx)\n",
+		live, result.LiveStatesPerKey, retired, evicted, baselineHeap, heapPerKey, result.HeapRatio)
+
+	if retired == 0 {
+		return nil, fmt.Errorf("reconfig churn: %d walks completed but retired_states = 0 — lifecycle GC never fired", reconfigs.Load())
+	}
+	if result.LiveStatesPerKey > churnMaxLivePerKey {
+		return nil, fmt.Errorf("reconfig churn: %.1f live states per key after %d walks/key (bound %.0f) — retained state grows with walks",
+			result.LiveStatesPerKey, churnWalksPerKey, churnMaxLivePerKey)
+	}
+	if baselineHeap > 0 && result.HeapRatio > churnMaxHeapRatio {
+		return nil, fmt.Errorf("reconfig churn: post-GC heap %.0f B/key is %.2fx the no-churn baseline %.0f B/key (bound %.1fx)",
+			heapPerKey, result.HeapRatio, baselineHeap, churnMaxHeapRatio)
+	}
+	return result, nil
 }
 
 func runStoreSuite(p storeSuiteParams) error {
@@ -441,8 +691,16 @@ func runStoreSuite(p storeSuiteParams) error {
 	}
 	summary.FirstTouch = ft
 
+	// Reconfiguration-churn phase: 1k walks across 100 keys must leave
+	// retired_states > 0, O(live) retained state, and bounded post-GC heap.
+	churn, err := runReconfigChurn(p)
+	if err != nil {
+		return fmt.Errorf("store suite reconfig-churn: %w", err)
+	}
+	summary.ReconfigChurn = churn
+
 	for _, w := range storeSuite {
-		store, _, _, err := newSuiteStore("bench-"+w.Name,
+		store, wlCluster, _, err := newSuiteStore("bench-"+w.Name,
 			ares.WithDelayRange(100*time.Microsecond, 300*time.Microsecond))
 		if err != nil {
 			return fmt.Errorf("store suite %s: %w", w.Name, err)
@@ -467,6 +725,7 @@ func runStoreSuite(p storeSuiteParams) error {
 			},
 		}
 		stats, err := d.Run(context.Background(), store)
+		wlCluster.Close()
 		if err != nil {
 			return fmt.Errorf("store suite %s: %w", w.Name, err)
 		}
@@ -492,6 +751,9 @@ func runStoreSuite(p storeSuiteParams) error {
 	table.Render(os.Stdout)
 	fmt.Printf("\n  first-touch (%d fresh keys): p50 %.0fµs p99 %.0fµs, %.0f ops/s, %.0f heap B/key, %d service instances, %d install RPCs\n",
 		ft.Keys, ft.Latency.P50Micro, ft.Latency.P99Micro, ft.OpsPerSec, ft.HeapBytesPerKey, ft.ServiceInstances, ft.InstallRPCs)
+	fmt.Printf("  reconfig-churn (%d keys × %d walks in %.1fs): %d states retired, %.1f live states/key, heap %.0f → %.0f B/key (%.2fx), %d clients evicted\n",
+		churn.Keys, churn.WalksPerKey, churn.SecondsTotal, churn.RetiredStates, churn.LiveStatesPerKey,
+		churn.BaselineHeapBytesPerKey, churn.HeapBytesPerKey, churn.HeapRatio, churn.ClientsEvicted)
 
 	if p.jsonPath != "" {
 		data, err := json.MarshalIndent(summary, "", "  ")

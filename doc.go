@@ -35,6 +35,7 @@
 //	}
 //	cluster, err := ares.NewCluster(c0, net)
 //	// handle err
+//	defer cluster.Close()
 //	w, _ := cluster.NewClient("w1")
 //	tag, err := w.Write(ctx, ares.Value("hello"))
 //	r, _ := cluster.NewClient("r1")

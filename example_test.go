@@ -23,6 +23,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 	w, err := cluster.NewClient("writer")
 	if err != nil {
 		log.Fatal(err)
@@ -55,6 +56,7 @@ func ExampleReconfigurer_reconfig() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 	w, err := cluster.NewClient("writer")
 	if err != nil {
 		log.Fatal(err)
@@ -105,6 +107,7 @@ func ExampleObjectStore() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 	store, err := ares.NewObjectStore(cluster, ares.Config{
 		Algorithm: ares.TREAS,
 		Servers:   servers,

@@ -54,6 +54,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		defer cluster.Close()
 		client, err := cluster.NewClient("w1")
 		if err != nil {
 			return err

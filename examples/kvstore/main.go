@@ -36,6 +36,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer cluster.Close()
 	store, err := ares.NewObjectStore(cluster, ares.Config{
 		Algorithm: ares.TREAS,
 		Servers:   servers,

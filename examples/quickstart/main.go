@@ -36,6 +36,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer cluster.Close()
 
 	// Write and read through separate clients: the register is multi-writer
 	// multi-reader and atomic.

@@ -45,6 +45,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer cluster.Close()
 	for _, c := range epochs[1:] {
 		for _, s := range c.Servers {
 			cluster.AddHost(s)

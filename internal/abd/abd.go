@@ -147,6 +147,14 @@ func (s *Service) StorageBytes() int {
 // (for tests asserting lazy creation and O(1)-in-keys service hosting).
 func (s *Service) States() int { return s.states.Len() }
 
+// RetireConfig drops the register for (key, configID), reporting whether one
+// existed. The lifecycle GC calls it once the configuration's finalized
+// successor proves it quiescent; the caller's resolver tombstone keeps the
+// pair from rematerializing.
+func (s *Service) RetireConfig(key, configID string) bool {
+	return s.states.Delete(keystate.Ref{Key: key, Config: configID})
+}
+
 // Current returns the stored pair of one register (for tests and
 // introspection). The bool reports whether the register exists.
 func (s *Service) Current(key, configID string) (tag.Pair, bool) {

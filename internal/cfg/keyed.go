@@ -1,8 +1,10 @@
 package cfg
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 )
@@ -56,6 +58,94 @@ type Source interface {
 // template.
 var ErrUnknownConfig = errors.New("cfg: unknown configuration")
 
+// ErrRetired reports a message addressed to a (key, configuration) pair whose
+// state this server has garbage-collected: the configuration's successor was
+// finalized (ARES Algs. 4–5), its state propagated forward, and the old
+// per-key state retired. The caller must re-run read-config to discover the
+// live configuration window; retrying against the retired configuration can
+// never succeed.
+//
+// The error's text is the wire contract: service errors cross the transport
+// as strings, so IsRetired matches this sentinel's message inside transported
+// errors. Keep it stable.
+var ErrRetired = errors.New("cfg: configuration retired")
+
+// RetiredError is the explicit, retryable rejection a lagging client's DAP
+// call receives on a retired (key, configuration): it names the successor so
+// logs show where the chain went, and it unwraps to ErrRetired.
+type RetiredError struct {
+	Key       string
+	Config    ID
+	Successor ID
+}
+
+// Error renders the tombstone: retired, superseded by the successor.
+func (e *RetiredError) Error() string {
+	return fmt.Sprintf("%v: %s (key %q) superseded by %s; re-run read-config", ErrRetired, e.Config, e.Key, e.Successor)
+}
+
+// Unwrap makes errors.Is(err, ErrRetired) work on locally-constructed errors.
+func (e *RetiredError) Unwrap() error { return ErrRetired }
+
+// IsRetired reports whether err is a retirement rejection — either a local
+// *RetiredError or one that crossed the transport as text (Response.Err
+// carries only the message, so the sentinel is matched by substring).
+func IsRetired(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrRetired) {
+		return true
+	}
+	return strings.Contains(err.Error(), ErrRetired.Error())
+}
+
+// maxRetiredRedirects bounds how many times one operation chases
+// "configuration retired" redirects before giving up. Each redirect re-runs
+// read-config, which jumps to the live window; under continuous
+// reconfiguration churn a couple of laps suffice, and the bound keeps a
+// pathological chain from looping forever.
+const maxRetiredRedirects = 4
+
+// RetryRetired runs op, re-running it whenever it fails with the lifecycle
+// GC's ErrRetired redirect — a configuration the operation addressed was
+// garbage-collected mid-flight, and the operation's own read-config
+// discovers the live window on the next lap. Any other error (and context
+// expiry) terminates immediately. This is the one redirect-handling policy
+// every client layer (reader/writer operations, reconfig) shares.
+func RetryRetired(ctx context.Context, op func() error) error {
+	var err error
+	for attempt := 0; attempt <= maxRetiredRedirects; attempt++ {
+		err = op()
+		if err == nil || !IsRetired(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// RetirementSource is the optional lifecycle side of a Source: it answers
+// whether a (key, configuration) pair has been retired and what superseded
+// it. Keyed services consult it before materializing state, so a lagging
+// client's message yields an explicit RetiredError instead of silently
+// rematerializing fresh v₀ state for a dead configuration.
+type RetirementSource interface {
+	// RetiredSuccessor returns the configuration that superseded (key, id);
+	// ok is false when the pair is not retired.
+	RetiredSuccessor(key string, id ID) (ID, bool)
+}
+
+// Retirer is the mutating side of configuration lifecycle: a Source that can
+// also record retirements. The standard Resolver implements it; the recon
+// service drives it when a finalized successor proves a configuration
+// quiescent.
+type Retirer interface {
+	RetirementSource
+	// Retire tombstones (key, id) as superseded by successor and prunes any
+	// concrete registration, reporting whether the pair was newly retired.
+	Retire(key string, id ID, successor ID) bool
+}
+
 // Resolver is the standard Source: a set of concrete configurations (added
 // by explicit installation, e.g. over a control service during
 // reconfiguration) plus a set of templates (added once per key family).
@@ -66,11 +156,43 @@ type Resolver struct {
 	mu        sync.RWMutex
 	exact     map[ID]Configuration
 	templates []Configuration
+	// retired tombstones every (key, config) pair whose state this process
+	// has garbage-collected. A tombstone is a single 64-bit hash of the
+	// pair — the compact marker the lifecycle GC leaves behind, ~16 bytes
+	// per retired configuration instead of its strings — and is what keeps
+	// a pruned configuration from silently rematerializing as fresh v₀
+	// state. A (vanishingly unlikely) hash collision can only fail safe: it
+	// redirects a client through read-config, never serves stale state.
+	// successor records, per key, the most recently observed superseding
+	// configuration — one entry per key, not per walk — used to label
+	// RetiredError redirects.
+	retired   map[uint64]struct{}
+	successor map[string]ID
+	// exactDeletes counts prunes since the exact map was last rebuilt. Go
+	// maps never release bucket memory on delete, so under reconfiguration
+	// churn the exact map would retain capacity for every configuration
+	// that ever passed through; rebuilding once deletes outnumber survivors
+	// keeps its footprint proportional to the live set.
+	exactDeletes int
+}
+
+// retiredHash is the FNV-1a (64-bit) hash of a tombstoned pair; the
+// separator byte guards against concatenation collisions.
+func retiredHash(key string, id ID) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0xff})
+	_, _ = h.Write([]byte(id))
+	return h.Sum64()
 }
 
 // NewResolver returns an empty resolver.
 func NewResolver() *Resolver {
-	return &Resolver{exact: make(map[ID]Configuration)}
+	return &Resolver{
+		exact:     make(map[ID]Configuration),
+		retired:   make(map[uint64]struct{}),
+		successor: make(map[string]ID),
+	}
 }
 
 // Add registers a configuration (concrete or template). Like service
@@ -131,6 +253,75 @@ func (r *Resolver) ResolveConfig(key string, id ID) (Configuration, bool) {
 		}
 	}
 	return Configuration{}, false
+}
+
+// Retire tombstones (key, id) as superseded by successor and prunes the
+// concrete configuration registered under id when it is bound to this key —
+// without pruning, the resolver accretes one entry per reconfiguration
+// forever. Templates are never pruned (they serve every key's initial
+// configuration); the tombstone alone blocks rematerialization of the
+// template-derived instance. Retire reports whether the pair was newly
+// retired; re-retiring is idempotent, and the first recorded successor wins
+// so the tombstone never regresses.
+func (r *Resolver) Retire(key string, id ID, successor ID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := retiredHash(key, id)
+	if _, ok := r.retired[h]; ok {
+		return false
+	}
+	r.retired[h] = struct{}{}
+	// Advance the key's recorded redirect target monotonically. A candidate
+	// that is itself already tombstoned is never recorded over an existing
+	// entry (out-of-order retirement echoes must not park redirects on a
+	// dead configuration); a live candidate replaces the current record
+	// when that record is unset, is the configuration being retired (the
+	// chain moved on), or has itself been retired. Anything else keeps the
+	// current — possibly fresher — record.
+	_, candRetired := r.retired[retiredHash(key, successor)]
+	cur, ok := r.successor[key]
+	_, curRetired := r.retired[retiredHash(key, cur)]
+	switch {
+	case !ok:
+		r.successor[key] = successor
+	case candRetired:
+		// keep cur
+	case cur == id || curRetired:
+		r.successor[key] = successor
+	}
+	if c, ok := r.exact[id]; ok && c.Key == key {
+		delete(r.exact, id)
+		r.exactDeletes++
+		if r.exactDeletes >= 128 && r.exactDeletes >= 2*len(r.exact) {
+			compact := make(map[ID]Configuration, len(r.exact))
+			for k, v := range r.exact {
+				compact[k] = v
+			}
+			r.exact = compact
+			r.exactDeletes = 0
+		}
+	}
+	return true
+}
+
+// RetiredSuccessor implements RetirementSource. The reported successor is
+// the key's most recently observed superseding configuration (tombstones are
+// compact hashes; per-retired-config successors are not retained).
+func (r *Resolver) RetiredSuccessor(key string, id ID) (ID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.retired[retiredHash(key, id)]; !ok {
+		return "", false
+	}
+	return r.successor[key], true
+}
+
+// RetiredCount returns how many (key, config) tombstones the resolver holds
+// (for tests and the bench harness's retired_states accounting).
+func (r *Resolver) RetiredCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.retired)
 }
 
 // Known returns how many concrete configurations and templates are

@@ -1,0 +1,123 @@
+package cfg
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Lifecycle-retirement tests: compact tombstones, successor monotonicity,
+// exact-map pruning, and the wire-crossing IsRetired contract.
+
+func retireCfg(id ID, key string) Configuration {
+	c := tmpl(id)
+	c.Key = key
+	return c
+}
+
+func TestResolverRetireTombstonesAndPrunes(t *testing.T) {
+	t.Parallel()
+	r := NewResolver()
+	c1 := retireCfg("store/k/c1", "k")
+	r.Add(c1)
+	r.Add(tmpl(ID("store/" + KeyPlaceholder + "/c0")))
+
+	if _, retired := r.RetiredSuccessor("k", "store/k/c0"); retired {
+		t.Fatal("fresh pair reported retired")
+	}
+	if !r.Retire("k", "store/k/c0", "store/k/c1") {
+		t.Fatal("first Retire reported not-new")
+	}
+	if r.Retire("k", "store/k/c0", "store/k/c1") {
+		t.Fatal("re-Retire reported new (must be idempotent)")
+	}
+	succ, retired := r.RetiredSuccessor("k", "store/k/c0")
+	if !retired || succ != "store/k/c1" {
+		t.Fatalf("RetiredSuccessor = (%q, %v), want (store/k/c1, true)", succ, retired)
+	}
+	// The template-derived pair for another key is untouched.
+	if _, retired := r.RetiredSuccessor("other", "store/other/c0"); retired {
+		t.Fatal("another key's pair reported retired")
+	}
+	if r.RetiredCount() != 1 {
+		t.Fatalf("RetiredCount = %d, want 1", r.RetiredCount())
+	}
+
+	// Retiring c1 prunes its concrete registration (it is bound to "k")…
+	r.Retire("k", "store/k/c1", "store/k/c2")
+	if _, ok := r.ResolveConfig("k", "store/k/c1"); ok {
+		t.Fatal("retired concrete configuration still resolves")
+	}
+	// …while the template still serves other keys' initial configurations.
+	if _, ok := r.ResolveConfig("fresh", "store/fresh/c0"); !ok {
+		t.Fatal("template no longer resolves fresh keys after retirement of another key")
+	}
+}
+
+// TestResolverSuccessorNeverRegresses pins the redirect label's
+// monotonicity: a late-arriving retirement echo for an old configuration
+// must not point the key's successor backwards at a superseded target.
+func TestResolverSuccessorNeverRegresses(t *testing.T) {
+	t.Parallel()
+	r := NewResolver()
+	// In-order chain: c0→c1 retired, then c1→c2.
+	r.Retire("k", "store/k/c0", "store/k/c1")
+	r.Retire("k", "store/k/c1", "store/k/c2")
+	if succ, _ := r.RetiredSuccessor("k", "store/k/c0"); succ != "store/k/c2" {
+		t.Fatalf("successor after chain = %q, want store/k/c2", succ)
+	}
+	// Late gossip echo: a server re-learning c0→c1 (c1 already retired) must
+	// not regress the successor.
+	r2 := NewResolver()
+	r2.Retire("k", "store/k/c1", "store/k/c2")
+	r2.Retire("k", "store/k/c0", "store/k/c1")
+	if succ, _ := r2.RetiredSuccessor("k", "store/k/c0"); succ != "store/k/c2" {
+		t.Fatalf("successor after late echo = %q, want store/k/c2 (regressed)", succ)
+	}
+}
+
+// TestResolverExactMapCompacts pins the churn-memory fix: after pruning far
+// more configurations than remain live, the exact map is rebuilt so its
+// bucket memory tracks the live set (Go maps never shrink on delete).
+func TestResolverExactMapCompacts(t *testing.T) {
+	t.Parallel()
+	r := NewResolver()
+	for i := 0; i < 400; i++ {
+		id := ID(fmt.Sprintf("store/k/c%d", i))
+		r.Add(retireCfg(id, "k"))
+	}
+	for i := 0; i < 399; i++ {
+		r.Retire("k", ID(fmt.Sprintf("store/k/c%d", i)), ID(fmt.Sprintf("store/k/c%d", i+1)))
+	}
+	exact, _ := r.Known()
+	if exact != 1 {
+		t.Fatalf("exact survivors = %d, want 1", exact)
+	}
+	if r.exactDeletes >= 128 {
+		t.Fatalf("exactDeletes = %d after 399 prunes — compaction never ran", r.exactDeletes)
+	}
+	if _, ok := r.ResolveConfig("k", "store/k/c399"); !ok {
+		t.Fatal("survivor lost by compaction")
+	}
+}
+
+// TestIsRetiredAcrossTransport pins the wire contract: service errors cross
+// the transport as text, and IsRetired must recognize a RetiredError both
+// locally (errors.Is) and after stringification.
+func TestIsRetiredAcrossTransport(t *testing.T) {
+	t.Parallel()
+	local := fmt.Errorf("abd at s1: %w", &RetiredError{Key: "k", Config: "store/k/c0", Successor: "store/k/c1"})
+	if !errors.Is(local, ErrRetired) || !IsRetired(local) {
+		t.Fatalf("local retired error not recognized: %v", local)
+	}
+	wire := fmt.Errorf("transport: service failure: %s", local.Error())
+	if errors.Is(wire, ErrRetired) {
+		t.Fatal("stringified error unexpectedly unwraps — test premise broken")
+	}
+	if !IsRetired(wire) {
+		t.Fatalf("wire-carried retired error not recognized: %v", wire)
+	}
+	if IsRetired(nil) || IsRetired(errors.New("something else")) {
+		t.Fatal("IsRetired false-positive")
+	}
+}

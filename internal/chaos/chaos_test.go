@@ -47,6 +47,13 @@ func TestChaosMatrix(t *testing.T) {
 			if len(sc.Chain) > 0 && v.Reconfigs == 0 {
 				t.Errorf("scenario %s seed %d: no reconfiguration completed (%d errors)", sc.Name, seed, v.ReconfigErrors)
 			}
+			if v.StateBoundExceeded {
+				t.Errorf("scenario %s seed %d: lifecycle GC bound blown: %d retained states across %d keys (bound %d per key, %d retired); replay: %s",
+					sc.Name, seed, v.ServerStates, sc.Keys, sc.MaxStatesPerKey, v.RetiredStates, v.Replay())
+			}
+			if sc.MaxStatesPerKey > 0 && v.RetiredStates == 0 && v.Reconfigs > 0 {
+				t.Errorf("scenario %s seed %d: %d reconfigs completed but no state was retired — GC never fired", sc.Name, seed, v.Reconfigs)
+			}
 			t.Logf("%s: %d ops, %d incomplete, %d op errors, %d reconfigs, verdict via %s",
 				sc.Name, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, v.Keys[0].Method)
 		})
@@ -98,6 +105,7 @@ func brokenClientFlagged(t *testing.T, seed int64) bool {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	// Make the writer's messages to all servers but the first slow: each
 	// written value lands on s1 ~30ms before it reaches anywhere else, so
 	// every write has a wide in-flight window in which only one replica

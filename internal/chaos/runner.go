@@ -46,18 +46,27 @@ type KeyVerdict struct {
 // Verdict is the machine-readable outcome of one chaos run: what ran, under
 // which seed, and whether every key's history was linearizable.
 type Verdict struct {
-	Scenario       string       `json:"scenario"`
-	Description    string       `json:"description,omitempty"`
-	Seed           int64        `json:"seed"`
-	Stretch        float64      `json:"stretch"`
-	DurationMS     int64        `json:"duration_ms"`
-	Ops            int          `json:"ops"`
-	OpErrors       int          `json:"op_errors"`
-	Incomplete     int          `json:"incomplete"`
-	Reconfigs      int          `json:"reconfigs"`
-	ReconfigErrors int          `json:"reconfig_errors"`
-	Linearizable   bool         `json:"linearizable"`
-	Keys           []KeyVerdict `json:"keys"`
+	Scenario       string  `json:"scenario"`
+	Description    string  `json:"description,omitempty"`
+	Seed           int64   `json:"seed"`
+	Stretch        float64 `json:"stretch"`
+	DurationMS     int64   `json:"duration_ms"`
+	Ops            int     `json:"ops"`
+	OpErrors       int     `json:"op_errors"`
+	Incomplete     int     `json:"incomplete"`
+	Reconfigs      int     `json:"reconfigs"`
+	ReconfigErrors int     `json:"reconfig_errors"`
+	Linearizable   bool    `json:"linearizable"`
+	// ServerStates and RetiredStates account the configuration-lifecycle GC:
+	// live (key, config) state entries retained across the cluster's servers
+	// at the end of the run, and entries garbage-collected during it.
+	// StateBoundExceeded is set when the scenario declares MaxStatesPerKey
+	// and the retained states blow it — a GC regression, reported as a
+	// failed verdict alongside linearizability.
+	ServerStates       int          `json:"server_states"`
+	RetiredStates      int64        `json:"retired_states"`
+	StateBoundExceeded bool         `json:"state_bound_exceeded,omitempty"`
+	Keys               []KeyVerdict `json:"keys"`
 }
 
 // Replay renders the command that reproduces this run's adversarial
@@ -329,6 +338,18 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 	wg.Wait()
 	<-schedDone
 
+	// Lifecycle GC accounting. Finalization gossip is asynchronous, so give
+	// the cluster a short window to settle onto the bound before reading the
+	// retained-state count.
+	states := cluster.MaterializedStates()
+	if sc.MaxStatesPerKey > 0 {
+		settleDeadline := time.Now().Add(2 * time.Second)
+		for states > sc.MaxStatesPerKey*keys && time.Now().Before(settleDeadline) {
+			time.Sleep(25 * time.Millisecond)
+			states = cluster.MaterializedStates()
+		}
+	}
+
 	verdict := Verdict{
 		Scenario:       sc.Name,
 		Description:    sc.Description,
@@ -339,6 +360,11 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 		Reconfigs:      int(reconfigs.Load()),
 		ReconfigErrors: int(reconfigErrs.Load()),
 		Linearizable:   true,
+		ServerStates:   states,
+		RetiredStates:  cluster.RetiredStates(),
+	}
+	if sc.MaxStatesPerKey > 0 && states > sc.MaxStatesPerKey*keys {
+		verdict.StateBoundExceeded = true
 	}
 	for k := 0; k < keys; k++ {
 		ops := recorders[k].Ops()
@@ -370,7 +396,8 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 		}
 		verdict.Keys = append(verdict.Keys, kv)
 	}
-	logf("chaos: %s: %d ops (%d incomplete, %d op errors, %d reconfigs) linearizable=%v seed=%d",
-		sc.Name, verdict.Ops, verdict.Incomplete, verdict.OpErrors, verdict.Reconfigs, verdict.Linearizable, seed)
+	logf("chaos: %s: %d ops (%d incomplete, %d op errors, %d reconfigs) linearizable=%v states=%d retired=%d seed=%d",
+		sc.Name, verdict.Ops, verdict.Incomplete, verdict.OpErrors, verdict.Reconfigs, verdict.Linearizable,
+		verdict.ServerStates, verdict.RetiredStates, seed)
 	return verdict, nil
 }

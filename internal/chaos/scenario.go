@@ -51,6 +51,13 @@ type Scenario struct {
 	// OpTimeout bounds each operation so faults stall an attempt, not the
 	// workload; timed-out writes are recorded as incomplete.
 	OpTimeout time.Duration
+	// MaxStatesPerKey, when positive, asserts the configuration-lifecycle GC
+	// after the run: the per-server (key, config) state entries retained
+	// across the cluster, divided by the key count, must not exceed this
+	// bound. A reconfiguration-churn scenario sets it well below the
+	// ungarbage-collected total (O(walks) states) and above the live window
+	// (O(live configs)), so a GC regression flips the verdict.
+	MaxStatesPerKey int
 	// Schedule builds the fault timeline for the deployed processes; nil
 	// means a fault-free run.
 	Schedule func(env Env) Schedule
@@ -199,6 +206,40 @@ func Matrix() []Scenario {
 				return Schedule{
 					{At: 150 * time.Millisecond, Kind: EvPartition, A: minority, B: rest},
 					{At: 450 * time.Millisecond, Kind: EvHeal, A: minority, B: rest},
+				}
+			},
+		},
+		{
+			Name: "reconfig-churn-gc",
+			Description: "each key's register walks 8 reconfigurations (TREAS↔ABD on one server set) under 5% message drop; " +
+				"finalization-driven GC must keep per-server state O(live configs) while every key stays linearizable " +
+				"and late calls on retired configurations get redirected, never fresh v0 state",
+			Template: treasTemplate("rcg", 5, 3, 4),
+			Chain: []cfg.Configuration{
+				abdTemplate("rcg", 5),
+				treasTemplate("rcg", 5, 3, 4),
+				abdTemplate("rcg", 5),
+				treasTemplate("rcg", 5, 3, 4),
+				abdTemplate("rcg", 5),
+				treasTemplate("rcg", 5, 3, 4),
+				abdTemplate("rcg", 5),
+				treasTemplate("rcg", 5, 3, 4),
+			},
+			Keys: 3, Writers: 1, Readers: 1,
+			Duration:  1500 * time.Millisecond,
+			Delay:     transport.DelayRange{Max: time.Millisecond},
+			OpTimeout: 400 * time.Millisecond,
+			// Without GC a completed 8-walk chain retains ~9 configs ×
+			// (DAP + pointer + acceptor) × 5 servers ≈ 130 states per key.
+			// The live window is ~15 at rest but spans up to ~3 configs per
+			// key when the deadline cuts a walk mid-flight (pending successor
+			// + its not-yet-retired predecessor + the tail), ≈ 45–50. The
+			// bound sits between that and the no-GC total.
+			MaxStatesPerKey: 70,
+			Schedule: func(env Env) Schedule {
+				return Schedule{
+					{At: 100 * time.Millisecond, Kind: EvDefaultFaults, Faults: transport.LinkFaults{Drop: 0.05}},
+					{At: 1200 * time.Millisecond, Kind: EvClearFaults},
 				}
 			},
 		},

@@ -228,6 +228,15 @@ func (st *acceptor) decide(value []byte) {
 // (for tests).
 func (s *Service) States() int { return s.states.Len() }
 
+// RetireConfig drops the acceptor for (key, configID), reporting whether one
+// existed. Safe once the configuration's successor is finalized: the
+// instance's outcome is then durably recorded in the quorum's nextC pointers,
+// which never change after finalization (Lemma 46), so no future proposer
+// needs this acceptor's promises.
+func (s *Service) RetireConfig(key, configID string) bool {
+	return s.states.Delete(keystate.Ref{Key: key, Config: configID})
+}
+
 // Decided reports the learned outcome of the (key, configID) instance (for
 // tests). ok is false when the instance is undecided or not materialized.
 func (s *Service) Decided(key, configID string) (value []byte, ok bool) {
@@ -313,6 +322,13 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 			return promised >= p.q.Size()
 		},
 	)
+	if cfg.IsRetired(err) {
+		// The instance's configuration was garbage-collected: its outcome is
+		// already durable in the finalized nextC pointers. Retrying ballots
+		// here would livelock; surface the redirect so the reconfigurer
+		// re-runs read-config and proposes on the live tail.
+		return nil, false, fmt.Errorf("consensus: prepare on %s: %w", p.configID, err)
+	}
 	if errorsIs(err, transport.ErrQuorumUnavailable) {
 		return nil, false, nil // every server answered; rejections dominate: preempted
 	}
@@ -357,6 +373,9 @@ func (p *Proposer) attempt(ctx context.Context, round int64, value []byte) ([]by
 			return accepted >= p.q.Size()
 		},
 	)
+	if cfg.IsRetired(err) {
+		return nil, false, fmt.Errorf("consensus: accept on %s: %w", p.configID, err)
+	}
 	if errorsIs(err, transport.ErrQuorumUnavailable) {
 		return nil, false, nil // preempted by a higher ballot
 	}

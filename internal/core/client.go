@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -36,6 +37,12 @@ type RetryPolicy struct {
 	// Jitter is the fraction of each delay that is randomized away, in
 	// [0, 1]: the sleep is drawn uniformly from [d·(1−Jitter), d].
 	Jitter float64
+	// Seed, when non-zero, seeds the client's private jitter source so a
+	// replay reproduces the exact retry pacing. Zero derives a stable
+	// per-client seed from the process ID. Each client owns its source:
+	// thousands of concurrent per-key clients never contend on the global
+	// locked math/rand state.
+	Seed int64
 }
 
 // DefaultRetryPolicy is the pacing used by NewClient: 1 ms doubling to a
@@ -47,13 +54,9 @@ var DefaultRetryPolicy = RetryPolicy{
 	Jitter:     0.5,
 }
 
-// Delay returns the pause before retry number attempt (0-based), jitter
-// included.
-func (p RetryPolicy) Delay(attempt int) time.Duration {
-	return p.delayAt(attempt, rand.Float64())
-}
-
-// delayAt is Delay with the jitter draw supplied, for deterministic tests.
+// delayAt computes the pause before retry number attempt (0-based) with the
+// jitter draw supplied — the deterministic core; the client draws frac from
+// its own seeded source.
 func (p RetryPolicy) delayAt(attempt int, frac float64) time.Duration {
 	base := p.Base
 	if base <= 0 {
@@ -110,7 +113,19 @@ type Client struct {
 
 	// retry paces get-data retries while a TREAS tag is transiently
 	// undecodable (Theorem 9 guarantees progress within the δ bound).
+	// jrng is the client's private jitter source (see RetryPolicy.Seed).
 	retry RetryPolicy
+	jmu   sync.Mutex
+	jrng  *rand.Rand
+}
+
+// retrySeed derives the default jitter seed for a client: a stable hash of
+// its process ID, so replays of the same deployment reproduce the same
+// pacing without any configuration.
+func retrySeed(self types.ProcessID) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(self))
+	return int64(h.Sum64())
 }
 
 // NewClient constructs a reader/writer booted from configuration c0. The
@@ -130,6 +145,7 @@ func NewClient(self types.ProcessID, c0 cfg.Configuration, rpc transport.Client,
 		rec:   rec,
 		cseq:  cfg.NewSequence(c0),
 		retry: DefaultRetryPolicy,
+		jrng:  rand.New(rand.NewSource(retrySeed(self))),
 	}, nil
 }
 
@@ -137,6 +153,19 @@ func NewClient(self types.ProcessID, c0 cfg.Configuration, rpc transport.Client,
 // Call before sharing the client across goroutines.
 func (c *Client) SetRetryPolicy(p RetryPolicy) {
 	c.retry = p
+	seed := p.Seed
+	if seed == 0 {
+		seed = retrySeed(c.self)
+	}
+	c.jrng = rand.New(rand.NewSource(seed))
+}
+
+// retryDelay draws the next paced delay from the client's own jitter source.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	c.jmu.Lock()
+	frac := c.jrng.Float64()
+	c.jmu.Unlock()
+	return c.retry.delayAt(attempt, frac)
 }
 
 // Sequence returns a copy of the client's local configuration sequence.
@@ -173,6 +202,18 @@ func (c *Client) storeSeq(seq cfg.Sequence) error {
 func (c *Client) Write(ctx context.Context, value types.Value) (tag.Tag, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	var t tag.Tag
+	// A configuration a phase addresses may be garbage-collected
+	// mid-operation; cfg.RetryRetired re-runs the whole operation, whose
+	// read-config then discovers the live window.
+	err := cfg.RetryRetired(ctx, func() (opErr error) {
+		t, opErr = c.writeOnce(ctx, value)
+		return opErr
+	})
+	return t, err
+}
+
+func (c *Client) writeOnce(ctx context.Context, value types.Value) (tag.Tag, error) {
 	seq, err := c.rec.ReadConfig(ctx, c.localSeq())
 	if err != nil {
 		return tag.Tag{}, fmt.Errorf("core: write read-config: %w", err)
@@ -205,6 +246,15 @@ func (c *Client) Write(ctx context.Context, value types.Value) (tag.Tag, error) 
 // and repeatedly put-data that pair into the last configuration until the
 // sequence stops growing.
 func (c *Client) Read(ctx context.Context) (tag.Pair, error) {
+	var p tag.Pair
+	err := cfg.RetryRetired(ctx, func() (opErr error) {
+		p, opErr = c.readOnce(ctx)
+		return opErr
+	})
+	return p, err
+}
+
+func (c *Client) readOnce(ctx context.Context) (tag.Pair, error) {
 	seq, err := c.rec.ReadConfig(ctx, c.localSeq())
 	if err != nil {
 		return tag.Pair{}, fmt.Errorf("core: read read-config: %w", err)
@@ -262,7 +312,7 @@ func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.
 		select {
 		case <-ctx.Done():
 			return tag.Pair{}, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
-		case <-time.After(c.retry.Delay(attempt)):
+		case <-time.After(c.retryDelay(attempt)):
 		}
 	}
 }

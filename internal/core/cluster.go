@@ -126,6 +126,41 @@ func (c *Cluster) ServiceInstances() int {
 	return total
 }
 
+// MaterializedStates sums the live (key, config) state entries across every
+// host — the quantity the lifecycle GC keeps O(live configurations) rather
+// than O(reconfiguration walks) (for tests and the bench harness).
+func (c *Cluster) MaterializedStates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, h := range c.hosts {
+		total += h.MaterializedStates()
+	}
+	return total
+}
+
+// RetiredStates sums the garbage-collected (key, config) state entries
+// across every host.
+func (c *Cluster) RetiredStates() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, h := range c.hosts {
+		total += h.RetiredStates()
+	}
+	return total
+}
+
+// Close releases the cluster's background resources — today, the simulated
+// network's timer-fidelity pump goroutine. Every constructed cluster should
+// be closed when done (tests, benches, examples): an unclosed cluster
+// strands a parked goroutine for the life of the process. Close is
+// idempotent, and the cluster remains usable afterwards (delay sleeps merely
+// lose pump fidelity).
+func (c *Cluster) Close() {
+	c.network.Close()
+}
+
 // NewClient returns an ARES reader/writer rooted at c0.
 func (c *Cluster) NewClient(id types.ProcessID) (*Client, error) {
 	return c.NewClientFor(id, c.initial)

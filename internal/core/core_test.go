@@ -59,6 +59,7 @@ func TestWriteReadStatic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			t.Cleanup(cluster.Close)
 			w, err := cluster.NewClient("w1")
 			if err != nil {
 				t.Fatal(err)
@@ -91,6 +92,7 @@ func TestReconfigSameAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 
 	ctx := context.Background()
@@ -142,6 +144,7 @@ func TestReconfigABDToTREAS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 
@@ -203,6 +206,7 @@ func TestReconfigChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	ctx := context.Background()
 	w, err := cluster.NewClient("w1")
 	if err != nil {
@@ -248,6 +252,7 @@ func TestConcurrentReconfigurersAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, proposalA)
 	addHosts(cluster, proposalB)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -298,6 +303,7 @@ func TestReadWriteConcurrentWithReconfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	addHosts(cluster, c2)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -390,6 +396,7 @@ func TestDirectTransferReconfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 
@@ -438,6 +445,7 @@ func TestDirectTransferKeepsValueOffReconfigurer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 
@@ -477,6 +485,7 @@ func TestInstallerIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	h, _ := cluster.Host(c0.Servers[0])
 	before := h.Node().Services()
 	if err := h.InstallConfiguration(c0); err != nil {
@@ -497,6 +506,7 @@ func TestSequenceConvergenceAcrossClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 	g, err := cluster.NewReconfigurer("g1", recon.Options{})

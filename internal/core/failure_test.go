@@ -34,6 +34,7 @@ func TestLDRConfigurationInARES(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	addHosts(cluster, c2)
 	ctx := context.Background()
@@ -87,6 +88,7 @@ func TestOperationsBlockDuringPartitionAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	w, err := cluster.NewClient("w1")
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +143,7 @@ func TestReaderIsolatedFromOldConfigurationAfterRecon(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 
@@ -189,6 +192,7 @@ func TestCrashWithinBoundDuringReconfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -234,6 +238,7 @@ func TestRemoteInstallerToleratesCrashedNewServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	net.Crash(c1.Servers[4])
 

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/recon"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// Configuration-lifecycle GC tests: finalization-driven retirement must keep
+// per-server (key, config) state O(live configs) under reconfiguration
+// churn, redirect lagging clients instead of serving rematerialized v₀
+// state, and the whole thing must hold while operations continue.
+
+// churnWalk drives key's register through n alternating TREAS/ABD
+// reconfigurations on the same server set.
+func churnWalk(t *testing.T, cluster *Cluster, g *recon.Client, key string, servers []types.ProcessID, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 1; i <= n; i++ {
+		next := cfg.Configuration{
+			ID:      cfg.ID(fmt.Sprintf("gc/%s/c%d", key, i)),
+			Key:     key,
+			Servers: servers,
+		}
+		if i%2 == 0 {
+			next.Algorithm = cfg.ABD
+		} else {
+			next.Algorithm = cfg.TREAS
+			next.K = 3
+			next.Delta = 4
+		}
+		if _, err := g.Reconfig(ctx, next); err != nil {
+			t.Fatalf("walk %d of %s: %v", i, key, err)
+		}
+	}
+}
+
+// settleStates polls until the cluster's retained state count drops to at
+// most want (finalization gossip is asynchronous) or the deadline passes,
+// returning the final count.
+func settleStates(cluster *Cluster, want int, deadline time.Duration) int {
+	states := cluster.MaterializedStates()
+	until := time.Now().Add(deadline)
+	for states > want && time.Now().Before(until) {
+		time.Sleep(10 * time.Millisecond)
+		states = cluster.MaterializedStates()
+	}
+	return states
+}
+
+// TestChurnKeepsStateFlat pins the tentpole invariant: N reconfiguration
+// walks across several keys leave the per-server state census (the sum of
+// every keyed service's keystate.Map.Len) at O(live configs), not O(walks),
+// while retired_states records the reclamation.
+func TestChurnKeepsStateFlat(t *testing.T) {
+	t.Parallel()
+	const keys, walks = 4, 8
+	c0 := treasConfig("gc/seed/c0", "gcf", 5, 3, 4)
+	net := transport.NewSimnet()
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		root := c0
+		root.ID = cfg.ID("gc/" + key + "/c0")
+		root.Key = key
+		if err := cluster.InstallConfiguration(root); err != nil {
+			t.Fatal(err)
+		}
+		w, err := cluster.NewClientFor(types.ProcessID("w-"+key), root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(ctx, []byte("payload-"+key)); err != nil {
+			t.Fatal(err)
+		}
+		g, err := cluster.NewReconfigurerFor(types.ProcessID("g-"+key), root, recon.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		churnWalk(t, cluster, g, key, c0.Servers, walks)
+	}
+
+	// Live window at rest: tail DAP state + tail pointer per (key, server),
+	// plus transient stragglers the settle window lets gossip clear.
+	bound := keys * len(c0.Servers) * 3
+	states := settleStates(cluster, bound, 5*time.Second)
+	if states > bound {
+		t.Fatalf("after %d walks × %d keys: %d retained states, want ≤ %d (O(live), not O(walks))",
+			walks, keys, states, bound)
+	}
+	retired := cluster.RetiredStates()
+	if retired == 0 {
+		t.Fatal("walks completed but no state was retired — lifecycle GC never fired")
+	}
+	// The floor: at least the walked-past configurations' DAP states on a
+	// quorum of servers each.
+	if minRetired := int64(keys * walks); retired < minRetired {
+		t.Fatalf("retired %d states, want ≥ %d", retired, minRetired)
+	}
+	t.Logf("retained %d states (bound %d), retired %d", states, bound, retired)
+}
+
+// TestLaggingClientRedirectedNotServedV0 pins the tombstone semantics: after
+// a key's chain advances and old state is retired, (a) a raw DAP call on the
+// retired configuration fails with the explicit cfg.ErrRetired redirect, and
+// (b) a fresh client rooted at the retired initial configuration — the shape
+// of a lagging or evicted-and-rebuilt client — completes its read against
+// the live window and observes the latest value, never a rematerialized v₀.
+func TestLaggingClientRedirectedNotServedV0(t *testing.T) {
+	t.Parallel()
+	c0 := treasConfig("gc/lag/c0", "gcl", 5, 3, 4)
+	c0.Key = "lag"
+	net := transport.NewSimnet()
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	w, err := cluster.NewClientFor("w1", c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("the latest value")
+	if _, err := w.Write(ctx, want); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cluster.NewReconfigurerFor("g1", c0, recon.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnWalk(t, cluster, g, "lag", c0.Servers, 4)
+	if settleStates(cluster, 2*len(c0.Servers), 5*time.Second) > 3*len(c0.Servers) {
+		t.Fatal("state did not settle after churn")
+	}
+
+	// (a) Raw DAP call on the retired root: explicit retryable redirect.
+	raw, err := cluster.Registry().New(c0, net.Client("lagger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.GetData(ctx); !cfg.IsRetired(err) {
+		t.Fatalf("get-data on retired %s: err = %v, want cfg.ErrRetired redirect", c0.ID, err)
+	}
+
+	// (b) A fresh ARES client rooted at the retired configuration recovers
+	// through read-config and sees the latest value.
+	late, err := cluster.NewClientFor("late-reader", c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := late.Read(ctx)
+	if err != nil {
+		t.Fatalf("late read: %v", err)
+	}
+	if string(pair.Value) != string(want) {
+		t.Fatalf("late read observed %q, want %q (stale/v0 data served from a retired configuration)", pair.Value, want)
+	}
+	// And its writes land in the live window too.
+	if _, err := late.Write(ctx, []byte("still writable")); err != nil {
+		t.Fatalf("late write: %v", err)
+	}
+}
+
+// TestChurnUnderConcurrentReads runs the walks while readers hammer the key,
+// pinning that retirement mid-operation surfaces as internal redirect
+// retries, not client-visible failures or stale reads.
+func TestChurnUnderConcurrentReads(t *testing.T) {
+	t.Parallel()
+	c0 := treasConfig("gc/conc/c0", "gcc", 5, 3, 4)
+	c0.Key = "conc"
+	net := transport.NewSimnet()
+	cluster, err := NewCluster(c0, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	w, err := cluster.NewClientFor("w1", c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewClientFor("r1", c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pair, err := r.Read(ctx)
+			if err != nil {
+				readErr <- fmt.Errorf("concurrent read: %w", err)
+				return
+			}
+			if len(pair.Value) == 0 {
+				readErr <- fmt.Errorf("concurrent read observed empty value after first write")
+				return
+			}
+		}
+	}()
+
+	g, err := cluster.NewReconfigurerFor("g1", c0, recon.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnWalk(t, cluster, g, "conc", c0.Servers, 6)
+	close(stop)
+	if err := <-readErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterCloseReleasesPumpGoroutine is the goroutine-leak regression
+// test: building clusters whose networks engage the delay pump and closing
+// them must not strand pump goroutines (core.Cluster previously never called
+// Simnet.Close, leaking one parked goroutine per cluster).
+func TestClusterCloseReleasesPumpGoroutine(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	const clusters = 8
+	for i := 0; i < clusters; i++ {
+		c0 := abdConfig(cfg.ID(fmt.Sprintf("pump/c%d", i)), fmt.Sprintf("pump%d", i), 3)
+		net := transport.NewSimnet(transport.WithDelayRange(time.Microsecond, 20*time.Microsecond))
+		cluster, err := NewCluster(c0, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := cluster.NewClient("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A delayed write engages the pump (it only starts on the first
+		// delay sleep).
+		if _, err := w.Write(ctx, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		cluster.Close()
+	}
+	// Pump goroutines exit asynchronously after Close; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after %d closed clusters — pump goroutines leaked",
+		before, runtime.NumGoroutine(), clusters)
+}

@@ -43,6 +43,14 @@ type Host struct {
 	cfgs *cfg.Resolver
 
 	stores []storageReporter
+	recon  *recon.Service
+	counts []stateReporter
+}
+
+// stateReporter is satisfied by every keyed service; it reports how many
+// (key, config) state entries are currently materialized.
+type stateReporter interface {
+	States() int
 }
 
 // storageReporter is satisfied by every store service; it reports the bytes
@@ -63,13 +71,39 @@ func NewHost(n *node.Node, rpc transport.Client) *Host {
 	abdSvc := abd.NewService(n.ID(), h.cfgs)
 	treasSvc := treas.NewService(n.ID(), h.cfgs, rpc)
 	ldrRep := ldr.NewReplicaService(n.ID(), h.cfgs)
+	ldrDir := ldr.NewDirectoryService(n.ID(), h.cfgs)
+	reconSvc := recon.NewService(n.ID(), h.cfgs)
+	paxosSvc := consensus.NewService(n.ID(), h.cfgs)
 	n.InstallKeyed(abd.ServiceName, abdSvc)
 	n.InstallKeyed(treas.ServiceName, treasSvc)
 	n.InstallKeyed(ldr.ReplicaServiceName, ldrRep)
-	n.InstallKeyed(ldr.DirectoryServiceName, ldr.NewDirectoryService(n.ID(), h.cfgs))
-	n.InstallKeyed(recon.ServiceName, recon.NewService(n.ID(), h.cfgs))
-	n.InstallKeyed(consensus.ServiceName, consensus.NewService(n.ID(), h.cfgs))
+	n.InstallKeyed(ldr.DirectoryServiceName, ldrDir)
+	n.InstallKeyed(recon.ServiceName, reconSvc)
+	n.InstallKeyed(consensus.ServiceName, paxosSvc)
 	h.stores = []storageReporter{abdSvc, treasSvc, ldrRep}
+	h.recon = reconSvc
+	h.counts = []stateReporter{abdSvc, treasSvc, ldrRep, ldrDir, reconSvc, paxosSvc}
+
+	// Configuration-lifecycle GC: when the pointer service witnesses a
+	// finalized successor for (key, c), every family retires its (key, c)
+	// state — the resolver's tombstone (written by the pointer service)
+	// keeps the pair from rematerializing, so a lagging client's call gets
+	// an explicit cfg.ErrRetired redirect instead of fresh v₀ state.
+	reconSvc.SetLifecycle(rpc, func(key, configID string, _ cfg.Entry) int {
+		dropped := 0
+		for _, retire := range []func(key, configID string) bool{
+			abdSvc.RetireConfig,
+			treasSvc.RetireConfig,
+			ldrRep.RetireConfig,
+			ldrDir.RetireConfig,
+			paxosSvc.RetireConfig,
+		} {
+			if retire(key, configID) {
+				dropped++
+			}
+		}
+		return dropped
+	})
 	return h
 }
 
@@ -136,6 +170,25 @@ func (h *Host) StorageBytes() int {
 // constant in the number of keys and configurations served (the keyed
 // hosting model's O(1) guarantee, pinned by tests and the bench harness).
 func (h *Host) ServiceInstances() int { return h.node.Services() }
+
+// MaterializedStates sums the live (key, config) state entries across every
+// keyed service hosted here — the quantity the lifecycle GC keeps
+// O(live configurations) instead of O(reconfiguration walks).
+func (h *Host) MaterializedStates() int {
+	total := 0
+	for _, s := range h.counts {
+		total += s.States()
+	}
+	return total
+}
+
+// RetiredStates reports how many (key, config) state entries this host has
+// garbage-collected since construction.
+func (h *Host) RetiredStates() int64 { return h.recon.RetiredStates() }
+
+// RetiredConfigs reports how many (key, config) pairs are tombstoned in the
+// host's resolver.
+func (h *Host) RetiredConfigs() int { return h.cfgs.RetiredCount() }
 
 // RemoteInstaller returns a recon.Installer that provisions a configuration
 // by sending install commands to its servers' control services over rpc. It

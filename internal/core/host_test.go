@@ -147,6 +147,7 @@ func TestHostStorageBytesAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	w, err := cluster.NewClient("w1")
 	if err != nil {
 		t.Fatal(err)
@@ -172,6 +173,7 @@ func TestDirectTransferFallsBackForABDTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 	w, err := cluster.NewClient("w1")
@@ -212,6 +214,7 @@ func TestDirectTransferFromABDSourceFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c1)
 	ctx := context.Background()
 	w, err := cluster.NewClient("w1")

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
 )
 
 func TestRetryPolicyGrowsToCap(t *testing.T) {
@@ -76,6 +77,7 @@ func TestClientRetryPolicyConfigurable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	r, err := cluster.NewClient("r1")
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +104,7 @@ func TestRemoteInstallerRequiresDirectoryAcks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c)
 	net.Crash(c.Directories[2])
 
@@ -128,6 +131,7 @@ func TestRemoteInstallerSettlesForServerQuorum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	addHosts(cluster, c)
 	net.Crash(c.Servers[2])
 
@@ -136,5 +140,60 @@ func TestRemoteInstallerSettlesForServerQuorum(t *testing.T) {
 	defer cancel()
 	if err := installer(ctx, c); err != nil {
 		t.Fatalf("install with one crashed replica (quorum intact): %v", err)
+	}
+}
+
+// TestRetryJitterPrivateSeededSource pins the retry-RNG fix: each client
+// draws jitter from its own source (no global math/rand contention), seeded
+// deterministically — same process ID (or explicit RetryPolicy.Seed) ⇒ same
+// pacing, so replays reproduce retry timing exactly.
+func TestRetryJitterPrivateSeededSource(t *testing.T) {
+	t.Parallel()
+	c0 := treasConfig("c0", "rj", 5, 3, 2)
+	cluster, err := NewCluster(c0, transport.NewSimnet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	policy := RetryPolicy{Base: time.Millisecond, Cap: 32 * time.Millisecond, Multiplier: 2, Jitter: 0.5, Seed: 42}
+	seq := func(id types.ProcessID) []time.Duration {
+		c, err := cluster.NewClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetRetryPolicy(policy)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.retryDelay(i)
+		}
+		return out
+	}
+	a, b := seq("r1"), seq("r2")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v vs %v — explicit Seed did not reproduce pacing", i, a[i], b[i])
+		}
+	}
+	// Default seeding is per-process-ID: distinct clients desynchronize.
+	noSeed := policy
+	noSeed.Seed = 0
+	c1, err := cluster.NewClient("rx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cluster.NewClient("rx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetRetryPolicy(noSeed)
+	c2.SetRetryPolicy(noSeed)
+	same := true
+	for i := 0; i < 8; i++ {
+		if c1.retryDelay(i) != c2.retryDelay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct clients produced identical jitter sequences — per-client seeding broken")
 	}
 }

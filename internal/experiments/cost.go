@@ -29,6 +29,7 @@ func E1StorageCost() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cluster.Close()
 			w, err := cluster.NewClient("w1")
 			if err != nil {
 				return nil, err
@@ -68,6 +69,7 @@ func E2WriteCommCost() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 		w, err := cluster.NewClient("w1")
 		if err != nil {
 			return nil, err
@@ -120,6 +122,7 @@ func E3ReadCommCost() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cluster.Close()
 			w, err := cluster.NewClient("w1")
 			if err != nil {
 				return nil, err
@@ -189,6 +192,7 @@ func E4CostComparison() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 		client, err := cluster.NewClient("w1")
 		if err != nil {
 			return nil, err
@@ -247,6 +251,7 @@ func E5DirectTransfer() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 		w, err := cluster.NewClient("w1")
 		if err != nil {
 			return nil, err

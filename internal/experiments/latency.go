@@ -43,6 +43,7 @@ func F1LatencyVsSize() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cluster.Close()
 			client, err := cluster.NewClient("w1")
 			if err != nil {
 				return nil, err
@@ -93,6 +94,7 @@ func F2LatencyVsServers() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cluster.Close()
 			client, err := cluster.NewClient("w1")
 			if err != nil {
 				return nil, err
@@ -137,6 +139,7 @@ func F3WriterConcurrency() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cluster.Close()
 
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
@@ -217,6 +220,7 @@ func F4ReaderConcurrency() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 
 		readRec, writeRec := benchutil.NewLatencyRecorder(), benchutil.NewLatencyRecorder()
 		var wg sync.WaitGroup

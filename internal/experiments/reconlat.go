@@ -47,6 +47,7 @@ func F5ReconfigChurn() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cluster.Close()
 
 			readRec, writeRec := benchutil.NewLatencyRecorder(), benchutil.NewLatencyRecorder()
 			stop := make(chan struct{})
@@ -149,6 +150,7 @@ func F6ReconPipeline() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 		g, err := cluster.NewReconfigurer("g1", recon.Options{})
 		if err != nil {
 			return nil, err
@@ -202,6 +204,7 @@ func F7CatchUp() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 		// Install λ configurations first (fast links), so the reader's
 		// traversal discovers all of them inside one operation.
 		g, err := cluster.NewReconfigurer("g1", recon.Options{})
@@ -259,6 +262,7 @@ func F8TerminationThreshold() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cluster.Close()
 		// Reconfigurer runs with its own (faster) delay class; servers keep
 		// the client-class delay, so only the reconfigurer's messages speed up.
 		net.SetProcessDelay("g1", transport.Fixed(dRecon))
@@ -332,6 +336,7 @@ func E6ActionDelays() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 	g, err := cluster.NewReconfigurer("g1", recon.Options{})
 	if err != nil {
 		return nil, err

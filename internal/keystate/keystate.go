@@ -137,6 +137,34 @@ func (m *Map[T]) Delete(ref Ref) bool {
 	return ok
 }
 
+// Set stores v under ref unconditionally, replacing any existing state.
+func (m *Map[T]) Set(ref Ref, v T) {
+	s := m.shard(ref)
+	s.mu.Lock()
+	s.m[ref] = v
+	s.mu.Unlock()
+}
+
+// Sweep removes every entry for which retire returns true and reports how
+// many were removed — the bulk half of the retire API, used to drop all of a
+// key's superseded configurations in one pass. Each stripe is swept under its
+// own write lock; retire must not call back into the map.
+func (m *Map[T]) Sweep(retire func(ref Ref, v T) bool) int {
+	removed := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for ref, v := range s.m {
+			if retire(ref, v) {
+				delete(s.m, ref)
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}
+
 // Len counts the stored states across all stripes.
 func (m *Map[T]) Len() int {
 	n := 0

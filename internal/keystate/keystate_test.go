@@ -175,3 +175,38 @@ func BenchmarkGetSteadyState(b *testing.B) {
 		}
 	}
 }
+
+// TestSetAndSweep covers the retire API: Set stores unconditionally and
+// Sweep bulk-removes matching refs (the lifecycle GC's bulk half).
+func TestSetAndSweep(t *testing.T) {
+	t.Parallel()
+	m := New[int](8)
+	for k := 0; k < 4; k++ {
+		for c := 0; c < 5; c++ {
+			m.Set(Ref{Key: fmt.Sprintf("k%d", k), Config: fmt.Sprintf("c%d", c)}, k*10+c)
+		}
+	}
+	if got := m.Len(); got != 20 {
+		t.Fatalf("Len = %d after 20 Sets, want 20", got)
+	}
+	m.Set(Ref{Key: "k0", Config: "c0"}, 99)
+	if v, _ := m.Get(Ref{Key: "k0", Config: "c0"}); v != 99 {
+		t.Fatalf("Set did not replace: got %d", v)
+	}
+	// Retire every config of k1 except c4 — the per-key sweep shape.
+	removed := m.Sweep(func(ref Ref, v int) bool {
+		return ref.Key == "k1" && ref.Config != "c4"
+	})
+	if removed != 4 {
+		t.Fatalf("Sweep removed %d, want 4", removed)
+	}
+	if _, ok := m.Get(Ref{Key: "k1", Config: "c0"}); ok {
+		t.Fatal("swept ref still present")
+	}
+	if _, ok := m.Get(Ref{Key: "k1", Config: "c4"}); !ok {
+		t.Fatal("unmatched ref swept")
+	}
+	if got := m.Len(); got != 16 {
+		t.Fatalf("Len = %d after sweep, want 16", got)
+	}
+}

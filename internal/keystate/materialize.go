@@ -9,13 +9,17 @@ import (
 
 // Materialize is the shared first-touch path of every keyed service: return
 // the state under (key, configID), or resolve the addressed configuration
-// and build the state exactly once. An unresolvable (key, configID) pair —
-// unknown configuration, or a key the configuration was not derived for —
-// reports cfg.ErrUnknownConfig naming the family and server, and installs
-// nothing. build performs the service-specific checks (algorithm,
-// membership) and constructs the state; its error likewise installs
-// nothing. GetOrCreate's own double-checked fast path makes the steady
-// state one stripe RLock.
+// and build the state exactly once. A retired pair — one whose finalized
+// successor triggered garbage collection — reports cfg.ErrRetired with the
+// superseding configuration, so a lagging client is redirected back through
+// read-config instead of silently rematerializing fresh v₀ state. An
+// unresolvable (key, configID) pair — unknown configuration, or a key the
+// configuration was not derived for — reports cfg.ErrUnknownConfig naming
+// the family and server, and installs nothing. build performs the
+// service-specific checks (algorithm, membership) and constructs the state;
+// its error likewise installs nothing. GetOrCreate's own double-checked fast
+// path makes the steady state one stripe RLock; the tombstone lookup runs
+// only on first touch.
 func Materialize[T any](
 	m *Map[T],
 	cfgs cfg.Source,
@@ -25,9 +29,15 @@ func Materialize[T any](
 	build func(c cfg.Configuration) (T, error),
 ) (T, error) {
 	return m.GetOrCreate(Ref{Key: key, Config: configID}, func() (T, error) {
+		var zero T
+		if rs, ok := cfgs.(cfg.RetirementSource); ok {
+			if succ, retired := rs.RetiredSuccessor(key, cfg.ID(configID)); retired {
+				return zero, fmt.Errorf("%s at %s: %w",
+					family, self, &cfg.RetiredError{Key: key, Config: cfg.ID(configID), Successor: succ})
+			}
+		}
 		c, ok := cfgs.ResolveConfig(key, cfg.ID(configID))
 		if !ok {
-			var zero T
 			return zero, fmt.Errorf("%w: %s %s (key %q) at %s", cfg.ErrUnknownConfig, family, configID, key, self)
 		}
 		return build(c)

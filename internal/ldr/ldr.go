@@ -145,6 +145,12 @@ func (s *DirectoryService) HandleKeyed(_ types.ProcessID, key, configID, msgType
 // (for tests).
 func (s *DirectoryService) States() int { return s.states.Len() }
 
+// RetireConfig drops the directory metadata for (key, configID), reporting
+// whether state existed (lifecycle GC; see the recon service).
+func (s *DirectoryService) RetireConfig(key, configID string) bool {
+	return s.states.Delete(keystate.Ref{Key: key, Config: configID})
+}
+
 // Current returns the directory metadata for (key, configID) (for tests);
 // ok is false when the state does not exist.
 func (s *DirectoryService) Current(key, configID string) (tag.Tag, []types.ProcessID, bool) {
@@ -232,6 +238,12 @@ func (s *ReplicaService) HandleKeyed(_ types.ProcessID, key, configID, msgType s
 // States reports how many (key, config) replicas have been materialized
 // (for tests).
 func (s *ReplicaService) States() int { return s.states.Len() }
+
+// RetireConfig drops the replica value for (key, configID), reporting
+// whether state existed (lifecycle GC; see the recon service).
+func (s *ReplicaService) RetireConfig(key, configID string) bool {
+	return s.states.Delete(keystate.Ref{Key: key, Config: configID})
+}
 
 // StorageBytes reports the value bytes at rest across every replica state on
 // this server.

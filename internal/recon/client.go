@@ -212,11 +212,24 @@ var ErrSameConfiguration = errors.New("recon: configuration already installed")
 // (consensus), update-config (state transfer), finalize-config. It returns
 // the configuration actually installed — another reconfigurer's proposal
 // when consensus decides differently — plus the resulting sequence.
+//
+// A concurrent reconfigurer may finalize (and thereby garbage-collect) a
+// configuration this operation is still addressing; such phases fail with
+// the cfg.ErrRetired redirect, and Reconfig restarts from read-config —
+// which discovers the live window — a bounded number of times.
 func (cl *Client) Reconfig(ctx context.Context, proposal cfg.Configuration) (cfg.Configuration, error) {
 	if err := proposal.Validate(); err != nil {
 		return cfg.Configuration{}, fmt.Errorf("recon: proposal: %w", err)
 	}
+	var decided cfg.Configuration
+	err := cfg.RetryRetired(ctx, func() (opErr error) {
+		decided, opErr = cl.reconfigOnce(ctx, proposal)
+		return opErr
+	})
+	return decided, err
+}
 
+func (cl *Client) reconfigOnce(ctx context.Context, proposal cfg.Configuration) (cfg.Configuration, error) {
 	// Phase 1: read-config.
 	seq, err := cl.ReadConfig(ctx, cl.Sequence())
 	if err != nil {

@@ -3,14 +3,28 @@ package transport
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"github.com/ares-storage/ares/internal/types"
 )
 
 // ErrQuorumUnavailable reports that every destination responded or failed
-// without the gather predicate being satisfied.
+// without the gather predicate being satisfied. The returned error wraps the
+// last per-destination failure (match with errors.Is on this sentinel), so a
+// systematic rejection — e.g. every server answering "configuration retired"
+// — surfaces to the caller instead of dissolving into an opaque quorum
+// failure.
 var ErrQuorumUnavailable = errors.New("transport: quorum predicate unsatisfiable")
+
+// quorumUnavailable builds the wrapped failure; lastErr may be nil when no
+// destination reported an error (the predicate was simply never satisfied).
+func quorumUnavailable(lastErr error) error {
+	if lastErr == nil {
+		return ErrQuorumUnavailable
+	}
+	return fmt.Errorf("%w (last failure: %v)", ErrQuorumUnavailable, lastErr)
+}
 
 // GatherResult couples one destination's reply with its origin.
 type GatherResult[T any] struct {
@@ -65,13 +79,15 @@ func Gather[T any](
 
 	var got []GatherResult[T]
 	var failures int
+	var lastErr error
 	for {
 		select {
 		case out := <-ch:
 			if out.err != nil {
 				failures++
+				lastErr = out.err
 				if failures+len(got) == len(dsts) && !enough(got) {
-					return got, ErrQuorumUnavailable
+					return got, quorumUnavailable(lastErr)
 				}
 				continue
 			}
@@ -80,7 +96,7 @@ func Gather[T any](
 				return got, nil
 			}
 			if failures+len(got) == len(dsts) {
-				return got, ErrQuorumUnavailable
+				return got, quorumUnavailable(lastErr)
 			}
 		case <-ctx.Done():
 			return got, ctx.Err()

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// TestGatherWrapsLastFailure pins the diagnosable-quorum-failure contract:
+// when the predicate is unsatisfiable, the returned error still matches
+// ErrQuorumUnavailable via errors.Is AND carries the last per-destination
+// failure's text — the channel through which a systematic rejection (e.g.
+// "configuration retired") reaches the caller.
+func TestGatherWrapsLastFailure(t *testing.T) {
+	t.Parallel()
+	dsts := []types.ProcessID{"a", "b", "c"}
+	_, err := Gather(context.Background(), dsts,
+		func(ctx context.Context, dst types.ProcessID) (struct{}, error) {
+			return struct{}{}, errors.New("cfg: configuration retired: boom")
+		},
+		AtLeast[struct{}](1),
+	)
+	if !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("err = %v, want ErrQuorumUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), "configuration retired") {
+		t.Fatalf("per-destination failure text lost: %v", err)
+	}
+	// No destination error at all: the bare sentinel.
+	_, err = Gather(context.Background(), dsts,
+		func(ctx context.Context, dst types.ProcessID) (int, error) { return 1, nil },
+		func(got []GatherResult[int]) bool { return false },
+	)
+	if err == nil || !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("err = %v, want bare ErrQuorumUnavailable", err)
+	}
+}

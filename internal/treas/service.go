@@ -308,6 +308,13 @@ func (s *Service) StorageBytes() int {
 // tests asserting lazy creation and O(1)-in-keys service hosting).
 func (s *Service) States() int { return s.states.Len() }
 
+// RetireConfig drops the object state for (key, configID) — List, pending
+// decodes, forward dedup — reporting whether state existed. The lifecycle GC
+// calls it once the configuration's finalized successor proves it quiescent.
+func (s *Service) RetireConfig(key, configID string) bool {
+	return s.states.Delete(keystate.Ref{Key: key, Config: configID})
+}
+
 // ListSize returns how many tags one object's List holds and how many retain
 // coded elements (for tests asserting the GC bound). Missing objects report
 // zeros.

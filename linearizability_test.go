@@ -33,6 +33,7 @@ func runLinScenario(t *testing.T, sc linScenario) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	for _, c := range sc.chain {
 		for _, s := range c.Servers {
 			cluster.AddHost(s)
@@ -224,6 +225,7 @@ func TestStoreLinearizabilityMultiKeySoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	store, err := ares.NewObjectStore(cluster, template, ares.WithShardCount(4))
 	if err != nil {
 		t.Fatal(err)
@@ -352,6 +354,7 @@ func TestWorkloadDriverOverPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	ctx := context.Background()
 	w1, err := cluster.NewClient("w1")
 	if err != nil {

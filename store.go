@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/core"
@@ -41,13 +42,37 @@ type ObjectStore struct {
 
 	shards   []storeShard
 	batchPar int
+	idleTTL  time.Duration
+	now      func() time.Time
 }
 
 // storeShard holds the per-key state of one hash shard.
 type storeShard struct {
-	mu      sync.Mutex
-	clients map[string]*Client
-	recons  map[string]*Reconfigurer
+	mu        sync.Mutex
+	clients   map[string]*clientEntry
+	recons    map[string]*reconEntry
+	lastSweep time.Time
+}
+
+// clientEntry wraps a per-key register client with the bookkeeping idle
+// eviction needs: when it was last handed out, and how many operations are
+// in flight on it. Entries with in-flight operations are never evicted, so a
+// replacement client (with a possibly different pooled endpoint identity)
+// can never mint tags concurrently with its predecessor.
+type clientEntry struct {
+	client   *Client
+	lastUse  time.Time
+	inflight int
+}
+
+// reconEntry is the reconfigurer counterpart of clientEntry. Its derived
+// process identity ("<store>-recon/<key>") is the consensus proposer
+// identity, so the in-flight guard doubles as ballot-uniqueness protection:
+// a key never has two live proposers under that identity.
+type reconEntry struct {
+	recon    *Reconfigurer
+	lastUse  time.Time
+	inflight int
 }
 
 const (
@@ -62,6 +87,7 @@ type storeConfig struct {
 	shards   int
 	poolSize int
 	batchPar int
+	idleTTL  time.Duration
 }
 
 // StoreOption configures an ObjectStore.
@@ -94,6 +120,19 @@ func WithEndpointPoolSize(n int) StoreOption {
 // (default 16): at most n per-key operations are in flight per batch call.
 func WithBatchConcurrency(n int) StoreOption {
 	return func(c *storeConfig) { c.batchPar = n }
+}
+
+// WithClientIdleTTL bounds the store's per-key client cache by idleness: a
+// register client (and the key's reconfigurer) unused for at least ttl is
+// eligible for eviction, performed opportunistically as other keys in the
+// same shard are touched (amortized — at most one sweep per shard per ttl).
+// The default (0) keeps clients forever, the right call for bounded
+// keyspaces; a store that touches millions of keys should set a TTL so it
+// does not pin millions of clients. Eviction is invisible to correctness: a
+// re-touched key rebuilds its client, which rediscovers the key's current
+// configuration chain through read-config.
+func WithClientIdleTTL(ttl time.Duration) StoreOption {
+	return func(c *storeConfig) { c.idleTTL = ttl }
 }
 
 // NewObjectStore builds a store whose per-key registers are instantiated
@@ -136,10 +175,12 @@ func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*Ob
 		pool:     cluster.NewEndpointPool(sc.name+"-client", sc.poolSize),
 		shards:   make([]storeShard, sc.shards),
 		batchPar: sc.batchPar,
+		idleTTL:  sc.idleTTL,
+		now:      time.Now,
 	}
 	for i := range s.shards {
-		s.shards[i].clients = make(map[string]*Client)
-		s.shards[i].recons = make(map[string]*Reconfigurer)
+		s.shards[i].clients = make(map[string]*clientEntry)
+		s.shards[i].recons = make(map[string]*reconEntry)
 	}
 	return s, nil
 }
@@ -158,23 +199,64 @@ func (s *ObjectStore) keyConfig(key string) Config {
 	return s.template.ForKey(key)
 }
 
-// register returns (instantiating on first use) the register client for key.
-// Only keys in the same shard contend on the instantiation lock. No
-// installation happens here — the servers already know the template.
-func (s *ObjectStore) register(key string) (*Client, error) {
+// register returns (instantiating on first use) the register client for key,
+// pinned against eviction until release is called. Only keys in the same
+// shard contend on the instantiation lock. No installation happens here —
+// the servers already know the template.
+func (s *ObjectStore) register(key string) (*Client, func(), error) {
 	sh := s.shard(key)
+	now := s.now()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if c, ok := sh.clients[key]; ok {
-		return c, nil
+	s.sweepLocked(sh, now)
+	e, ok := sh.clients[key]
+	if !ok {
+		id, rpc := s.pool.Get()
+		client, err := s.cluster.NewClientVia(id, s.keyConfig(key), rpc)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, nil, err
+		}
+		e = &clientEntry{client: client}
+		sh.clients[key] = e
 	}
-	id, rpc := s.pool.Get()
-	client, err := s.cluster.NewClientVia(id, s.keyConfig(key), rpc)
-	if err != nil {
-		return nil, err
+	e.lastUse = now
+	e.inflight++
+	sh.mu.Unlock()
+
+	release := func() {
+		sh.mu.Lock()
+		// The entry may have been replaced after a Forget raced with this
+		// operation; only decrement the entry this operation pinned.
+		if cur, ok := sh.clients[key]; ok && cur == e {
+			cur.inflight--
+			cur.lastUse = s.now()
+		} else {
+			e.inflight--
+		}
+		sh.mu.Unlock()
 	}
-	sh.clients[key] = client
-	return client, nil
+	return e.client, release, nil
+}
+
+// sweepLocked opportunistically evicts the shard's idle entries. It runs at
+// most once per idleTTL per shard (so a hot shard pays one map scan per TTL
+// window, not per operation) and skips entries with operations in flight.
+// Callers hold sh.mu.
+func (s *ObjectStore) sweepLocked(sh *storeShard, now time.Time) {
+	if s.idleTTL <= 0 || now.Sub(sh.lastSweep) < s.idleTTL {
+		return
+	}
+	sh.lastSweep = now
+	for k, e := range sh.clients {
+		if e.inflight == 0 && now.Sub(e.lastUse) >= s.idleTTL {
+			delete(sh.clients, k)
+		}
+	}
+	for k, e := range sh.recons {
+		if e.inflight == 0 && now.Sub(e.lastUse) >= s.idleTTL {
+			delete(sh.recons, k)
+		}
+	}
 }
 
 // Put atomically sets key to value.
@@ -186,10 +268,11 @@ func (s *ObjectStore) Put(ctx context.Context, key string, value Value) error {
 // WriteKey is Put returning the tag assigned to the written value — the
 // handle linearizability checkers need.
 func (s *ObjectStore) WriteKey(ctx context.Context, key string, value Value) (Tag, error) {
-	c, err := s.register(key)
+	c, release, err := s.register(key)
 	if err != nil {
 		return Tag{}, err
 	}
+	defer release()
 	return c.Write(ctx, value)
 }
 
@@ -205,10 +288,11 @@ func (s *ObjectStore) Get(ctx context.Context, key string) (Value, error) {
 
 // ReadKey is Get returning the full tag-value pair.
 func (s *ObjectStore) ReadKey(ctx context.Context, key string) (Pair, error) {
-	c, err := s.register(key)
+	c, release, err := s.register(key)
 	if err != nil {
 		return Pair{}, err
 	}
+	defer release()
 	return c.Read(ctx)
 }
 
@@ -331,35 +415,112 @@ func (s *ObjectStore) MultiGet(ctx context.Context, keys ...string) (map[string]
 // ReconfigureKey migrates one key's register to a new configuration while
 // reads and writes on that key (and all others) continue.
 func (s *ObjectStore) ReconfigureKey(ctx context.Context, key string, next Config, opts ReconOptions) error {
-	if _, err := s.register(key); err != nil {
+	_, release, err := s.register(key)
+	if err != nil {
 		return err
 	}
+	defer release()
 	// The reconfigurer is created under the shard lock: its derived process
 	// ID is the consensus proposer identity, and ballot uniqueness requires
 	// that concurrent proposers never share one — racing first calls must
-	// not each build a live "store-recon/<key>" proposer.
+	// not each build a live "store-recon/<key>" proposer. The in-flight pin
+	// extends the same guarantee across eviction: an entry mid-Reconfig is
+	// never swept, so the identity is never duplicated.
 	sh := s.shard(key)
 	sh.mu.Lock()
-	g, ok := sh.recons[key]
+	e, ok := sh.recons[key]
 	if !ok {
-		var err error
-		g, err = s.cluster.NewReconfigurerFor(ProcessID(s.name+"-recon/"+key), s.keyConfig(key), opts)
+		g, err := s.cluster.NewReconfigurerFor(ProcessID(s.name+"-recon/"+key), s.keyConfig(key), opts)
 		if err != nil {
 			sh.mu.Unlock()
 			return err
 		}
-		sh.recons[key] = g
+		e = &reconEntry{recon: g}
+		sh.recons[key] = e
 	}
+	e.lastUse = s.now()
+	e.inflight++
 	sh.mu.Unlock()
+	defer func() {
+		sh.mu.Lock()
+		e.inflight--
+		e.lastUse = s.now()
+		sh.mu.Unlock()
+	}()
 	for _, srv := range next.Servers {
 		s.cluster.AddHost(srv)
 	}
 	// Bind the proposal to this key (ForKey also expands a template ID), so
 	// its messages route to this key's state on every server.
-	if _, err := g.Reconfig(ctx, next.ForKey(key)); err != nil {
+	if _, err := e.recon.Reconfig(ctx, next.ForKey(key)); err != nil {
 		return fmt.Errorf("ares: reconfiguring key %q: %w", key, err)
 	}
 	return nil
+}
+
+// Forget drops key's cached register client and reconfigurer, if any,
+// reporting whether anything was dropped — the explicit counterpart of idle
+// eviction for callers that know a key has gone cold (mirrors
+// dap.Cache.Retain's role one layer down). Like the idle sweeps, Forget
+// skips entries with operations in flight: the entry's identity (a pooled
+// endpoint for clients, the derived consensus-proposer process ID for
+// reconfigurers) must never be live twice, so an in-flight entry survives
+// and a later Forget — or the TTL sweep — collects it once it quiesces.
+func (s *ObjectStore) Forget(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dropped := false
+	if e, ok := sh.clients[key]; ok && e.inflight == 0 {
+		delete(sh.clients, key)
+		dropped = true
+	}
+	if e, ok := sh.recons[key]; ok && e.inflight == 0 {
+		delete(sh.recons, key)
+		dropped = true
+	}
+	return dropped
+}
+
+// EvictIdle immediately evicts every cached client and reconfigurer idle for
+// at least olderThan (zero evicts everything not in flight), returning how
+// many entries were dropped. It complements the TTL's opportunistic, amortized
+// sweeps with an explicit full sweep — e.g. after a bulk load, or from a
+// memory-pressure hook.
+func (s *ObjectStore) EvictIdle(olderThan time.Duration) int {
+	now := s.now()
+	evicted := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.clients {
+			if e.inflight == 0 && now.Sub(e.lastUse) >= olderThan {
+				delete(sh.clients, k)
+				evicted++
+			}
+		}
+		for k, e := range sh.recons {
+			if e.inflight == 0 && now.Sub(e.lastUse) >= olderThan {
+				delete(sh.recons, k)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// ClientCount reports how many per-key clients and reconfigurers the store
+// currently caches (for tests and capacity monitoring).
+func (s *ObjectStore) ClientCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.clients) + len(sh.recons)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Keys returns the keys with instantiated registers, in no particular order.

@@ -3,6 +3,7 @@ package ares
 import (
 	"hash/fnv"
 	"testing"
+	"time"
 )
 
 // newShardProbe builds a minimally-initialized store for shard-placement
@@ -46,5 +47,61 @@ func BenchmarkStoreShardLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.shard("benchmark-key/with-some-length")
+	}
+}
+
+// TestClientIdleTTLEvictsOpportunistically pins the bounded client cache
+// with a fake clock: entries idle past the TTL are swept as the shard is
+// re-touched, at most once per TTL window, and in-flight entries survive.
+func TestClientIdleTTLEvictsOpportunistically(t *testing.T) {
+	t.Parallel()
+	now := time.Unix(1000, 0)
+	s := &ObjectStore{
+		shards:  make([]storeShard, 1),
+		idleTTL: time.Minute,
+		now:     func() time.Time { return now },
+	}
+	s.shards[0].clients = map[string]*clientEntry{
+		"idle":     {lastUse: now.Add(-2 * time.Minute)},
+		"fresh":    {lastUse: now.Add(-time.Second)},
+		"inflight": {lastUse: now.Add(-time.Hour), inflight: 1},
+	}
+	s.shards[0].recons = map[string]*reconEntry{
+		"idle": {lastUse: now.Add(-2 * time.Minute)},
+	}
+
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	s.sweepLocked(sh, now)
+	sh.mu.Unlock()
+	if _, ok := sh.clients["idle"]; ok {
+		t.Fatal("idle client survived the sweep")
+	}
+	if _, ok := sh.recons["idle"]; ok {
+		t.Fatal("idle reconfigurer survived the sweep")
+	}
+	if _, ok := sh.clients["fresh"]; !ok {
+		t.Fatal("fresh client evicted")
+	}
+	if _, ok := sh.clients["inflight"]; !ok {
+		t.Fatal("in-flight client evicted — tag-uniqueness guard broken")
+	}
+
+	// The sweep is amortized: within the same TTL window another pass is a
+	// no-op even for newly idle entries.
+	sh.clients["idle2"] = &clientEntry{lastUse: now.Add(-2 * time.Minute)}
+	sh.mu.Lock()
+	s.sweepLocked(sh, now.Add(time.Second))
+	sh.mu.Unlock()
+	if _, ok := sh.clients["idle2"]; !ok {
+		t.Fatal("second sweep ran inside the same TTL window")
+	}
+	// Past the window it evicts again.
+	now = now.Add(2 * time.Minute)
+	sh.mu.Lock()
+	s.sweepLocked(sh, now)
+	sh.mu.Unlock()
+	if _, ok := sh.clients["idle2"]; ok {
+		t.Fatal("idle client survived the next-window sweep")
 	}
 }

@@ -18,6 +18,7 @@ func keyedFixture(t *testing.T) (*ares.ObjectStore, *ares.Cluster, *ares.Network
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	template := ares.Config{Algorithm: ares.TREAS, Servers: servers, K: 3, Delta: 8}
 	store, err := ares.NewObjectStore(cluster, template)
 	if err != nil {

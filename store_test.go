@@ -19,6 +19,7 @@ func storeFixture(t *testing.T) (*ares.ObjectStore, *ares.Cluster, []ares.Proces
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	store, err := ares.NewObjectStore(cluster, ares.Config{
 		Algorithm: ares.TREAS,
 		Servers:   servers,
@@ -287,6 +288,7 @@ func TestObjectStoreValidatesTemplate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	cases := map[string]ares.Config{
 		"bogus-algorithm": {Algorithm: "bogus", Servers: []ares.ProcessID{"v-s1"}},
 		"no-servers":      {Algorithm: ares.ABD},
@@ -312,6 +314,7 @@ func TestRepairServerPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(cluster.Close)
 	ctx := context.Background()
 	w, err := cluster.NewClient("w1")
 	if err != nil {
