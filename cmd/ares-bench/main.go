@@ -67,12 +67,28 @@ func run() error {
 		chaosRun  = flag.Bool("chaos", false, "run the adversarial chaos scenario matrix with linearizability verdicts")
 		scenarios = flag.String("scenario", "", "chaos suite: comma-separated scenario names (default: the whole matrix)")
 		stretch   = flag.Float64("stretch", 1, "chaos suite: scenario duration multiplier (soaks use > 1)")
-		verbose   = flag.Bool("v", false, "chaos suite: log applied fault events and reconfigurations")
+		verbose   = flag.Bool("v", false, "chaos/tcp suite: log fault events (chaos) or server output (tcp)")
+		tcpRun    = flag.Bool("tcp", false, "run the real-network suite against a spawned multi-process ares-server cluster")
+		tcpSrvs   = flag.Int("tcp-servers", 3, "tcp suite: number of ares-server processes to spawn (min 3)")
+		serverBin = flag.String("server-bin", "", "tcp suite: prebuilt ares-server binary (default: go build from the module)")
 	)
 	flag.Parse()
 
 	if *chaosRun {
 		return runChaosSuite(*scenarios, chaos.SeedFromEnv(*seed), *stretch, *jsonPath, *verbose)
+	}
+	if *tcpRun {
+		return runTCPSuite(tcpSuiteParams{
+			servers:   *tcpSrvs,
+			duration:  *duration,
+			workers:   *workers,
+			keys:      *keys,
+			valSize:   *valSize,
+			seed:      *seed,
+			jsonPath:  *jsonPath,
+			serverBin: *serverBin,
+			verbose:   *verbose,
+		})
 	}
 	if *store || *jsonPath != "" {
 		return runStoreSuite(storeSuiteParams{

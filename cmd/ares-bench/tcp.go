@@ -1,0 +1,686 @@
+package main
+
+// The -tcp suite: the real-network counterpart of -store. It spawns an
+// actual multi-process ares-server cluster on loopback TCP (one OS process
+// per server, wired through the same -peers/-bootstrap flags an operator
+// would use), then drives it through named phases and emits BENCH_tcp.json.
+//
+// The suite definition follows golang/benchmarks bent's suites.toml shape:
+// a versioned suite with named entries and their defaults, so the JSON
+// trajectory stays comparable run over run:
+//
+//   - smoke-rw: one write+read on the bootstrap register, end to end.
+//   - pipelining: concurrent Invokes multiplexed over ONE connection; the
+//     speedup of N workers over 1 is the evidence that the data plane
+//     pipelines instead of serializing on a per-connection lock.
+//   - codec: an identical fixed operation mix against a binary-wire cluster
+//     and a gob-wire cluster, attributing client-side wire bytes per
+//     operation to each format via transport.CodecStats. The binary codec
+//     must come out smaller.
+//   - workloads: the store workload phases (uniform/zipfian, read/write
+//     mixes) from the simnet suite, over real sockets.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/benchutil"
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/core"
+	"github.com/ares-storage/ares/internal/spec"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+	"github.com/ares-storage/ares/internal/workload"
+)
+
+// tcpSuiteVersion versions the BENCH_tcp.json schema (bent-style: the suite
+// is a name plus a version, so downstream tooling can detect shape changes).
+const tcpSuiteVersion = 1
+
+// tcpSuiteParams parameterizes one -tcp invocation.
+type tcpSuiteParams struct {
+	servers   int
+	duration  time.Duration
+	workers   int
+	keys      int
+	valSize   int
+	seed      int64
+	jsonPath  string
+	serverBin string
+	verbose   bool
+}
+
+// tcpWorkloads is the named workload matrix the suite runs over real
+// sockets — a subset of the simnet storeSuite (real RTTs make each op ~two
+// orders of magnitude slower than simnet, so the suite keeps the three
+// mixes that span the space).
+var tcpWorkloads = []storeWorkload{
+	{Name: "tcp-read-heavy-uniform", WriteRatio: 0.05},
+	{Name: "tcp-balanced-zipfian", WriteRatio: 0.50, Theta: 0.99},
+	{Name: "tcp-write-heavy-uniform", WriteRatio: 0.95},
+}
+
+// tcpPipelineWorkers is the concurrency of the pipelining phase's parallel
+// leg (its sequential leg is always 1 worker).
+const tcpPipelineWorkers = 32
+
+// codecOpsPerKind fixes the operation count of the codec-comparison phase:
+// identical traffic against both wire formats, so bytes/op is attributable
+// to the codec alone.
+const codecOpsPerKind = 300
+
+// tcpSmokeResult records the end-to-end write/read on the bootstrap
+// register.
+type tcpSmokeResult struct {
+	WriteMicros float64 `json:"write_us"`
+	ReadMicros  float64 `json:"read_us"`
+}
+
+// tcpPipelineResult demonstrates multiplexing: ops/s of N concurrent
+// invokers over one connection vs a single sequential invoker.
+type tcpPipelineResult struct {
+	Workers             int     `json:"workers"`
+	SequentialOpsPerSec float64 `json:"workers_1_ops_per_sec"`
+	PipelinedOpsPerSec  float64 `json:"workers_n_ops_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// tcpCodecSample is one wire format's measured cost for the fixed op mix.
+type tcpCodecSample struct {
+	Ops           int     `json:"ops"`
+	WireOutBytes  int64   `json:"wire_out_bytes"`
+	WireInBytes   int64   `json:"wire_in_bytes"`
+	OutBytesPerOp float64 `json:"out_bytes_per_op"`
+	InBytesPerOp  float64 `json:"in_bytes_per_op"`
+	FramesPerOp   float64 `json:"frames_per_op"`
+	SecondsTotal  float64 `json:"seconds_total"`
+}
+
+// tcpCodecResult is the binary-vs-gob comparison; savings_ratio is
+// gob/binary on client→server encoded bytes (>1 means binary is smaller).
+type tcpCodecResult struct {
+	Binary       tcpCodecSample `json:"binary"`
+	Gob          tcpCodecSample `json:"gob"`
+	SavingsRatio float64        `json:"savings_ratio"`
+}
+
+// tcpSuiteSummary is the machine-readable artifact -tcp -json emits.
+type tcpSuiteSummary struct {
+	Generated  string             `json:"generated"`
+	Suite      string             `json:"suite"`
+	Version    int                `json:"version"`
+	Servers    int                `json:"servers"`
+	Wire       string             `json:"wire"`
+	DurationMS int64              `json:"duration_ms_per_workload"`
+	Workers    int                `json:"workers"`
+	Keys       int                `json:"keys"`
+	ValueSize  int                `json:"value_size"`
+	Seed       int64              `json:"seed"`
+	Smoke      *tcpSmokeResult    `json:"smoke,omitempty"`
+	Pipelining *tcpPipelineResult `json:"pipelining,omitempty"`
+	Codec      *tcpCodecResult    `json:"codec,omitempty"`
+	Workloads  []workloadResult   `json:"workloads"`
+}
+
+// --- multi-process cluster management ---
+
+// tcpCluster is a set of spawned ares-server processes plus the address
+// book to reach them.
+type tcpCluster struct {
+	ids   []types.ProcessID
+	book  map[types.ProcessID]string
+	wire  ares.WireFormat
+	procs []*exec.Cmd
+	logs  []*strings.Builder
+}
+
+// freeLoopbackAddrs reserves n distinct loopback ports by binding and
+// immediately releasing them. The tiny window before the server rebinds is
+// acceptable on a bench host.
+func freeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			_ = ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// resolveServerBin returns the ares-server binary to spawn: the -server-bin
+// flag if given, else a fresh `go build` into dir (the bench always runs
+// from the module root in CI and local use).
+func resolveServerBin(flagValue, dir string) (string, error) {
+	if flagValue != "" {
+		return flagValue, nil
+	}
+	bin := filepath.Join(dir, "ares-server")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/ares-server")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("tcp suite: building ares-server (pass -server-bin to skip): %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// spawnTCPCluster starts n ares-server processes with a shared address book
+// and the given bootstrap spec, and waits until every one answers on its
+// control service.
+func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstrap string) (*tcpCluster, error) {
+	addrs, err := freeLoopbackAddrs(p.servers)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpCluster{book: make(map[types.ProcessID]string, p.servers), wire: wire}
+	var peers []string
+	for i, addr := range addrs {
+		id := types.ProcessID(fmt.Sprintf("s%d", i+1))
+		c.ids = append(c.ids, id)
+		c.book[id] = addr
+		peers = append(peers, fmt.Sprintf("%s=%s", id, addr))
+	}
+	peersFlag := strings.Join(peers, ",")
+
+	for i, id := range c.ids {
+		args := []string{
+			"-id", string(id),
+			"-listen", addrs[i],
+			"-peers", peersFlag,
+			"-wire", string(wire),
+		}
+		if bootstrap != "" {
+			args = append(args, "-bootstrap", bootstrap)
+		}
+		cmd := exec.Command(bin, args...)
+		logBuf := &strings.Builder{}
+		if p.verbose {
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+		} else {
+			cmd.Stdout = logBuf
+			cmd.Stderr = logBuf
+		}
+		if err := cmd.Start(); err != nil {
+			c.stop()
+			return nil, fmt.Errorf("tcp suite: starting %s: %w", id, err)
+		}
+		c.procs = append(c.procs, cmd)
+		c.logs = append(c.logs, logBuf)
+	}
+
+	if err := c.awaitReady(p); err != nil {
+		logs := c.tail()
+		c.stop()
+		return nil, fmt.Errorf("%w\nserver output:\n%s", err, logs)
+	}
+	return c, nil
+}
+
+// awaitReady pings every server's control service until it answers (any
+// response, including an application error, proves the data plane is up).
+func (c *tcpCluster) awaitReady(p tcpSuiteParams) error {
+	rpc := ares.NewTCPClient("bench-probe", c.book, ares.WithWireFormat(c.wire))
+	defer rpc.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for _, id := range c.ids {
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+			_, err := rpc.Invoke(ctx, id, transport.Request{
+				Service: core.CtlServiceName, Config: core.CtlConfigKey, Type: "ping",
+			})
+			cancel()
+			if err == nil {
+				break // a response arrived; the server is serving
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("tcp suite: server %s not ready after 15s: %v", id, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// tail returns the accumulated (non-verbose) server output for diagnostics.
+func (c *tcpCluster) tail() string {
+	var b strings.Builder
+	for i, lb := range c.logs {
+		if lb != nil && lb.Len() > 0 {
+			fmt.Fprintf(&b, "--- %s ---\n%s", c.ids[i], lb.String())
+		}
+	}
+	return b.String()
+}
+
+// stop terminates the processes (SIGTERM, then SIGKILL after a grace
+// period) and reaps them.
+func (c *tcpCluster) stop() {
+	for _, cmd := range c.procs {
+		if cmd.Process != nil {
+			_ = cmd.Process.Signal(os.Interrupt)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, cmd := range c.procs {
+			_ = cmd.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		for _, cmd := range c.procs {
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+			}
+		}
+		<-done
+	}
+}
+
+// --- the TCP-backed multi-key store the workload driver runs against ---
+
+// tcpKeyStore adapts per-key remote register clients to workload.Store.
+// It is the client-side shape of a real deployment: each key's client
+// discovers its configuration chain from the installed template, over the
+// shared TCP transport.
+type tcpKeyStore struct {
+	template ares.Config
+	rpc      transport.Client
+
+	mu      sync.Mutex
+	clients map[string]*ares.Client
+}
+
+func newTCPKeyStore(template ares.Config, rpc transport.Client) *tcpKeyStore {
+	return &tcpKeyStore{template: template, rpc: rpc, clients: make(map[string]*ares.Client)}
+}
+
+func (s *tcpKeyStore) client(key string) (*ares.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.clients[key]; ok {
+		return c, nil
+	}
+	c, err := ares.NewRemoteClient(types.ProcessID("bench-tcp/"+key), s.template.ForKey(key), s.rpc)
+	if err != nil {
+		return nil, err
+	}
+	s.clients[key] = c
+	return c, nil
+}
+
+func (s *tcpKeyStore) Put(ctx context.Context, key string, v types.Value) error {
+	c, err := s.client(key)
+	if err != nil {
+		return err
+	}
+	return c.WriteValue(ctx, v)
+}
+
+func (s *tcpKeyStore) Get(ctx context.Context, key string) (types.Value, error) {
+	c, err := s.client(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadValue(ctx)
+}
+
+// --- phases ---
+
+// tcpTemplateFor builds the per-key template the suite installs remotely:
+// ABD over every spawned server (quorum ⌈(n+1)/2⌉ — with 3+ servers the
+// cluster is the paper's minimum fault-tolerant deployment).
+func tcpTemplateFor(c *tcpCluster) ares.Config {
+	return ares.Config{
+		ID:        ares.ConfigID("tcpbench/" + cfg.KeyPlaceholder + "/c0"),
+		Algorithm: ares.ABD,
+		Servers:   append([]types.ProcessID(nil), c.ids...),
+	}
+}
+
+// tcpBootstrapSpec is the -bootstrap flag value for the default register:
+// the same ABD server set, provisioned at process start through the flag
+// path (the suite's smoke phase reads and writes this register).
+func tcpBootstrapSpec(ids []types.ProcessID) (string, ares.Config) {
+	c := cfg.Configuration{
+		ID:        "tcpbench/c0",
+		Algorithm: cfg.ABD,
+		Servers:   append([]types.ProcessID(nil), ids...),
+	}
+	return spec.Format(c), c
+}
+
+// runTCPSmoke does one write and one read on the bootstrap register.
+func runTCPSmoke(rpc transport.Client, c0 ares.Config) (*tcpSmokeResult, error) {
+	client, err := ares.NewRemoteClient("bench-smoke", c0, rpc)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := client.WriteValue(ctx, types.Value("hello over tcp")); err != nil {
+		return nil, fmt.Errorf("smoke write: %w", err)
+	}
+	wrote := time.Since(start)
+	start = time.Now()
+	v, err := client.ReadValue(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("smoke read: %w", err)
+	}
+	if string(v) != "hello over tcp" {
+		return nil, fmt.Errorf("smoke read returned %q", v)
+	}
+	return &tcpSmokeResult{
+		WriteMicros: float64(wrote) / float64(time.Microsecond),
+		ReadMicros:  float64(time.Since(start)) / float64(time.Microsecond),
+	}, nil
+}
+
+// pingOps drives control-service pings at a server for d with the given
+// concurrency, all multiplexed over the client's single connection to that
+// server, and returns completed ops.
+func pingOps(rpc transport.Client, dst types.ProcessID, workers int, d time.Duration) (int64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var ops atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				_, err := rpc.Invoke(ctx, dst, transport.Request{
+					Service: core.CtlServiceName, Config: core.CtlConfigKey, Type: "ping",
+				})
+				if err != nil {
+					if ctx.Err() == nil {
+						firstErr.CompareAndSwap(nil, err)
+					}
+					return
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return ops.Load(), nil
+}
+
+// runTCPPipelining measures single-connection multiplexing: N workers'
+// aggregate ops/s over one connection vs a lone sequential caller. A data
+// plane that serializes requests per connection (the pre-PR 6 design under
+// load) cannot beat the sequential rate by much; a pipelined one scales
+// until the server saturates.
+func runTCPPipelining(rpc transport.Client, dst types.ProcessID, d time.Duration) (*tcpPipelineResult, error) {
+	if d > time.Second {
+		d = time.Second
+	}
+	// Warm the connection so neither leg pays the dial.
+	if _, err := pingOps(rpc, dst, 1, 50*time.Millisecond); err != nil {
+		return nil, err
+	}
+	solo, err := pingOps(rpc, dst, 1, d)
+	if err != nil {
+		return nil, err
+	}
+	piped, err := pingOps(rpc, dst, tcpPipelineWorkers, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &tcpPipelineResult{
+		Workers:             tcpPipelineWorkers,
+		SequentialOpsPerSec: float64(solo) / d.Seconds(),
+		PipelinedOpsPerSec:  float64(piped) / d.Seconds(),
+	}
+	if solo > 0 {
+		res.Speedup = float64(piped) / float64(solo)
+	}
+	return res, nil
+}
+
+// runCodecLeg spawns a cluster in one wire format, installs the template,
+// runs the fixed op mix, and attributes the client-side wire-counter deltas
+// to it.
+func runCodecLeg(p tcpSuiteParams, bin string, wire ares.WireFormat) (*tcpCodecSample, error) {
+	cluster, err := spawnTCPCluster(p, bin, wire, "") // keyed template only; no bootstrap register
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.stop()
+
+	rpc := ares.NewTCPClient("bench-codec", cluster.book, ares.WithWireFormat(wire))
+	defer rpc.Close()
+	template := tcpTemplateFor(cluster)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := core.RemoteInstaller(rpc)(ctx, template); err != nil {
+		return nil, fmt.Errorf("installing template (%s): %w", wire, err)
+	}
+	store := newTCPKeyStore(template, rpc)
+	value := make(types.Value, p.valSize)
+	keys := p.keys
+	if keys > 32 {
+		keys = 32 // the codec phase wants steady-state traffic, not first-touch churn
+	}
+
+	before := transport.CodecStats()
+	start := time.Now()
+	var ops int
+	for i := 0; i < codecOpsPerKind; i++ {
+		key := fmt.Sprintf("codec-%04d", i%keys)
+		if err := store.Put(ctx, key, value); err != nil {
+			return nil, fmt.Errorf("codec put (%s): %w", wire, err)
+		}
+		ops++
+		if _, err := store.Get(ctx, key); err != nil {
+			return nil, fmt.Errorf("codec get (%s): %w", wire, err)
+		}
+		ops++
+	}
+	elapsed := time.Since(start)
+	after := transport.CodecStats()
+
+	s := &tcpCodecSample{
+		Ops:          ops,
+		WireOutBytes: after.WireEncodedBytes - before.WireEncodedBytes,
+		WireInBytes:  after.WireDecodedBytes - before.WireDecodedBytes,
+		SecondsTotal: elapsed.Seconds(),
+	}
+	s.OutBytesPerOp = float64(s.WireOutBytes) / float64(ops)
+	s.InBytesPerOp = float64(s.WireInBytes) / float64(ops)
+	s.FramesPerOp = float64(after.WireEncodes-before.WireEncodes) / float64(ops)
+	return s, nil
+}
+
+// runTCPCodecComparison runs the fixed mix against both formats and checks
+// the binary codec's bytes/op beats gob's.
+func runTCPCodecComparison(p tcpSuiteParams, bin string) (*tcpCodecResult, error) {
+	binary, err := runCodecLeg(p, bin, ares.WireBinary)
+	if err != nil {
+		return nil, err
+	}
+	gob, err := runCodecLeg(p, bin, ares.WireGob)
+	if err != nil {
+		return nil, err
+	}
+	res := &tcpCodecResult{Binary: *binary, Gob: *gob}
+	if binary.OutBytesPerOp > 0 {
+		res.SavingsRatio = gob.OutBytesPerOp / binary.OutBytesPerOp
+	}
+	if binary.OutBytesPerOp >= gob.OutBytesPerOp {
+		return res, fmt.Errorf("codec phase: binary wire %.1f B/op is not smaller than gob %.1f B/op",
+			binary.OutBytesPerOp, gob.OutBytesPerOp)
+	}
+	return res, nil
+}
+
+// runTCPSuite is the -tcp entry point.
+func runTCPSuite(p tcpSuiteParams) error {
+	if p.servers < 3 {
+		p.servers = 3 // the minimum fault-tolerant quorum deployment
+	}
+	if p.workers < 1 {
+		p.workers = 1
+	}
+	tmpDir, err := os.MkdirTemp("", "ares-bench-tcp-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmpDir)
+	bin, err := resolveServerBin(p.serverBin, tmpDir)
+	if err != nil {
+		return err
+	}
+
+	summary := tcpSuiteSummary{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Suite:      "tcp-multiprocess",
+		Version:    tcpSuiteVersion,
+		Servers:    p.servers,
+		Wire:       string(ares.WireBinary),
+		DurationMS: p.duration.Milliseconds(),
+		Workers:    p.workers,
+		Keys:       p.keys,
+		ValueSize:  p.valSize,
+		Seed:       p.seed,
+	}
+
+	// Main cluster: binary wire, bootstrap register installed through the
+	// -bootstrap flag on every server. spawnTCPCluster names servers
+	// s1..sN, so the spec can be built up front.
+	ids := make([]types.ProcessID, p.servers)
+	for i := range ids {
+		ids[i] = types.ProcessID(fmt.Sprintf("s%d", i+1))
+	}
+	bootstrapSpec, c0 := tcpBootstrapSpec(ids)
+
+	fmt.Printf("== TCP: multi-process suite (%d ares-server processes on loopback, wire=%s)\n",
+		p.servers, summary.Wire)
+	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, bootstrapSpec)
+	if err != nil {
+		return err
+	}
+	defer cluster.stop()
+
+	rpc := ares.NewTCPClient("bench-tcp", cluster.book)
+	defer rpc.Close()
+
+	// Phase: smoke.
+	smoke, err := runTCPSmoke(rpc, c0)
+	if err != nil {
+		return fmt.Errorf("tcp suite smoke: %w\n%s", err, cluster.tail())
+	}
+	summary.Smoke = smoke
+	fmt.Printf("  smoke-rw: write %.0fµs, read %.0fµs (bootstrap register, %d-server ABD quorum)\n",
+		smoke.WriteMicros, smoke.ReadMicros, p.servers)
+
+	// Phase: pipelining.
+	pipe, err := runTCPPipelining(rpc, cluster.ids[0], p.duration)
+	if err != nil {
+		return fmt.Errorf("tcp suite pipelining: %w", err)
+	}
+	summary.Pipelining = pipe
+	fmt.Printf("  pipelining: 1 worker %.0f ops/s → %d workers %.0f ops/s over one connection (%.1fx)\n",
+		pipe.SequentialOpsPerSec, pipe.Workers, pipe.PipelinedOpsPerSec, pipe.Speedup)
+
+	// Phase: workloads over the keyed template.
+	template := tcpTemplateFor(cluster)
+	installCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = core.RemoteInstaller(rpc)(installCtx, template)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("tcp suite: installing template: %w", err)
+	}
+	table := benchutil.NewTable("workload", "ops", "errs", "ops/s", "keys", "read p50", "read p99", "write p50", "write p99")
+	for _, w := range tcpWorkloads {
+		store := newTCPKeyStore(template, rpc)
+		readLat := benchutil.NewLatencyRecorder()
+		writeLat := benchutil.NewLatencyRecorder()
+		d := workload.MultiDriver{
+			Workers:    p.workers,
+			WriteRatio: w.WriteRatio,
+			Duration:   p.duration,
+			ValueSize:  p.valSize,
+			Keys:       p.keys,
+			Theta:      w.Theta,
+			Seed:       p.seed,
+			OnLatency: func(write bool, lat time.Duration) {
+				if write {
+					writeLat.Record(lat)
+				} else {
+					readLat.Record(lat)
+				}
+			},
+		}
+		stats, err := d.Run(context.Background(), store)
+		if err != nil {
+			return fmt.Errorf("tcp suite %s: %w", w.Name, err)
+		}
+		rs, ws := readLat.Summarize(), writeLat.Summarize()
+		table.AddRow(w.Name, stats.Ops(), stats.ReadErrs+stats.WriteErrs, stats.Throughput(),
+			stats.KeysTouched, rs.P50, rs.P99, ws.P50, ws.P99)
+		summary.Workloads = append(summary.Workloads, workloadResult{
+			Name:        w.Name,
+			WriteRatio:  w.WriteRatio,
+			Theta:       w.Theta,
+			Ops:         stats.Ops(),
+			Errors:      stats.ReadErrs + stats.WriteErrs,
+			OpsPerSec:   stats.Throughput(),
+			KeysTouched: stats.KeysTouched,
+			Read:        toLatencySummary(rs),
+			Write:       toLatencySummary(ws),
+		})
+	}
+	fmt.Println()
+	table.Render(os.Stdout)
+
+	// Phase: codec comparison (spawns its own clusters, one per format, so
+	// the main cluster's traffic doesn't pollute the counters).
+	codec, err := runTCPCodecComparison(p, bin)
+	if codec != nil {
+		summary.Codec = codec
+		fmt.Printf("\n  codec: binary %.0f B/op out (%.1f frames/op) vs gob %.0f B/op — %.2fx smaller on the wire\n",
+			codec.Binary.OutBytesPerOp, codec.Binary.FramesPerOp, codec.Gob.OutBytesPerOp, codec.SavingsRatio)
+	}
+	if err != nil {
+		return fmt.Errorf("tcp suite: %w", err)
+	}
+
+	if p.jsonPath != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  → %s\n", p.jsonPath)
+	}
+	return nil
+}

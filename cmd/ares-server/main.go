@@ -37,6 +37,7 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		peers     = flag.String("peers", "", "address book: id=addr,id=addr,... (required)")
 		bootstrap = flag.String("bootstrap", "", "initial configuration spec (optional; see package doc)")
+		wire      = flag.String("wire", "binary", "wire format: binary (compact framing) or gob (legacy); must match peers and clients")
 	)
 	flag.Parse()
 	if *id == "" || *peers == "" {
@@ -48,7 +49,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := ares.NewServer(ares.ProcessID(*id), *listen, book)
+	wireFormat, err := ares.ParseWireFormat(*wire)
+	if err != nil {
+		return err
+	}
+	srv, err := ares.NewServer(ares.ProcessID(*id), *listen, book, ares.WithWireFormat(wireFormat))
 	if err != nil {
 		return err
 	}

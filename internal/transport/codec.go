@@ -37,6 +37,14 @@ type CodecUsage struct {
 	// EncodedBytes and DecodedBytes total the payload sizes processed.
 	EncodedBytes int64
 	DecodedBytes int64
+	// WireEncodes and WireDecodes count TCP frames written/read, and
+	// WireEncodedBytes/WireDecodedBytes the socket bytes they moved —
+	// whole envelopes including framing, not just bodies. The tcp bench
+	// compares wire formats (binary vs gob) on these.
+	WireEncodes      int64
+	WireDecodes      int64
+	WireEncodedBytes int64
+	WireDecodedBytes int64
 }
 
 type codecCounters struct {
@@ -44,6 +52,11 @@ type codecCounters struct {
 	decodes      atomic.Int64
 	encodedBytes atomic.Int64
 	decodedBytes atomic.Int64
+
+	wireEncodes      atomic.Int64
+	wireDecodes      atomic.Int64
+	wireEncodedBytes atomic.Int64
+	wireDecodedBytes atomic.Int64
 }
 
 var codecStats codecCounters
@@ -53,10 +66,14 @@ var codecStats codecCounters
 // read it to verify that one quorum phase costs one body encode.
 func CodecStats() CodecUsage {
 	return CodecUsage{
-		Encodes:      codecStats.encodes.Load(),
-		Decodes:      codecStats.decodes.Load(),
-		EncodedBytes: codecStats.encodedBytes.Load(),
-		DecodedBytes: codecStats.decodedBytes.Load(),
+		Encodes:          codecStats.encodes.Load(),
+		Decodes:          codecStats.decodes.Load(),
+		EncodedBytes:     codecStats.encodedBytes.Load(),
+		DecodedBytes:     codecStats.decodedBytes.Load(),
+		WireEncodes:      codecStats.wireEncodes.Load(),
+		WireDecodes:      codecStats.wireDecodes.Load(),
+		WireEncodedBytes: codecStats.wireEncodedBytes.Load(),
+		WireDecodedBytes: codecStats.wireDecodedBytes.Load(),
 	}
 }
 
@@ -66,6 +83,10 @@ func ResetCodecStats() {
 	codecStats.decodes.Store(0)
 	codecStats.encodedBytes.Store(0)
 	codecStats.decodedBytes.Store(0)
+	codecStats.wireEncodes.Store(0)
+	codecStats.wireDecodes.Store(0)
+	codecStats.wireEncodedBytes.Store(0)
+	codecStats.wireDecodedBytes.Store(0)
 }
 
 // Marshal gob-encodes a message body for use as a Request or Response

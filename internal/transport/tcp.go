@@ -2,27 +2,134 @@ package transport
 
 import (
 	"context"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/ares-storage/ares/internal/types"
 )
 
-// The TCP wire protocol: each connection carries a gob stream of envelopes.
-// A client opens one connection per destination and multiplexes requests by
-// ID; the server answers on the same connection.
+// The TCP data plane. Each client keeps one connection per peer and
+// multiplexes every in-flight request over it:
+//
+//	Invoke ──► pending[id] ──► send queue ──► writer goroutine ──► socket
+//	Invoke ◄── pending[id] ◄── read loop   ◄───────────────────── socket
+//
+// The writer goroutine is the only code that touches the outbound socket:
+// Invoke enqueues a frame and waits on its response channel, so no caller
+// ever holds a lock across a syscall, a peer with a full send buffer delays
+// only callers targeting that peer (and only once the bounded queue fills),
+// and teardown never waits behind a blocked write. The writer drains its
+// queue before flushing, so concurrent quorum phases share flush syscalls
+// — that is the pipelining the bench suite measures. Responses route back
+// by request ID; a torn-down connection fails every pending request with
+// ErrUnreachable.
+//
+// Frames are encoded by the wire codec (wire.go): compact length-prefixed
+// binary by default, legacy gob streams for comparison/compatibility.
 
+// tcpEnvelope is one request frame: the multiplexing ID, the caller's
+// identity, and the request proper.
 type tcpEnvelope struct {
 	ID   uint64
 	From types.ProcessID
 	Req  Request
 }
 
+// tcpReply is one response frame, routed back by ID.
 type tcpReply struct {
 	ID   uint64
 	Resp Response
+}
+
+// ErrClosed reports use of a TCPClient after Close. It is distinct from
+// ErrUnreachable: the peer may be fine — this process decided to stop
+// talking, and a silent re-dial would resurrect connections behind the
+// caller's back.
+var ErrClosed = errors.New("transport: tcp client closed")
+
+// Defaults for the data-plane knobs; see the TCPOption constructors.
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultMaxHandlers = 128
+	defaultSendQueue   = 256
+)
+
+// tcpOptions collects the tunables shared by TCPClient and TCPServer.
+type tcpOptions struct {
+	wire        WireFormat
+	dialTimeout time.Duration
+	maxHandlers int
+	sendQueue   int
+	dial        func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+func defaultTCPOptions() tcpOptions {
+	return tcpOptions{
+		wire:        WireBinary,
+		dialTimeout: defaultDialTimeout,
+		maxHandlers: defaultMaxHandlers,
+		sendQueue:   defaultSendQueue,
+	}
+}
+
+// TCPOption tunes a TCPClient or TCPServer.
+type TCPOption func(*tcpOptions)
+
+// WithWireFormat selects the frame encoding (default WireBinary). Client
+// and server must agree.
+func WithWireFormat(f WireFormat) TCPOption {
+	return func(o *tcpOptions) {
+		if f != "" {
+			o.wire = f
+		}
+	}
+}
+
+// WithDialTimeout bounds connection establishment when the caller's context
+// has no earlier deadline (default 5s). A black-holed address must never
+// hang an Invoke forever.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	}
+}
+
+// WithMaxHandlers bounds concurrent request handlers per server connection
+// (default 128). Reads from a connection pause while its handler budget is
+// exhausted — backpressure instead of unbounded goroutine growth.
+func WithMaxHandlers(n int) TCPOption {
+	return func(o *tcpOptions) {
+		if n > 0 {
+			o.maxHandlers = n
+		}
+	}
+}
+
+// WithSendQueue sets the per-connection outbound queue depth (default 256).
+// Invokes beyond it wait — respecting their context — for the writer to
+// drain.
+func WithSendQueue(n int) TCPOption {
+	return func(o *tcpOptions) {
+		if n > 0 {
+			o.sendQueue = n
+		}
+	}
+}
+
+// WithDialFunc replaces the network dialer (tests inject hanging or refusing
+// dials; custom transports can layer TLS). The function must honor ctx.
+func WithDialFunc(dial func(ctx context.Context, addr string) (net.Conn, error)) TCPOption {
+	return func(o *tcpOptions) {
+		if dial != nil {
+			o.dial = dial
+		}
+	}
 }
 
 // TCPServer serves a Handler on a TCP listener.
@@ -30,6 +137,7 @@ type TCPServer struct {
 	id       types.ProcessID
 	listener net.Listener
 	handler  Handler
+	opts     tcpOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -39,7 +147,11 @@ type TCPServer struct {
 
 // NewTCPServer starts listening on addr and serving h for process id. Use
 // Addr to discover the bound address when addr has port 0.
-func NewTCPServer(id types.ProcessID, addr string, h Handler) (*TCPServer, error) {
+func NewTCPServer(id types.ProcessID, addr string, h Handler, opts ...TCPOption) (*TCPServer, error) {
+	o := defaultTCPOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -48,6 +160,7 @@ func NewTCPServer(id types.ProcessID, addr string, h Handler) (*TCPServer, error
 		id:       id,
 		listener: ln,
 		handler:  h,
+		opts:     o,
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -75,6 +188,14 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
+// openConns reports the live connection count (tests poll it to observe
+// write-error teardown).
+func (s *TCPServer) openConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 func (s *TCPServer) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -95,52 +216,122 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn runs one connection: a read loop decoding request frames, a
+// bounded pool of handler goroutines, and a dedicated reply writer. Any
+// write error is connection-fatal — the writer kills the connection, which
+// unblocks the read loop and the handlers, instead of handlers piling more
+// replies onto a dead socket.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var writeMu sync.Mutex
+
+	// done is the connection's death signal; kill is idempotent and safe
+	// from any of the goroutines below.
+	done := make(chan struct{})
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			close(done)
+			_ = conn.Close()
+		})
+	}
+	defer kill()
+
+	replies := make(chan tcpReply, s.opts.sendQueue)
+	enc := newFrameEncoder(s.opts.wire, conn)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		defer kill() // a reply-write error tears the connection down
+		for {
+			select {
+			case rep := <-replies:
+				if err := enc.encodeReply(rep); err != nil {
+					return
+				}
+				// Drain whatever other handlers finished meanwhile, then
+				// flush once for the batch.
+				for drained := false; !drained; {
+					select {
+					case rep = <-replies:
+						if err := enc.encodeReply(rep); err != nil {
+							return
+						}
+					default:
+						drained = true
+					}
+				}
+				if err := enc.flush(); err != nil {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// sem bounds in-flight handlers for this connection; when it is full
+	// the read loop pauses, letting TCP flow control push back on the peer.
+	sem := make(chan struct{}, s.opts.maxHandlers)
+	dec := newFrameDecoder(s.opts.wire, conn)
 	var handlerWG sync.WaitGroup
-	defer handlerWG.Wait()
+readLoop:
 	for {
 		var env tcpEnvelope
-		if err := dec.Decode(&env); err != nil {
-			return
+		if err := dec.decodeRequest(&env); err != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-done:
+			break readLoop
 		}
 		handlerWG.Add(1)
 		go func(env tcpEnvelope) {
 			defer handlerWG.Done()
+			defer func() { <-sem }()
 			resp := s.handler.HandleRequest(env.From, env.Req)
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = enc.Encode(tcpReply{ID: env.ID, Resp: resp})
+			select {
+			case replies <- tcpReply{ID: env.ID, Resp: resp}:
+			case <-done:
+			}
 		}(env)
 	}
+	kill()
+	handlerWG.Wait()
+	writerWG.Wait()
 }
 
-// TCPClient is a transport Client over TCP. It maintains one connection per
-// destination, established lazily, and routes responses by request ID.
+// TCPClient is a transport Client over TCP. It maintains one pipelined
+// connection per destination, established lazily, and routes responses by
+// request ID.
 type TCPClient struct {
 	self types.ProcessID
 	book func(types.ProcessID) (string, bool)
+	opts tcpOptions
 
-	mu    sync.Mutex
-	conns map[string]*tcpConn
-	next  uint64
+	mu     sync.Mutex
+	conns  map[string]*tcpConn
+	closed bool
+	next   atomic.Uint64
 }
 
 // NewTCPClient constructs a client for process self that resolves server
 // addresses through book (typically a map lookup over a static address book).
-func NewTCPClient(self types.ProcessID, book func(types.ProcessID) (string, bool)) *TCPClient {
+func NewTCPClient(self types.ProcessID, book func(types.ProcessID) (string, bool), opts ...TCPOption) *TCPClient {
+	o := defaultTCPOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	return &TCPClient{
 		self:  self,
 		book:  book,
+		opts:  o,
 		conns: make(map[string]*tcpConn),
 	}
 }
@@ -155,44 +346,53 @@ func StaticBook(m map[types.ProcessID]string) func(types.ProcessID) (string, boo
 
 var _ Client = (*TCPClient)(nil)
 
+// tcpConn is one pipelined peer connection: a bounded send queue owned by a
+// writer goroutine, and the pending table the read loop resolves.
 type tcpConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
+	conn  net.Conn
+	sendQ chan tcpEnvelope
+	// done closes exactly once when the connection dies; enqueued-but-
+	// unwritten requests learn their fate through pending, not sendQ.
+	done chan struct{}
 
 	mu      sync.Mutex
 	pending map[uint64]chan Response
 	dead    bool
 }
 
-// Invoke implements Client.
+// Invoke implements Client. The request is registered in the pending table,
+// handed to the connection's writer goroutine, and awaited — under no lock.
 func (c *TCPClient) Invoke(ctx context.Context, dst types.ProcessID, req Request) (Response, error) {
 	addr, ok := c.book(dst)
 	if !ok {
 		return Response{}, fmt.Errorf("%w: no address for %s", ErrUnreachable, dst)
 	}
-	tc, err := c.conn(addr)
+	tc, err := c.conn(ctx, addr)
 	if err != nil {
+		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Response{}, err
+		}
 		return Response{}, fmt.Errorf("%w: dialing %s: %v", ErrUnreachable, dst, err)
 	}
 
-	c.mu.Lock()
-	c.next++
-	id := c.next
-	c.mu.Unlock()
-
+	id := c.next.Add(1)
 	ch := make(chan Response, 1)
 	tc.mu.Lock()
 	if tc.dead {
 		tc.mu.Unlock()
-		c.dropConn(addr, tc)
 		return Response{}, fmt.Errorf("%w: connection to %s lost", ErrUnreachable, dst)
 	}
 	tc.pending[id] = ch
-	err = tc.enc.Encode(tcpEnvelope{ID: id, From: c.self, Req: req})
 	tc.mu.Unlock()
-	if err != nil {
-		c.dropConn(addr, tc)
-		return Response{}, fmt.Errorf("%w: sending to %s: %v", ErrUnreachable, dst, err)
+
+	select {
+	case tc.sendQ <- tcpEnvelope{ID: id, From: c.self, Req: req}:
+	case <-tc.done:
+		c.forget(tc, id)
+		return Response{}, fmt.Errorf("%w: connection to %s lost", ErrUnreachable, dst)
+	case <-ctx.Done():
+		c.forget(tc, id)
+		return Response{}, ctx.Err()
 	}
 
 	select {
@@ -202,42 +402,79 @@ func (c *TCPClient) Invoke(ctx context.Context, dst types.ProcessID, req Request
 		}
 		return resp, nil
 	case <-ctx.Done():
-		tc.mu.Lock()
-		delete(tc.pending, id)
-		tc.mu.Unlock()
+		c.forget(tc, id)
 		return Response{}, ctx.Err()
 	}
 }
 
-// Close tears down all connections.
+// forget abandons a pending request (context expiry, enqueue failure). A
+// response that still arrives finds no channel and is dropped.
+func (c *TCPClient) forget(tc *tcpConn, id uint64) {
+	tc.mu.Lock()
+	delete(tc.pending, id)
+	tc.mu.Unlock()
+}
+
+// Close tears down all connections, fails every in-flight Invoke with
+// ErrUnreachable, and makes subsequent Invokes return ErrClosed.
 func (c *TCPClient) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := make(map[string]*tcpConn, len(c.conns))
 	for addr, tc := range c.conns {
-		_ = tc.conn.Close()
-		delete(c.conns, addr)
+		conns[addr] = tc
+	}
+	c.mu.Unlock()
+	for addr, tc := range conns {
+		c.dropConn(addr, tc)
 	}
 }
 
-func (c *TCPClient) conn(addr string) (*tcpConn, error) {
+// conn returns the live connection for addr, dialing one — under the
+// caller's context plus the configured timeout — if none exists.
+func (c *TCPClient) conn(ctx context.Context, addr string) (*tcpConn, error) {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: invoke after Close", ErrClosed)
+	}
 	if tc, ok := c.conns[addr]; ok {
 		c.mu.Unlock()
 		return tc, nil
 	}
 	c.mu.Unlock()
 
-	raw, err := net.Dial("tcp", addr)
+	dial := c.opts.dial
+	if dial == nil {
+		d := net.Dialer{Timeout: c.opts.dialTimeout}
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	raw, err := dial(ctx, addr)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	tc := &tcpConn{
 		conn:    raw,
-		enc:     gob.NewEncoder(raw),
+		sendQ:   make(chan tcpEnvelope, c.opts.sendQueue),
+		done:    make(chan struct{}),
 		pending: make(map[uint64]chan Response),
 	}
 
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = raw.Close()
+		return nil, fmt.Errorf("%w: invoke after Close", ErrClosed)
+	}
 	if existing, ok := c.conns[addr]; ok {
 		// Lost the race; use the established connection.
 		c.mu.Unlock()
@@ -247,16 +484,51 @@ func (c *TCPClient) conn(addr string) (*tcpConn, error) {
 	c.conns[addr] = tc
 	c.mu.Unlock()
 
+	go c.writeLoop(addr, tc)
 	go c.readLoop(addr, tc)
 	return tc, nil
 }
 
+// writeLoop owns the outbound half of one connection. It drains the send
+// queue before flushing, so bursts of concurrent Invokes coalesce into few
+// syscalls, and it is the only goroutine that can block in a socket write —
+// Invoke and Close never do.
+func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
+	enc := newFrameEncoder(c.opts.wire, tc.conn)
+	defer c.dropConn(addr, tc)
+	for {
+		select {
+		case env := <-tc.sendQ:
+			if err := enc.encodeRequest(env); err != nil {
+				return
+			}
+			for drained := false; !drained; {
+				select {
+				case env = <-tc.sendQ:
+					if err := enc.encodeRequest(env); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if err := enc.flush(); err != nil {
+				return
+			}
+		case <-tc.done:
+			return
+		}
+	}
+}
+
+// readLoop owns the inbound half: decode reply frames and resolve pending
+// requests by ID.
 func (c *TCPClient) readLoop(addr string, tc *tcpConn) {
-	dec := gob.NewDecoder(tc.conn)
+	dec := newFrameDecoder(c.opts.wire, tc.conn)
+	defer c.dropConn(addr, tc)
 	for {
 		var reply tcpReply
-		if err := dec.Decode(&reply); err != nil {
-			c.dropConn(addr, tc)
+		if err := dec.decodeReply(&reply); err != nil {
 			return
 		}
 		tc.mu.Lock()
@@ -269,6 +541,9 @@ func (c *TCPClient) readLoop(addr string, tc *tcpConn) {
 	}
 }
 
+// dropConn removes the connection from the client's table (if still
+// current), marks it dead, fails every pending request, and closes the
+// socket. Idempotent; called from either loop or from Close.
 func (c *TCPClient) dropConn(addr string, tc *tcpConn) {
 	c.mu.Lock()
 	if c.conns[addr] == tc {
@@ -279,6 +554,7 @@ func (c *TCPClient) dropConn(addr string, tc *tcpConn) {
 	tc.mu.Lock()
 	if !tc.dead {
 		tc.dead = true
+		close(tc.done)
 		for id, ch := range tc.pending {
 			close(ch)
 			delete(tc.pending, id)

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// sampleEnvelopes is a representative mix of quorum-phase traffic: small
+// metadata queries, a mid-size put-data, an empty-payload ack request.
+func sampleEnvelopes() []tcpEnvelope {
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	return []tcpEnvelope{
+		{ID: 1, From: "c1", Req: Request{Service: "abd", Key: "obj-1", Config: "store/obj-1/c0", Type: "query-tag", Payload: []byte{1, 2, 3}}},
+		{ID: 2, From: "c1", Req: Request{Service: "treas", Key: "obj-2", Config: "store/obj-2/c0", Type: "put-data", Payload: payload}},
+		{ID: 3, From: "recon-9", Req: Request{Service: "recon", Key: "obj-1", Config: "store/obj-1/c4", Type: "read-config"}},
+	}
+}
+
+func sampleReplies() []tcpReply {
+	return []tcpReply{
+		{ID: 1, Resp: Response{OK: true, Payload: []byte{9, 8, 7}}},
+		{ID: 2, Resp: Response{OK: true}},
+		{ID: 3, Resp: Response{OK: false, Err: "cfg: configuration retired"}},
+	}
+}
+
+// TestWireRoundTrip pins that both formats decode exactly what they encoded,
+// in both frame directions.
+func TestWireRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, format := range []WireFormat{WireBinary, WireGob} {
+		format := format
+		t.Run(string(format), func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			enc := newFrameEncoder(format, &buf)
+			for _, env := range sampleEnvelopes() {
+				if err := enc.encodeRequest(env); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, rep := range sampleReplies() {
+				if err := enc.encodeReply(rep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := enc.flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			dec := newFrameDecoder(format, &buf)
+			for _, want := range sampleEnvelopes() {
+				var got tcpEnvelope
+				if err := dec.decodeRequest(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("request round trip:\n got %+v\nwant %+v", got, want)
+				}
+			}
+			for _, want := range sampleReplies() {
+				var got tcpReply
+				if err := dec.decodeReply(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("reply round trip:\n got %+v\nwant %+v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// encodeAll returns the total stream bytes for the sample traffic in one
+// format — a stream, not per-frame, so gob's amortized type dictionary is
+// charged the way a real connection pays it.
+func encodeAll(t *testing.T, format WireFormat, repeat int) int {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := newFrameEncoder(format, &buf)
+	id := uint64(0)
+	for i := 0; i < repeat; i++ {
+		for _, env := range sampleEnvelopes() {
+			id++
+			env.ID = id
+			if err := enc.encodeRequest(env); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, rep := range sampleReplies() {
+			id++
+			rep.ID = id
+			if err := enc.encodeReply(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := enc.flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Len()
+}
+
+// TestWireBinarySmallerThanGob pins the tentpole's size claim: the binary
+// format beats the gob stream on bytes per frame — even over a long stream
+// where gob's per-stream type dictionary is fully amortized.
+func TestWireBinarySmallerThanGob(t *testing.T) {
+	t.Parallel()
+	const repeat = 100
+	frames := repeat * (len(sampleEnvelopes()) + len(sampleReplies()))
+	binaryBytes := encodeAll(t, WireBinary, repeat)
+	gobBytes := encodeAll(t, WireGob, repeat)
+	t.Logf("binary %d B (%d B/frame), gob %d B (%d B/frame)",
+		binaryBytes, binaryBytes/frames, gobBytes, gobBytes/frames)
+	if binaryBytes >= gobBytes {
+		t.Fatalf("binary stream (%d B) not smaller than gob stream (%d B)", binaryBytes, gobBytes)
+	}
+}
+
+// TestWireCountsIntoCodecStats pins that frame traffic lands in the wire
+// counters (bench suites divide these by ops for bytes/op).
+func TestWireCountsIntoCodecStats(t *testing.T) {
+	// Not parallel: codec counters are process-wide.
+	before := CodecStats()
+	var buf bytes.Buffer
+	enc := newFrameEncoder(WireBinary, &buf)
+	for _, env := range sampleEnvelopes() {
+		if err := enc.encodeRequest(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.flush(); err != nil {
+		t.Fatal(err)
+	}
+	wrote := buf.Len()
+	dec := newFrameDecoder(WireBinary, &buf)
+	for range sampleEnvelopes() {
+		var env tcpEnvelope
+		if err := dec.decodeRequest(&env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := CodecStats()
+	if got := after.WireEncodes - before.WireEncodes; got != int64(len(sampleEnvelopes())) {
+		t.Fatalf("WireEncodes delta = %d, want %d", got, len(sampleEnvelopes()))
+	}
+	if got := after.WireEncodedBytes - before.WireEncodedBytes; got != int64(wrote) {
+		t.Fatalf("WireEncodedBytes delta = %d, want %d", got, wrote)
+	}
+	if got := after.WireDecodes - before.WireDecodes; got != int64(len(sampleEnvelopes())) {
+		t.Fatalf("WireDecodes delta = %d, want %d", got, len(sampleEnvelopes()))
+	}
+	if after.WireDecodedBytes-before.WireDecodedBytes <= 0 {
+		t.Fatal("WireDecodedBytes did not advance")
+	}
+}
+
+// TestWireRejectsOversizedFrame pins the length-prefix guard: a corrupt or
+// hostile frame length fails the decode instead of allocating gigabytes.
+func TestWireRejectsOversizedFrame(t *testing.T) {
+	t.Parallel()
+	buf := []byte{0xFF, 0xFF, 0xFF, 0xFF} // ~4 GiB frame
+	dec := newFrameDecoder(WireBinary, bytes.NewReader(buf))
+	var env tcpEnvelope
+	if err := dec.decodeRequest(&env); err == nil {
+		t.Fatal("oversized frame length was accepted")
+	}
+}
+
+// TestWireRejectsTruncatedFrame pins that a body shorter than its fields
+// claim surfaces as an error, not a misparse.
+func TestWireRejectsTruncatedFrame(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	enc := newFrameEncoder(WireBinary, &buf)
+	if err := enc.encodeRequest(sampleEnvelopes()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Keep the 4-byte length prefix intact but drop the tail of the body.
+	cut := append([]byte(nil), full[:len(full)-3]...)
+	dec := newFrameDecoder(WireBinary, bytes.NewReader(cut))
+	var env tcpEnvelope
+	if err := dec.decodeRequest(&env); err == nil {
+		t.Fatal("truncated frame was accepted")
+	}
+}
+
+// TestWireKindMismatch pins the direction check: a reply frame read where a
+// request is expected (cross-wired peer) errors out.
+func TestWireKindMismatch(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	enc := newFrameEncoder(WireBinary, &buf)
+	if err := enc.encodeReply(sampleReplies()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := newFrameDecoder(WireBinary, &buf)
+	var env tcpEnvelope
+	if err := dec.decodeRequest(&env); err == nil {
+		t.Fatal("reply frame decoded as request")
+	}
+}
+
+// TestParseWireFormat covers the flag surface ares-server exposes.
+func TestParseWireFormat(t *testing.T) {
+	t.Parallel()
+	for in, want := range map[string]WireFormat{"": WireBinary, "binary": WireBinary, "gob": WireGob} {
+		got, err := ParseWireFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseWireFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseWireFormat("protobuf"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestTCPGobWireEndToEnd runs a round trip over real sockets with the legacy
+// gob framing, pinning that -wire gob remains a working configuration.
+func TestTCPGobWireEndToEnd(t *testing.T) {
+	t.Parallel()
+	srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil), WithWireFormat(WireGob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}), WithWireFormat(WireGob))
+	defer client.Close()
+	resp, err := client.Invoke(context.Background(), "s1", Request{Service: "svc", Type: "echo", Payload: []byte("gob wire")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || string(resp.Payload) != "gob wire" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}

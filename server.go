@@ -23,15 +23,37 @@ type Server struct {
 // deployments distribute a static book (flag/file) to every process.
 type AddressBook = map[ProcessID]string
 
+// TCPOption tunes the TCP data plane (wire format, dial timeout, handler
+// bounds, queue depths) of NewServer and NewTCPClient.
+type TCPOption = transport.TCPOption
+
+// WireFormat selects the TCP frame encoding: WireBinary (compact
+// length-prefixed framing, the default) or WireGob (legacy gob streams).
+// Every process of a deployment must use the same format.
+type WireFormat = transport.WireFormat
+
+const (
+	// WireBinary is the compact length-prefixed binary wire format.
+	WireBinary = transport.WireBinary
+	// WireGob is the legacy gob stream wire format.
+	WireGob = transport.WireGob
+)
+
+// WithWireFormat selects the wire format for a server or client.
+func WithWireFormat(f WireFormat) TCPOption { return transport.WithWireFormat(f) }
+
+// ParseWireFormat converts a flag value ("binary", "gob") into a WireFormat.
+func ParseWireFormat(s string) (WireFormat, error) { return transport.ParseWireFormat(s) }
+
 // NewServer starts an ARES server for process id on addr ("host:port"; use
 // port 0 to auto-assign and discover via Addr). book must cover every server
 // this process will talk to (peers of its configurations). Configurations
 // are installed remotely by reconfigurers through the control service, or
 // locally with Install.
-func NewServer(id ProcessID, addr string, book AddressBook) (*Server, error) {
-	out := transport.NewTCPClient(id, transport.StaticBook(book))
+func NewServer(id ProcessID, addr string, book AddressBook, opts ...TCPOption) (*Server, error) {
+	out := transport.NewTCPClient(id, transport.StaticBook(book), opts...)
 	host := core.NewHost(node.New(id), out)
-	tcp, err := transport.NewTCPServer(id, addr, host.Node())
+	tcp, err := transport.NewTCPServer(id, addr, host.Node(), opts...)
 	if err != nil {
 		out.Close()
 		return nil, fmt.Errorf("ares: starting server %s: %w", id, err)
@@ -60,6 +82,6 @@ func (s *Server) Close() error {
 // NewTCPClient returns a transport client for a client-side process (reader,
 // writer, or reconfigurer) resolving servers through book. Pass the result
 // to NewRemoteClient or NewRemoteReconfigurer.
-func NewTCPClient(self ProcessID, book AddressBook) *transport.TCPClient {
-	return transport.NewTCPClient(self, transport.StaticBook(book))
+func NewTCPClient(self ProcessID, book AddressBook, opts ...TCPOption) *transport.TCPClient {
+	return transport.NewTCPClient(self, transport.StaticBook(book), opts...)
 }
