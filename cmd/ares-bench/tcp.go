@@ -19,6 +19,14 @@ package main
 //     must come out smaller.
 //   - workloads: the store workload phases (uniform/zipfian, read/write
 //     mixes) from the simnet suite, over real sockets.
+//   - coalescing: multi-key MultiPut/MultiGet sweeps — per-key put-data and
+//     get-data DAP fan-outs with every key in flight at once — against a
+//     batched cluster and a -nobatch baseline, in interleaved timed slices;
+//     batched ops/s above unbatched is the evidence the FrameBatch writer
+//     path pays off when many keys share a connection.
+//   - fast-read: keys written once, then read repeatedly; the ReadRounds
+//     counters must show ~1 data round per read (the one-round fast path
+//     skipping the put-data write-back).
 
 import (
 	"context"
@@ -34,10 +42,12 @@ import (
 	"time"
 
 	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/abd"
 	"github.com/ares-storage/ares/internal/benchutil"
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/core"
 	"github.com/ares-storage/ares/internal/spec"
+	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/types"
 	"github.com/ares-storage/ares/internal/workload"
@@ -114,22 +124,56 @@ type tcpCodecResult struct {
 	SavingsRatio float64        `json:"savings_ratio"`
 }
 
+// tcpCoalescingSample is one side of the coalescing comparison: an identical
+// multi-key sweep workload measured with envelope batching on or off, on both
+// the servers (-nobatch) and the bench client (WithBatching).
+type tcpCoalescingSample struct {
+	Ops           int64   `json:"ops"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	OutBytesPerOp float64 `json:"out_bytes_per_op"`
+	FramesPerOp   float64 `json:"frames_per_op"`
+	FramesBatched int64   `json:"frames_batched"`
+	SecondsTotal  float64 `json:"seconds_total"`
+}
+
+// tcpCoalescingResult compares batched against unbatched ops/s for the same
+// multi-key sweep; speedup > 1 means cross-key coalescing paid off.
+type tcpCoalescingResult struct {
+	Keys      int                 `json:"keys"`
+	Batched   tcpCoalescingSample `json:"batched"`
+	Unbatched tcpCoalescingSample `json:"unbatched"`
+	Speedup   float64             `json:"speedup"`
+}
+
+// tcpFastReadResult reports the one-round read fast path over real sockets:
+// quiescent keys are written once, then read repeatedly; avg_rounds < 2 (and
+// fast_path_rate near 1) is the evidence the write-back round is skipped.
+type tcpFastReadResult struct {
+	Keys         int     `json:"keys"`
+	Reads        int64   `json:"reads"`
+	AvgRounds    float64 `json:"avg_rounds"`
+	FastPathRate float64 `json:"fast_path_rate"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
 // tcpSuiteSummary is the machine-readable artifact -tcp -json emits.
 type tcpSuiteSummary struct {
-	Generated  string             `json:"generated"`
-	Suite      string             `json:"suite"`
-	Version    int                `json:"version"`
-	Servers    int                `json:"servers"`
-	Wire       string             `json:"wire"`
-	DurationMS int64              `json:"duration_ms_per_workload"`
-	Workers    int                `json:"workers"`
-	Keys       int                `json:"keys"`
-	ValueSize  int                `json:"value_size"`
-	Seed       int64              `json:"seed"`
-	Smoke      *tcpSmokeResult    `json:"smoke,omitempty"`
-	Pipelining *tcpPipelineResult `json:"pipelining,omitempty"`
-	Codec      *tcpCodecResult    `json:"codec,omitempty"`
-	Workloads  []workloadResult   `json:"workloads"`
+	Generated  string               `json:"generated"`
+	Suite      string               `json:"suite"`
+	Version    int                  `json:"version"`
+	Servers    int                  `json:"servers"`
+	Wire       string               `json:"wire"`
+	DurationMS int64                `json:"duration_ms_per_workload"`
+	Workers    int                  `json:"workers"`
+	Keys       int                  `json:"keys"`
+	ValueSize  int                  `json:"value_size"`
+	Seed       int64                `json:"seed"`
+	Smoke      *tcpSmokeResult      `json:"smoke,omitempty"`
+	Pipelining *tcpPipelineResult   `json:"pipelining,omitempty"`
+	Codec      *tcpCodecResult      `json:"codec,omitempty"`
+	Coalescing *tcpCoalescingResult `json:"coalescing,omitempty"`
+	FastRead   *tcpFastReadResult   `json:"fast_read,omitempty"`
+	Workloads  []workloadResult     `json:"workloads"`
 }
 
 // --- multi-process cluster management ---
@@ -184,8 +228,9 @@ func resolveServerBin(flagValue, dir string) (string, error) {
 
 // spawnTCPCluster starts n ares-server processes with a shared address book
 // and the given bootstrap spec, and waits until every one answers on its
-// control service.
-func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstrap string) (*tcpCluster, error) {
+// control service. extraArgs are appended to every server's command line
+// (the coalescing phase passes -nobatch for its baseline cluster).
+func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstrap string, extraArgs ...string) (*tcpCluster, error) {
 	addrs, err := freeLoopbackAddrs(p.servers)
 	if err != nil {
 		return nil, err
@@ -210,6 +255,7 @@ func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstr
 		if bootstrap != "" {
 			args = append(args, "-bootstrap", bootstrap)
 		}
+		args = append(args, extraArgs...)
 		cmd := exec.Command(bin, args...)
 		logBuf := &strings.Builder{}
 		if p.verbose {
@@ -540,6 +586,298 @@ func runTCPCodecComparison(p tcpSuiteParams, bin string) (*tcpCodecResult, error
 	return res, nil
 }
 
+// coalescingKeys is the key-space width of the coalescing phase: enough
+// concurrent per-key clients that every server connection carries cross-key
+// traffic for the writer path to pack (the acceptance regime is ≥64 keys).
+const coalescingKeys = 96
+
+// sweepKeys runs fn once per key, all keys concurrently, and returns the
+// first error — one multi-key MultiPut/MultiGet-style fan-out wave.
+func sweepKeys(keys []string, fn func(key string) error) error {
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+	)
+	for _, key := range keys {
+		key := key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(key); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// coalescingRounds is how many interleaved slice pairs the phase runs. Both
+// legs stay alive for the whole phase and their timed slices alternate (order
+// swapped every round), so host drift — CPU frequency, page cache, a noisy
+// neighbor on a small runner — hits both sides alike instead of whichever leg
+// happened to run second.
+const coalescingRounds = 6
+
+// coalesceLeg is one live side of the comparison: a spawned cluster (batched
+// or -nobatch), a client wired to match, one per-key ABD DAP client for each
+// key in the sweep, and the running totals the slices fold into. The phase
+// drives the DAP layer directly — a MultiPut is the put-data fan-out across
+// all keys, a MultiGet the get-data fan-out — because that is the traffic
+// shape coalescing exists for: hundreds of same-instant envelopes per
+// connection. (The full two-phase client stack costs ~20 RPC legs per store
+// op; at that per-op CPU the wire is a rounding error and the comparison
+// drowns in scheduler noise.)
+type coalesceLeg struct {
+	batched bool
+	cluster *tcpCluster
+	rpc     *transport.TCPClient
+	daps    map[string]*abd.Client
+	seq     int64
+
+	ops           int64
+	elapsed       time.Duration
+	encodedBytes  int64
+	encodes       int64
+	framesBatched int64
+}
+
+func (l *coalesceLeg) close() {
+	if l.rpc != nil {
+		l.rpc.Close()
+	}
+	if l.cluster != nil {
+		l.cluster.stop()
+	}
+}
+
+// sample folds the accumulated slice totals into the JSON shape.
+func (l *coalesceLeg) finish() tcpCoalescingSample {
+	s := tcpCoalescingSample{
+		Ops:           l.ops,
+		FramesBatched: l.framesBatched,
+		SecondsTotal:  l.elapsed.Seconds(),
+	}
+	if l.elapsed > 0 {
+		s.OpsPerSec = float64(l.ops) / l.elapsed.Seconds()
+	}
+	if l.ops > 0 {
+		s.OutBytesPerOp = float64(l.encodedBytes) / float64(l.ops)
+		s.FramesPerOp = float64(l.encodes) / float64(l.ops)
+	}
+	return s
+}
+
+// setupCoalesceLeg spawns one cluster, installs the keyed template, and warms
+// every key so first-touch state materialization stays out of the timed
+// slices.
+func setupCoalesceLeg(p tcpSuiteParams, bin string, batched bool, keys []string, value types.Value) (*coalesceLeg, error) {
+	var serverArgs []string
+	var clientOpts []ares.TCPOption
+	name := types.ProcessID("bench-co-batched")
+	if !batched {
+		name = "bench-co-nobatch"
+		serverArgs = append(serverArgs, "-nobatch")
+		clientOpts = append(clientOpts, ares.WithBatching(false))
+	}
+	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, "", serverArgs...)
+	if err != nil {
+		return nil, err
+	}
+	leg := &coalesceLeg{batched: batched, cluster: cluster}
+	leg.rpc = ares.NewTCPClient(name, cluster.book, clientOpts...)
+	template := tcpTemplateFor(cluster)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := core.RemoteInstaller(leg.rpc)(ctx, template); err != nil {
+		leg.close()
+		return nil, fmt.Errorf("installing template (batched=%v): %w", batched, err)
+	}
+	leg.daps = make(map[string]*abd.Client, len(keys))
+	for _, key := range keys {
+		c, err := abd.NewClient(template.ForKey(key), leg.rpc)
+		if err != nil {
+			leg.close()
+			return nil, fmt.Errorf("coalescing DAP client (batched=%v, key %s): %w", batched, key, err)
+		}
+		leg.daps[key] = c
+	}
+	// Warm sweep: first-touch state materialization stays out of the timed
+	// slices.
+	if err := leg.multiPut(ctx, keys, value); err != nil {
+		leg.close()
+		return nil, fmt.Errorf("coalescing warmup (batched=%v): %w", batched, err)
+	}
+	return leg, nil
+}
+
+// multiPut is one MultiPut: a put-data fan-out across every key with a fresh
+// monotonic tag, all keys in flight at once.
+func (l *coalesceLeg) multiPut(ctx context.Context, keys []string, value types.Value) error {
+	l.seq++
+	p := tag.Pair{Tag: tag.Tag{Z: l.seq, W: "bench-coalesce"}, Value: value}
+	return sweepKeys(keys, func(key string) error { return l.daps[key].PutData(ctx, p) })
+}
+
+// multiGet is one MultiGet: a get-data fan-out across every key.
+func (l *coalesceLeg) multiGet(ctx context.Context, keys []string) error {
+	return sweepKeys(keys, func(key string) error {
+		_, err := l.daps[key].GetData(ctx)
+		return err
+	})
+}
+
+// runCoalesceSlice alternates MultiPut and MultiGet sweeps against the leg
+// for one timed slice and folds the per-key op counts and client-side
+// codec-counter deltas into the leg's totals. Every sweep puts all keys in
+// flight at once, so each of the leg's three connections sees a burst of
+// ~coalescingKeys same-instant envelopes — the regime the writer path packs.
+// A sweep completes before the next begins, so the deltas are clean: nothing
+// from this slice bleeds into the next one.
+func runCoalesceSlice(l *coalesceLeg, keys []string, value types.Value, slice time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	before := transport.CodecStats()
+	start := time.Now()
+	deadline := start.Add(slice)
+	var ops int64
+	for time.Now().Before(deadline) {
+		if err := l.multiPut(ctx, keys, value); err != nil {
+			return err
+		}
+		ops += int64(len(keys))
+		if err := l.multiGet(ctx, keys); err != nil {
+			return err
+		}
+		ops += int64(len(keys))
+	}
+	elapsed := time.Since(start)
+	after := transport.CodecStats()
+
+	l.ops += ops
+	l.elapsed += elapsed
+	l.encodedBytes += after.WireEncodedBytes - before.WireEncodedBytes
+	l.encodes += after.WireEncodes - before.WireEncodes
+	l.framesBatched += after.FramesBatched - before.FramesBatched
+	return nil
+}
+
+// runTCPCoalescing spawns both clusters up front, alternates timed slices
+// between them, and sanity-checks that the batched leg actually coalesced
+// and the -nobatch leg never did (the CI job asserts the throughput ordering
+// from the JSON).
+func runTCPCoalescing(p tcpSuiteParams, bin string) (*tcpCoalescingResult, error) {
+	keys := make([]string, coalescingKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("co-%04d", i)
+	}
+	value := make(types.Value, p.valSize)
+
+	batched, err := setupCoalesceLeg(p, bin, true, keys, value)
+	if err != nil {
+		return nil, err
+	}
+	defer batched.close()
+	unbatched, err := setupCoalesceLeg(p, bin, false, keys, value)
+	if err != nil {
+		return nil, err
+	}
+	defer unbatched.close()
+
+	window := p.duration
+	if window > 2*time.Second {
+		window = 2 * time.Second
+	}
+	slice := window / coalescingRounds
+	if slice < 100*time.Millisecond {
+		slice = 100 * time.Millisecond
+	}
+	for round := 0; round < coalescingRounds; round++ {
+		pair := [2]*coalesceLeg{batched, unbatched}
+		if round%2 == 1 {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		for _, leg := range pair {
+			if err := runCoalesceSlice(leg, keys, value, slice); err != nil {
+				return nil, fmt.Errorf("coalescing slice (round %d, batched=%v): %w", round, leg.batched, err)
+			}
+		}
+	}
+
+	res := &tcpCoalescingResult{Keys: coalescingKeys, Batched: batched.finish(), Unbatched: unbatched.finish()}
+	if res.Unbatched.OpsPerSec > 0 {
+		res.Speedup = res.Batched.OpsPerSec / res.Unbatched.OpsPerSec
+	}
+	if res.Batched.FramesBatched == 0 {
+		return res, fmt.Errorf("coalescing phase: %d-key workload produced zero batched frames", coalescingKeys)
+	}
+	if res.Unbatched.FramesBatched != 0 {
+		return res, fmt.Errorf("coalescing phase: -nobatch baseline emitted %d batched frames", res.Unbatched.FramesBatched)
+	}
+	return res, nil
+}
+
+// fastReadKeys sizes the fast-read phase's key set.
+const fastReadKeys = 32
+
+// runTCPFastRead writes fastReadKeys keys once on the main cluster, lets the
+// straggler put-data deliveries land, then reads for the timed window and
+// attributes the ReadRounds counter deltas: quiescent keys must read in ~1
+// data round via the confirmed-propagation fast path.
+func runTCPFastRead(rpc transport.Client, template ares.Config, d time.Duration) (*tcpFastReadResult, error) {
+	store := newTCPKeyStore(template, rpc)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	value := make(types.Value, 256)
+	keys := make([]string, fastReadKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fr-%04d", i)
+	}
+	if err := sweepKeys(keys, func(key string) error { return store.Put(ctx, key, value) }); err != nil {
+		return nil, fmt.Errorf("fast-read writes: %w", err)
+	}
+	// A write completes on a quorum; give the straggler put-data frames a
+	// moment to land so every server holds the tag and reads confirm.
+	time.Sleep(150 * time.Millisecond)
+
+	window := d
+	if window > time.Second {
+		window = time.Second
+	}
+	before := transport.CodecStats()
+	start := time.Now()
+	deadline := start.Add(window)
+	for time.Now().Before(deadline) {
+		if err := sweepKeys(keys, func(key string) error {
+			_, err := store.Get(ctx, key)
+			return err
+		}); err != nil {
+			return nil, fmt.Errorf("fast-read reads: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	after := transport.CodecStats()
+
+	reads := after.ReadOps - before.ReadOps
+	if reads == 0 {
+		return nil, fmt.Errorf("fast-read phase: no reads completed in %v", window)
+	}
+	res := &tcpFastReadResult{
+		Keys:         fastReadKeys,
+		Reads:        reads,
+		AvgRounds:    float64(after.ReadRounds-before.ReadRounds) / float64(reads),
+		FastPathRate: float64(after.ReadFastPaths-before.ReadFastPaths) / float64(reads),
+		OpsPerSec:    float64(reads) / elapsed.Seconds(),
+	}
+	if res.AvgRounds >= 2 {
+		return res, fmt.Errorf("fast-read phase: %.2f data rounds per quiescent read, want < 2 (fast path not firing)", res.AvgRounds)
+	}
+	return res, nil
+}
+
 // runTCPSuite is the -tcp entry point.
 func runTCPSuite(p tcpSuiteParams) error {
 	if p.servers < 3 {
@@ -660,6 +998,18 @@ func runTCPSuite(p tcpSuiteParams) error {
 	fmt.Println()
 	table.Render(os.Stdout)
 
+	// Phase: fast-read (on the main cluster, over the installed template;
+	// counter attribution is by delta, so earlier phases don't pollute it).
+	fastRead, err := runTCPFastRead(rpc, template, p.duration)
+	if fastRead != nil {
+		summary.FastRead = fastRead
+		fmt.Printf("\n  fast-read: %d reads over %d quiescent keys — %.3f data rounds/read, %.0f%% fast path, %.0f ops/s\n",
+			fastRead.Reads, fastRead.Keys, fastRead.AvgRounds, 100*fastRead.FastPathRate, fastRead.OpsPerSec)
+	}
+	if err != nil {
+		return fmt.Errorf("tcp suite: %w", err)
+	}
+
 	// Phase: codec comparison (spawns its own clusters, one per format, so
 	// the main cluster's traffic doesn't pollute the counters).
 	codec, err := runTCPCodecComparison(p, bin)
@@ -667,6 +1017,18 @@ func runTCPSuite(p tcpSuiteParams) error {
 		summary.Codec = codec
 		fmt.Printf("\n  codec: binary %.0f B/op out (%.1f frames/op) vs gob %.0f B/op — %.2fx smaller on the wire\n",
 			codec.Binary.OutBytesPerOp, codec.Binary.FramesPerOp, codec.Gob.OutBytesPerOp, codec.SavingsRatio)
+	}
+	if err != nil {
+		return fmt.Errorf("tcp suite: %w", err)
+	}
+
+	// Phase: coalescing comparison (its own batched and -nobatch clusters).
+	coalescing, err := runTCPCoalescing(p, bin)
+	if coalescing != nil {
+		summary.Coalescing = coalescing
+		fmt.Printf("  coalescing (%d keys): batched %.0f ops/s (%.2f frames/op, %d batch frames) vs unbatched %.0f ops/s (%.2f frames/op) — %.2fx\n",
+			coalescing.Keys, coalescing.Batched.OpsPerSec, coalescing.Batched.FramesPerOp, coalescing.Batched.FramesBatched,
+			coalescing.Unbatched.OpsPerSec, coalescing.Unbatched.FramesPerOp, coalescing.Speedup)
 	}
 	if err != nil {
 		return fmt.Errorf("tcp suite: %w", err)

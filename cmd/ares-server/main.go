@@ -38,6 +38,7 @@ func run() error {
 		peers     = flag.String("peers", "", "address book: id=addr,id=addr,... (required)")
 		bootstrap = flag.String("bootstrap", "", "initial configuration spec (optional; see package doc)")
 		wire      = flag.String("wire", "binary", "wire format: binary (compact framing) or gob (legacy); must match peers and clients")
+		nobatch   = flag.Bool("nobatch", false, "disable cross-key envelope coalescing (one frame per envelope); the bench's unbatched baseline")
 	)
 	flag.Parse()
 	if *id == "" || *peers == "" {
@@ -53,7 +54,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := ares.NewServer(ares.ProcessID(*id), *listen, book, ares.WithWireFormat(wireFormat))
+	srv, err := ares.NewServer(ares.ProcessID(*id), *listen, book,
+		ares.WithWireFormat(wireFormat), ares.WithBatching(!*nobatch))
 	if err != nil {
 		return err
 	}

@@ -189,7 +189,10 @@ func Factory(c cfg.Configuration, rpc transport.Client) (dap.Client, error) {
 	return NewClient(c, rpc)
 }
 
-var _ dap.Client = (*Client)(nil)
+var (
+	_ dap.Client          = (*Client)(nil)
+	_ dap.ConfirmedReader = (*Client)(nil)
+)
 
 // GetTag queries all servers for their tags and returns the maximum among a
 // majority quorum of responses.
@@ -212,19 +215,36 @@ func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 // GetData queries all servers and returns the pair with the maximum tag
 // among a majority quorum of responses.
 func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
+	p, _, err := c.GetDataConfirmed(ctx)
+	return p, err
+}
+
+// GetDataConfirmed implements dap.ConfirmedReader. The query replies are
+// themselves the propagation proof — each reply carries the server's stored
+// tag, so when every member of the gathered quorum already reports the
+// maximum tag, that tag is propagated to a quorum and a reader may skip its
+// write-back: any subsequent quorum intersects this one in at least one
+// server holding it (tags are monotone, so it never regresses).
+func (c *Client) GetDataConfirmed(ctx context.Context) (tag.Pair, bool, error) {
 	q := c.cfg.Quorum()
 	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
 		transport.Phase[pairResp]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQuery, Body: struct{}{}},
 		transport.AtLeast[pairResp](q.Size()),
 	)
 	if err != nil {
-		return tag.Pair{}, fmt.Errorf("abd: get-data on %s: %w", c.cfg.ID, err)
+		return tag.Pair{}, false, fmt.Errorf("abd: get-data on %s: %w", c.cfg.ID, err)
 	}
 	best := tag.Pair{}
 	for _, g := range got {
 		best = tag.MaxPair(best, tag.Pair{Tag: g.Value.Tag, Value: g.Value.Value})
 	}
-	return best, nil
+	holders := 0
+	for _, g := range got {
+		if g.Value.Tag == best.Tag {
+			holders++
+		}
+	}
+	return best, holders >= q.Size(), nil
 }
 
 // PutData propagates the pair to all servers and completes once a majority

@@ -129,10 +129,14 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 		readers = 1
 	}
 
-	net := transport.NewSimnet(
+	netOpts := []transport.SimnetOption{
 		transport.WithDelayRange(sc.Delay.Min, sc.Delay.Max),
 		transport.WithSeed(seed),
-	)
+	}
+	if sc.Batching {
+		netOpts = append(netOpts, transport.WithSimBatching())
+	}
+	net := transport.NewSimnet(netOpts...)
 	defer net.Close()
 
 	root := sc.Template

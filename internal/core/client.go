@@ -231,7 +231,7 @@ func (c *Client) writeOnce(ctx context.Context, value types.Value) (tag.Tag, err
 		maxTag = tag.Max(maxTag, t)
 	}
 	newTag := maxTag.Next(c.self)
-	seq, err = c.propagate(ctx, seq, tag.Pair{Tag: newTag, Value: value})
+	seq, _, err = c.propagate(ctx, seq, tag.Pair{Tag: newTag, Value: value})
 	if err != nil {
 		return tag.Tag{}, err
 	}
@@ -260,20 +260,53 @@ func (c *Client) readOnce(ctx context.Context) (tag.Pair, error) {
 		return tag.Pair{}, fmt.Errorf("core: read read-config: %w", err)
 	}
 	best := tag.Pair{}
+	rounds := 0 // data rounds: get-data + put-data phases (read-config is metadata)
+	confirmed := false
 	for i := seq.Mu(); i <= seq.Nu(); i++ {
-		pair, err := c.getDataRetry(ctx, seq[i].Cfg)
+		pair, conf, n, err := c.getDataRetry(ctx, seq[i].Cfg)
+		rounds += n
 		if err != nil {
 			return tag.Pair{}, fmt.Errorf("core: read get-data on %s: %w", seq[i].Cfg.ID, err)
 		}
+		if i == seq.Nu() {
+			// The propagation proof only helps when ν's own pair is the
+			// overall maximum: a larger tag surfaced by an older
+			// configuration still needs the write-back to reach ν.
+			confirmed = conf && !pair.Tag.Less(best.Tag)
+		}
 		best = tag.MaxPair(best, pair)
 	}
-	seq, err = c.propagate(ctx, seq, best)
+	if confirmed {
+		// One-round fast path: the get-data quorum of ν proved best's tag is
+		// already propagated to a quorum, so the put-data write-back is
+		// redundant — if the sequence hasn't grown. Re-read it: if ν is still
+		// last, any configuration appended later starts its state transfer
+		// after this check, i.e. after the confirmation, so its get-data
+		// quorum intersects the confirming quorum and carries a tag ≥ best
+		// forward. If a new configuration did appear, fall back to the full
+		// write-back loop, which chases the sequence to its end.
+		next, err := c.rec.ReadConfig(ctx, seq)
+		if err != nil {
+			return tag.Pair{}, fmt.Errorf("core: read read-config: %w", err)
+		}
+		if next.Nu() == seq.Nu() {
+			if err := c.storeSeq(next); err != nil {
+				return tag.Pair{}, err
+			}
+			transport.RecordReadRounds(rounds, true)
+			return best, nil
+		}
+		seq = next
+	}
+	seq, wb, err := c.propagate(ctx, seq, best)
+	rounds += wb
 	if err != nil {
 		return tag.Pair{}, err
 	}
 	if err := c.storeSeq(seq); err != nil {
 		return tag.Pair{}, err
 	}
+	transport.RecordReadRounds(rounds, false)
 	return best, nil
 }
 
@@ -295,23 +328,38 @@ func (c *Client) ReadValue(ctx context.Context) (types.Value, error) {
 
 // getDataRetry runs get-data, retrying with backoff while a TREAS read is
 // transiently undecodable. The paper's read simply does not complete until
-// decodable; the context bounds the wait.
-func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.Pair, error) {
+// decodable; the context bounds the wait. It reports the pair, whether the
+// DAP proved the pair's tag propagated to a quorum (always false for
+// implementations without dap.ConfirmedReader, e.g. LDR), and how many
+// get-data rounds it spent (retries are real quorum rounds).
+func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.Pair, bool, int, error) {
 	client, err := c.daps.Get(conf)
 	if err != nil {
-		return tag.Pair{}, err
+		return tag.Pair{}, false, 0, err
 	}
+	cr, _ := client.(dap.ConfirmedReader)
+	rounds := 0
 	for attempt := 0; ; attempt++ {
-		pair, err := client.GetData(ctx)
+		var (
+			pair      tag.Pair
+			confirmed bool
+			err       error
+		)
+		rounds++
+		if cr != nil {
+			pair, confirmed, err = cr.GetDataConfirmed(ctx)
+		} else {
+			pair, err = client.GetData(ctx)
+		}
 		if err == nil {
-			return pair, nil
+			return pair, confirmed, rounds, nil
 		}
 		if !errors.Is(err, treas.ErrNotDecodable) {
-			return tag.Pair{}, err
+			return tag.Pair{}, false, rounds, err
 		}
 		select {
 		case <-ctx.Done():
-			return tag.Pair{}, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
+			return tag.Pair{}, false, rounds, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
 		case <-time.After(c.retryDelay(attempt)):
 		}
 	}
@@ -319,23 +367,26 @@ func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.
 
 // propagate is the shared tail of read and write (Alg. 7 lines 14–22 /
 // 36–44): put-data into the last configuration, re-read the sequence, and
-// repeat whenever a new configuration appeared meanwhile.
-func (c *Client) propagate(ctx context.Context, seq cfg.Sequence, p tag.Pair) (cfg.Sequence, error) {
+// repeat whenever a new configuration appeared meanwhile. It reports how
+// many put-data rounds it performed (the read path adds them to ReadRounds).
+func (c *Client) propagate(ctx context.Context, seq cfg.Sequence, p tag.Pair) (cfg.Sequence, int, error) {
+	rounds := 0
 	for {
 		last := seq.Last().Cfg
 		client, err := c.daps.Get(last)
 		if err != nil {
-			return nil, err
+			return nil, rounds, err
 		}
+		rounds++
 		if err := client.PutData(ctx, p); err != nil {
-			return nil, fmt.Errorf("core: put-data on %s: %w", last.ID, err)
+			return nil, rounds, fmt.Errorf("core: put-data on %s: %w", last.ID, err)
 		}
 		next, err := c.rec.ReadConfig(ctx, seq)
 		if err != nil {
-			return nil, fmt.Errorf("core: propagate read-config: %w", err)
+			return nil, rounds, fmt.Errorf("core: propagate read-config: %w", err)
 		}
 		if next.Nu() == seq.Nu() {
-			return next, nil
+			return next, rounds, nil
 		}
 		seq = next
 	}

@@ -35,6 +35,21 @@ type Client interface {
 	PutData(ctx context.Context, p tag.Pair) error
 }
 
+// ConfirmedReader is an optional extension of Client for DAP
+// implementations whose get-data replies can prove propagation: confirmed
+// reports that the returned pair's tag was already held by a full quorum at
+// the time of the query. A reader holding that proof may skip its put-data
+// write-back round — any later get-data quorum intersects the confirming
+// quorum and therefore observes a tag at least as large (C1 still holds for
+// the skipped propagation). ABD and TREAS implement it; implementations
+// that cannot prove propagation (e.g. LDR's separate replica/directory
+// roles) simply don't, and readers fall back to the two-round template.
+type ConfirmedReader interface {
+	Client
+	// GetDataConfirmed is GetData plus the propagation proof.
+	GetDataConfirmed(ctx context.Context) (p tag.Pair, confirmed bool, err error)
+}
+
 // Factory builds a DAP client for a configuration. The transport client is
 // the invoking process's network endpoint.
 type Factory func(c cfg.Configuration, rpc transport.Client) (Client, error)

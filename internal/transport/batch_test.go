@@ -1,0 +1,483 @@
+package transport
+
+// Tests for the FrameBatch coalescing layer: batch framing round trips,
+// malformed-batch rejection, the writer path's envelope/byte caps, the
+// saturated-send-queue Invoke contract, and race-safety of the process-wide
+// codec counters (pinned under -race).
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// TestWireBatchRoundTrip pins that batched encodes decode into exactly the
+// single-frame envelope stream: the decoder is transparent, so read loops
+// never learn whether the peer batched. The gob format has no batch framing;
+// its per-envelope fallback must produce the same decoded stream.
+func TestWireBatchRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, format := range []WireFormat{WireBinary, WireGob} {
+		format := format
+		t.Run(string(format), func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			enc := newFrameEncoder(format, &buf)
+			if err := enc.encodeRequestBatch(sampleEnvelopes()); err != nil {
+				t.Fatal(err)
+			}
+			if err := enc.encodeReplyBatch(sampleReplies()); err != nil {
+				t.Fatal(err)
+			}
+			if err := enc.flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			dec := newFrameDecoder(format, &buf)
+			for _, want := range sampleEnvelopes() {
+				var got tcpEnvelope
+				if err := dec.decodeRequest(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batched request round trip:\n got %+v\nwant %+v", got, want)
+				}
+			}
+			for _, want := range sampleReplies() {
+				var got tcpReply
+				if err := dec.decodeReply(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batched reply round trip:\n got %+v\nwant %+v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWireBatchOfOneIsPlainFrame pins the degenerate case: a batch of one
+// emits byte-identical wire to the single-frame encoder, so a lone envelope
+// never pays batch framing overhead.
+func TestWireBatchOfOneIsPlainFrame(t *testing.T) {
+	t.Parallel()
+	env := sampleEnvelopes()[0]
+	var single, batched bytes.Buffer
+	encS := newFrameEncoder(WireBinary, &single)
+	if err := encS.encodeRequest(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := encS.flush(); err != nil {
+		t.Fatal(err)
+	}
+	encB := newFrameEncoder(WireBinary, &batched)
+	if err := encB.encodeRequestBatch([]tcpEnvelope{env}); err != nil {
+		t.Fatal(err)
+	}
+	if err := encB.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(single.Bytes(), batched.Bytes()) {
+		t.Fatalf("batch of one is not the plain frame:\n single %x\nbatched %x",
+			single.Bytes(), batched.Bytes())
+	}
+}
+
+// rawFrame length-prefixes a hand-built body the way writeFrame would.
+func rawFrame(body []byte) []byte {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	return append(prefix[:], body...)
+}
+
+// TestWireRejectsMalformedBatchFrames pins that corrupt batch frames fail the
+// decode loudly instead of misparsing or over-allocating.
+func TestWireRejectsMalformedBatchFrames(t *testing.T) {
+	t.Parallel()
+	valid := appendRequestBody(nil, sampleEnvelopes()[0])
+	cases := map[string][]byte{
+		"zero envelopes": binary.AppendUvarint([]byte{frameBatch}, 0),
+		"count exceeds frame bytes": append(
+			binary.AppendUvarint([]byte{frameBatch}, 1<<20), 1, 2, 3),
+		"trailing bytes": append(
+			appendWireBytes(binary.AppendUvarint([]byte{frameBatch}, 1), valid), 0xEE),
+		"truncated inner body": appendWireBytes(
+			binary.AppendUvarint([]byte{frameBatch}, 2), valid),
+	}
+	for name, body := range cases {
+		name, body := name, body
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			dec := newFrameDecoder(WireBinary, bytes.NewReader(rawFrame(body)))
+			var env tcpEnvelope
+			if err := dec.decodeRequest(&env); err == nil {
+				t.Fatalf("malformed batch frame (%s) was accepted", name)
+			}
+		})
+	}
+}
+
+// TestWireBatchCountsIntoCodecStats pins the batch observability the bench
+// and CI assertions consume: one batched frame advances FramesBatched and the
+// right EnvelopesPerFrame bucket, and costs one wire frame, not N.
+func TestWireBatchCountsIntoCodecStats(t *testing.T) {
+	// Not parallel: codec counters are process-wide.
+	envs := sampleEnvelopes()
+	before := CodecStats()
+	var buf bytes.Buffer
+	enc := newFrameEncoder(WireBinary, &buf)
+	if err := enc.encodeRequestBatch(envs); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec := newFrameDecoder(WireBinary, &buf)
+	for range envs {
+		var env tcpEnvelope
+		if err := dec.decodeRequest(&env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := CodecStats()
+	if got := after.FramesBatched - before.FramesBatched; got != 1 {
+		t.Fatalf("FramesBatched delta = %d, want 1", got)
+	}
+	bucket := batchBucket(len(envs))
+	if got := after.EnvelopesPerFrame[bucket] - before.EnvelopesPerFrame[bucket]; got != 1 {
+		t.Fatalf("EnvelopesPerFrame[%s] delta = %d, want 1", BatchBucketLabels[bucket], got)
+	}
+	if got := after.WireEncodes - before.WireEncodes; got != 1 {
+		t.Fatalf("WireEncodes delta = %d, want 1 (the whole batch is one frame)", got)
+	}
+	if got := after.WireDecodes - before.WireDecodes; got != 1 {
+		t.Fatalf("WireDecodes delta = %d, want 1", got)
+	}
+}
+
+// TestBatchCaps pins the cap resolution: batching off collapses the count cap
+// to 1 (the pre-batching one-frame-per-envelope layout, where the writer also
+// flushes each frame individually) without touching the byte cap.
+func TestBatchCaps(t *testing.T) {
+	t.Parallel()
+	o := defaultTCPOptions()
+	if env, by := o.batchCaps(); env != defaultBatchEnvelopes || by != defaultBatchBytes {
+		t.Fatalf("default caps = (%d, %d), want (%d, %d)", env, by, defaultBatchEnvelopes, defaultBatchBytes)
+	}
+	WithBatchLimits(3, 4096)(&o)
+	if env, by := o.batchCaps(); env != 3 || by != 4096 {
+		t.Fatalf("caps after WithBatchLimits(3, 4096) = (%d, %d)", env, by)
+	}
+	WithBatchLimits(0, -1)(&o) // invalid values are ignored, not applied
+	if env, by := o.batchCaps(); env != 3 || by != 4096 {
+		t.Fatalf("caps after invalid WithBatchLimits = (%d, %d), want (3, 4096)", env, by)
+	}
+	WithBatching(false)(&o)
+	if env, by := o.batchCaps(); env != 1 || by != 4096 {
+		t.Fatalf("unbatched caps = (%d, %d), want (1, 4096)", env, by)
+	}
+}
+
+// pipeBook dials net.Pipe client halves and hands the server halves to the
+// test, which plays the peer directly on the raw stream.
+func pipeBook(serverSide chan<- net.Conn) TCPOption {
+	return WithDialFunc(func(ctx context.Context, addr string) (net.Conn, error) {
+		cs, ss := net.Pipe()
+		serverSide <- ss
+		return cs, nil
+	})
+}
+
+// TestTCPWriterSplitsBatchesAcrossCaps drives a burst of concurrent Invokes
+// into a writer with tight batch caps and inspects the raw frames: every
+// frame respects the cap, at least one FrameBatch appears, and every Invoke
+// still resolves. Covers both the envelope-count cap and the byte cap.
+func TestTCPWriterSplitsBatchesAcrossCaps(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		limits  TCPOption
+		payload int
+	}{
+		// Cap 2 envelopes: five requests must split into ≥2 batch frames.
+		{name: "count-cap", limits: WithBatchLimits(2, 1<<20)},
+		// ~1 KiB payloads against a 1500 B cap: the byte cap closes each
+		// batch at two envelopes even though the count cap allows 64.
+		{name: "byte-cap", limits: WithBatchLimits(64, 1500), payload: 1000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serverSide := make(chan net.Conn, 1)
+			client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": "pipe"}),
+				tc.limits, pipeBook(serverSide))
+			defer client.Close()
+
+			const total = 5
+			results := make(chan error, total)
+			for i := 0; i < total; i++ {
+				go func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					resp, err := client.Invoke(ctx, "s1", Request{
+						Service: "svc", Type: "op", Payload: bytes.Repeat([]byte{0x5A}, tc.payload),
+					})
+					if err == nil && !resp.OK {
+						err = fmt.Errorf("response not OK: %+v", resp)
+					}
+					results <- err
+				}()
+			}
+			ss := <-serverSide
+			defer ss.Close()
+			// Let all five enqueue while the writer is wedged flushing the
+			// first frame into the unread pipe, so the drain pass finds
+			// cross-request traffic to pack.
+			time.Sleep(100 * time.Millisecond)
+
+			// Play the server on the raw stream: tee the bytes for structural
+			// assertions while a real decoder yields envelopes to answer.
+			var raw bytes.Buffer
+			dec := newFrameDecoder(WireBinary, io.TeeReader(ss, &raw))
+			enc := newFrameEncoder(WireBinary, ss)
+			for seen := 0; seen < total; seen++ {
+				var env tcpEnvelope
+				if err := dec.decodeRequest(&env); err != nil {
+					t.Fatalf("decoding request %d: %v", seen, err)
+				}
+				if err := enc.encodeReply(tcpReply{ID: env.ID, Resp: OKResponse(nil)}); err != nil {
+					t.Fatal(err)
+				}
+				if err := enc.flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < total; i++ {
+				if err := <-results; err != nil {
+					t.Fatalf("invoke %d: %v", i, err)
+				}
+			}
+
+			// Walk the captured stream frame by frame.
+			frames, batches, envelopes := 0, 0, 0
+			for raw.Len() > 0 {
+				var prefix [4]byte
+				if _, err := io.ReadFull(&raw, prefix[:]); err != nil {
+					t.Fatal(err)
+				}
+				body := make([]byte, binary.BigEndian.Uint32(prefix[:]))
+				if _, err := io.ReadFull(&raw, body); err != nil {
+					t.Fatal(err)
+				}
+				frames++
+				if len(body) > 0 && body[0] == frameBatch {
+					batches++
+					c := wireCursor{b: body[1:]}
+					n := int(c.uvarint())
+					if c.err != nil {
+						t.Fatal(c.err)
+					}
+					if n > 2 {
+						t.Fatalf("batch frame carries %d envelopes, cap is 2", n)
+					}
+					envelopes += n
+				} else {
+					envelopes++
+				}
+			}
+			if envelopes != total {
+				t.Fatalf("stream carried %d envelopes, want %d", envelopes, total)
+			}
+			if batches == 0 {
+				t.Fatalf("no FrameBatch in %d frames: the writer never coalesced", frames)
+			}
+		})
+	}
+}
+
+// TestTCPUnbatchedMatchesBatched pins end-to-end equivalence over real
+// sockets: a WithBatching(false) deployment serves the identical concurrent
+// traffic (the bench baseline), and — not parallel, so the global counters
+// are attributable — produces zero FrameBatch frames.
+func TestTCPUnbatchedMatchesBatched(t *testing.T) {
+	// Not parallel: asserts on the process-wide FramesBatched counter.
+	srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil), WithBatching(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}), WithBatching(false))
+	defer client.Close()
+
+	before := CodecStats()
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("unbatched-%d", i))
+			resp, err := client.Invoke(context.Background(), "s1", Request{Service: "svc", Type: "echo", Payload: payload})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp.Payload) != string(payload) {
+				errs <- fmt.Errorf("response %q for request %q", resp.Payload, payload)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	after := CodecStats()
+	if got := after.FramesBatched - before.FramesBatched; got != 0 {
+		t.Fatalf("FramesBatched advanced by %d on an unbatched deployment", got)
+	}
+}
+
+// TestTCPInvokeSaturatedQueueHonorsContext pins the backpressure contract: an
+// Invoke that finds the per-connection send queue full waits for its context
+// deadline instead of failing fast — a saturated writer is congestion, not a
+// dead peer, so the caller must not see ErrUnreachable.
+func TestTCPInvokeSaturatedQueueHonorsContext(t *testing.T) {
+	t.Parallel()
+	serverSide := make(chan net.Conn, 1)
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": "pipe"}),
+		WithSendQueue(1), pipeBook(serverSide))
+	defer client.Close()
+
+	background := make(chan error, 2)
+	invoke := func() {
+		_, err := client.Invoke(context.Background(), "s1", Request{Service: "svc", Type: "op"})
+		background <- err
+	}
+	// First request: the writer drains it and wedges flushing into the
+	// never-read pipe.
+	go invoke()
+	ss := <-serverSide
+	defer ss.Close()
+	time.Sleep(50 * time.Millisecond)
+	// Second request fills the 1-deep queue.
+	go invoke()
+	time.Sleep(50 * time.Millisecond)
+
+	// Third request meets the saturated queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Invoke(ctx, "s1", Request{Service: "svc", Type: "op"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Invoke under saturated queue = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Fatalf("saturated queue misreported as unreachable: %v", err)
+	}
+	if waited := time.Since(start); waited < 100*time.Millisecond {
+		t.Fatalf("Invoke gave up after %v: failed fast instead of waiting out its deadline", waited)
+	}
+
+	// Tear down; the two wedged invokes must resolve (with connection-lost
+	// errors), not leak.
+	client.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-background:
+		case <-time.After(2 * time.Second):
+			t.Fatal("wedged invoke did not resolve after Close")
+		}
+	}
+}
+
+// TestCodecStatsSnapshotRace hammers the counters from encoder, recorder,
+// snapshot, and reset goroutines simultaneously. The -race CI job pins that
+// CodecStats readers never tear against concurrent writers.
+func TestCodecStatsSnapshotRace(t *testing.T) {
+	// Not parallel: ResetCodecStats would clobber other counter tests' deltas.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			enc := newFrameEncoder(WireBinary, io.Discard)
+			envs := sampleEnvelopes()
+			for i := 0; i < 300; i++ {
+				if err := enc.encodeRequestBatch(envs); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := enc.flush(); err != nil {
+					t.Error(err)
+					return
+				}
+				RecordReadRounds(1+i%2, i%2 == 0)
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				u := CodecStats()
+				if u.ReadRounds < 0 || u.FramesBatched < 0 {
+					t.Errorf("snapshot went negative: %+v", u)
+					return
+				}
+				if r == 0 && i%100 == 99 {
+					ResetCodecStats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkTCPInvokeConcurrent measures raw concurrent Invoke throughput over
+// one real loopback connection, batched vs unbatched — the isolated cost of
+// the writer path's coalescing decision, with no storage stack on top.
+func BenchmarkTCPInvokeConcurrent(b *testing.B) {
+	for _, batching := range []bool{true, false} {
+		name := "batched"
+		if !batching {
+			name = "unbatched"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil), WithBatching(batching))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}), WithBatching(batching))
+			defer client.Close()
+			payload := bytes.Repeat([]byte("x"), 256)
+			req := Request{Service: "bench", Type: "echo", Payload: payload}
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := client.Invoke(context.Background(), "s1", req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -45,6 +45,66 @@ type CodecUsage struct {
 	WireDecodes      int64
 	WireEncodedBytes int64
 	WireDecodedBytes int64
+	// FramesBatched counts encoded frames that coalesced more than one
+	// envelope (FrameBatch frames); EnvelopesPerFrame is a histogram of
+	// envelope count per encoded data frame, bucketed per
+	// BatchBucketLabels. Together they show how often the writer path
+	// found cross-key traffic to pack.
+	FramesBatched     int64
+	EnvelopesPerFrame [batchBucketCount]int64
+	// ReadOps counts completed core.Client reads; ReadRounds the data
+	// rounds they took (get-data plus any put-data write-back — metadata
+	// read-config rounds are excluded); ReadFastPaths how many skipped the
+	// write-back because the get-data quorum confirmed the max tag was
+	// already propagated. ReadRounds/ReadOps < 2 proves the one-round fast
+	// path fires.
+	ReadOps       int64
+	ReadRounds    int64
+	ReadFastPaths int64
+}
+
+// batchBucketCount is the number of EnvelopesPerFrame histogram buckets.
+const batchBucketCount = 6
+
+// BatchBucketLabels names the EnvelopesPerFrame buckets, index-aligned with
+// CodecUsage.EnvelopesPerFrame.
+var BatchBucketLabels = [batchBucketCount]string{"1", "2", "3-4", "5-8", "9-16", "17+"}
+
+func batchBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// recordFrameEnvelopes attributes one encoded data frame carrying n
+// envelopes to the batch counters.
+func recordFrameEnvelopes(n int) {
+	codecStats.envelopesPerFrame[batchBucket(n)].Add(1)
+	if n > 1 {
+		codecStats.framesBatched.Add(1)
+	}
+}
+
+// RecordReadRounds attributes one completed read that took the given number
+// of data rounds. fastPath reports whether the read skipped the put-data
+// write-back on quorum-confirmed propagation.
+func RecordReadRounds(rounds int, fastPath bool) {
+	codecStats.readOps.Add(1)
+	codecStats.readRounds.Add(int64(rounds))
+	if fastPath {
+		codecStats.readFastPaths.Add(1)
+	}
 }
 
 type codecCounters struct {
@@ -57,6 +117,13 @@ type codecCounters struct {
 	wireDecodes      atomic.Int64
 	wireEncodedBytes atomic.Int64
 	wireDecodedBytes atomic.Int64
+
+	framesBatched     atomic.Int64
+	envelopesPerFrame [batchBucketCount]atomic.Int64
+
+	readOps       atomic.Int64
+	readRounds    atomic.Int64
+	readFastPaths atomic.Int64
 }
 
 var codecStats codecCounters
@@ -65,7 +132,7 @@ var codecStats codecCounters
 // ResetCodecStats. The Broadcast marshal-once tests and the bench harness
 // read it to verify that one quorum phase costs one body encode.
 func CodecStats() CodecUsage {
-	return CodecUsage{
+	u := CodecUsage{
 		Encodes:          codecStats.encodes.Load(),
 		Decodes:          codecStats.decodes.Load(),
 		EncodedBytes:     codecStats.encodedBytes.Load(),
@@ -74,7 +141,15 @@ func CodecStats() CodecUsage {
 		WireDecodes:      codecStats.wireDecodes.Load(),
 		WireEncodedBytes: codecStats.wireEncodedBytes.Load(),
 		WireDecodedBytes: codecStats.wireDecodedBytes.Load(),
+		FramesBatched:    codecStats.framesBatched.Load(),
+		ReadOps:          codecStats.readOps.Load(),
+		ReadRounds:       codecStats.readRounds.Load(),
+		ReadFastPaths:    codecStats.readFastPaths.Load(),
 	}
+	for i := range codecStats.envelopesPerFrame {
+		u.EnvelopesPerFrame[i] = codecStats.envelopesPerFrame[i].Load()
+	}
+	return u
 }
 
 // ResetCodecStats zeroes the codec counters.
@@ -87,6 +162,13 @@ func ResetCodecStats() {
 	codecStats.wireDecodes.Store(0)
 	codecStats.wireEncodedBytes.Store(0)
 	codecStats.wireDecodedBytes.Store(0)
+	codecStats.framesBatched.Store(0)
+	for i := range codecStats.envelopesPerFrame {
+		codecStats.envelopesPerFrame[i].Store(0)
+	}
+	codecStats.readOps.Store(0)
+	codecStats.readRounds.Store(0)
+	codecStats.readFastPaths.Store(0)
 }
 
 // Marshal gob-encodes a message body for use as a Request or Response

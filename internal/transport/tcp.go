@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,27 +54,47 @@ var ErrClosed = errors.New("transport: tcp client closed")
 
 // Defaults for the data-plane knobs; see the TCPOption constructors.
 const (
-	defaultDialTimeout = 5 * time.Second
-	defaultMaxHandlers = 128
-	defaultSendQueue   = 256
+	defaultDialTimeout    = 5 * time.Second
+	defaultMaxHandlers    = 128
+	defaultSendQueue      = 256
+	defaultBatchEnvelopes = 64
+	defaultBatchBytes     = 128 << 10
 )
 
 // tcpOptions collects the tunables shared by TCPClient and TCPServer.
 type tcpOptions struct {
-	wire        WireFormat
-	dialTimeout time.Duration
-	maxHandlers int
-	sendQueue   int
-	dial        func(ctx context.Context, addr string) (net.Conn, error)
+	wire           WireFormat
+	dialTimeout    time.Duration
+	maxHandlers    int
+	sendQueue      int
+	batching       bool
+	batchEnvelopes int
+	batchBytes     int
+	dial           func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 func defaultTCPOptions() tcpOptions {
 	return tcpOptions{
-		wire:        WireBinary,
-		dialTimeout: defaultDialTimeout,
-		maxHandlers: defaultMaxHandlers,
-		sendQueue:   defaultSendQueue,
+		wire:           WireBinary,
+		dialTimeout:    defaultDialTimeout,
+		maxHandlers:    defaultMaxHandlers,
+		sendQueue:      defaultSendQueue,
+		batching:       true,
+		batchEnvelopes: defaultBatchEnvelopes,
+		batchBytes:     defaultBatchBytes,
 	}
+}
+
+// batchCaps resolves the effective coalescing limits for a writer goroutine.
+// With batching disabled the count cap collapses to 1: every envelope rides
+// its own frame (the pre-batching wire layout). The writer also flushes after
+// every frame in that mode — one frame and one syscall per envelope — so the
+// unbatched baseline measures the full cost coalescing removes.
+func (o tcpOptions) batchCaps() (envelopes, bytes int) {
+	if !o.batching {
+		return 1, o.batchBytes
+	}
+	return o.batchEnvelopes, o.batchBytes
 }
 
 // TCPOption tunes a TCPClient or TCPServer.
@@ -118,6 +139,32 @@ func WithSendQueue(n int) TCPOption {
 	return func(o *tcpOptions) {
 		if n > 0 {
 			o.sendQueue = n
+		}
+	}
+}
+
+// WithBatching toggles cross-key envelope coalescing (default on). When on,
+// a writer goroutine packs every envelope it drains from its queue for one
+// peer into FrameBatch frames, up to the WithBatchLimits caps, and flushes
+// once per drained burst. Off restores one frame and one flush per envelope —
+// the baseline the coalescing bench compares against. Both sides may choose
+// independently: decoders always accept both layouts.
+func WithBatching(enabled bool) TCPOption {
+	return func(o *tcpOptions) {
+		o.batching = enabled
+	}
+}
+
+// WithBatchLimits caps one FrameBatch at maxEnvelopes envelopes and
+// (approximately) maxBytes of frame payload (defaults 64 and 128 KiB). A
+// batch closes when either cap is hit; the next envelope starts a new one.
+func WithBatchLimits(maxEnvelopes, maxBytes int) TCPOption {
+	return func(o *tcpOptions) {
+		if maxEnvelopes > 0 {
+			o.batchEnvelopes = maxEnvelopes
+		}
+		if maxBytes > 0 {
+			o.batchBytes = maxBytes
 		}
 	}
 }
@@ -248,23 +295,52 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	go func() {
 		defer writerWG.Done()
 		defer kill() // a reply-write error tears the connection down
+		maxEnvelopes, maxBytes := s.opts.batchCaps()
+		flushEach := !s.opts.batching
+		batch := make([]tcpReply, 0, maxEnvelopes)
+		size := 0
+		emit := func() error {
+			err := enc.encodeReplyBatch(batch)
+			batch, size = batch[:0], 0
+			if err == nil && flushEach {
+				err = enc.flush()
+			}
+			return err
+		}
 		for {
 			select {
 			case rep := <-replies:
-				if err := enc.encodeReply(rep); err != nil {
-					return
-				}
-				// Drain whatever other handlers finished meanwhile, then
-				// flush once for the batch.
+				// Coalesce whatever other handlers finished meanwhile —
+				// replies for many keys share one frame — then flush once
+				// for the burst.
+				batch = append(batch, rep)
+				size += replyWireSize(rep)
+				yielded := false
 				for drained := false; !drained; {
-					select {
-					case rep = <-replies:
-						if err := enc.encodeReply(rep); err != nil {
+					if len(batch) >= maxEnvelopes || size >= maxBytes {
+						if err := emit(); err != nil {
 							return
 						}
+					}
+					select {
+					case rep = <-replies:
+						batch = append(batch, rep)
+						size += replyWireSize(rep)
 					default:
+						// Same cooperative yield as the client writer: give
+						// handlers that just became runnable one scheduler
+						// pass to finish and enqueue, so concurrent replies
+						// share a frame instead of trickling out one by one.
+						if !yielded && !flushEach {
+							yielded = true
+							runtime.Gosched()
+							continue
+						}
 						drained = true
 					}
+				}
+				if err := emit(); err != nil {
+					return
 				}
 				if err := enc.flush(); err != nil {
 					return
@@ -489,28 +565,70 @@ func (c *TCPClient) conn(ctx context.Context, addr string) (*tcpConn, error) {
 	return tc, nil
 }
 
+// requestWireSize estimates an envelope's frame cost for the batch byte cap
+// (fields plus a generous varint/framing allowance — a cap, not an invoice).
+func requestWireSize(env tcpEnvelope) int {
+	return 16 + len(env.From) + len(env.Req.Service) + len(env.Req.Key) +
+		len(env.Req.Config) + len(env.Req.Type) + len(env.Req.Payload)
+}
+
+func replyWireSize(rep tcpReply) int {
+	return 16 + len(rep.Resp.Err) + len(rep.Resp.Payload)
+}
+
 // writeLoop owns the outbound half of one connection. It drains the send
-// queue before flushing, so bursts of concurrent Invokes coalesce into few
-// syscalls, and it is the only goroutine that can block in a socket write —
-// Invoke and Close never do.
+// queue into FrameBatch frames — all envelopes bound for this peer, whatever
+// key they target, pack together up to the batch caps — and flushes once per
+// burst (or after every frame when batching is off). It is the only goroutine
+// that can block in a socket write; Invoke and Close never do.
 func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
 	enc := newFrameEncoder(c.opts.wire, tc.conn)
 	defer c.dropConn(addr, tc)
+	maxEnvelopes, maxBytes := c.opts.batchCaps()
+	flushEach := !c.opts.batching
+	batch := make([]tcpEnvelope, 0, maxEnvelopes)
+	size := 0
+	emit := func() error {
+		err := enc.encodeRequestBatch(batch)
+		batch, size = batch[:0], 0
+		if err == nil && flushEach {
+			err = enc.flush()
+		}
+		return err
+	}
 	for {
 		select {
 		case env := <-tc.sendQ:
-			if err := enc.encodeRequest(env); err != nil {
-				return
-			}
+			batch = append(batch, env)
+			size += requestWireSize(env)
+			yielded := false
 			for drained := false; !drained; {
-				select {
-				case env = <-tc.sendQ:
-					if err := enc.encodeRequest(env); err != nil {
+				if len(batch) >= maxEnvelopes || size >= maxBytes {
+					if err := emit(); err != nil {
 						return
 					}
+				}
+				select {
+				case env = <-tc.sendQ:
+					batch = append(batch, env)
+					size += requestWireSize(env)
 				default:
+					// One cooperative yield before closing the batch: the
+					// enqueue that woke this writer put it in the scheduler's
+					// next slot, ahead of every other caller mid-broadcast —
+					// draining now would pack batches of one, forever. A
+					// single Gosched lets those callers enqueue first; worst
+					// case is one empty reschedule, no timers.
+					if !yielded && !flushEach {
+						yielded = true
+						runtime.Gosched()
+						continue
+					}
 					drained = true
 				}
+			}
+			if err := emit(); err != nil {
+				return
 			}
 			if err := enc.flush(); err != nil {
 				return

@@ -61,6 +61,13 @@ func ParseWireFormat(s string) (WireFormat, error) {
 const (
 	frameRequest byte = 0x01
 	frameReply   byte = 0x02
+	// frameBatch wraps several request or reply frames in one outer frame:
+	// kind byte, uvarint envelope count, then count × (uvarint inner length,
+	// inner frame body including its own kind byte). The writer goroutine
+	// packs every envelope drained from a send queue in one pass into a
+	// single batch, so a multi-key burst to one peer costs one length
+	// prefix, one write, and one decode loop instead of one frame each.
+	frameBatch byte = 0x03
 )
 
 // maxWireFrame bounds a peer-supplied frame length. A corrupt or hostile
@@ -73,6 +80,12 @@ const maxWireFrame = 64 << 20
 type frameEncoder interface {
 	encodeRequest(env tcpEnvelope) error
 	encodeReply(rep tcpReply) error
+	// encodeRequestBatch and encodeReplyBatch coalesce several envelopes
+	// into one FrameBatch frame (binary format). The gob format has no
+	// batch framing — its encoders fall back to a per-envelope loop, so
+	// -wire gob keeps working with the batching writer path.
+	encodeRequestBatch(envs []tcpEnvelope) error
+	encodeReplyBatch(reps []tcpReply) error
 	// flush pushes buffered frames onto the socket. The writer goroutine
 	// calls it after draining its send queue, so back-to-back frames share
 	// one syscall.
@@ -132,6 +145,9 @@ func newFrameDecoder(f WireFormat, r io.Reader) frameDecoder {
 type binaryFrameEncoder struct {
 	bw      *bufio.Writer
 	scratch []byte
+	// inner is a second reuse buffer for building per-envelope bodies while
+	// scratch accumulates the outer batch frame.
+	inner []byte
 }
 
 func appendWireString(b []byte, s string) []byte {
@@ -159,8 +175,7 @@ func (e *binaryFrameEncoder) writeFrame(body []byte) error {
 	return nil
 }
 
-func (e *binaryFrameEncoder) encodeRequest(env tcpEnvelope) error {
-	b := e.scratch[:0]
+func appendRequestBody(b []byte, env tcpEnvelope) []byte {
 	b = append(b, frameRequest)
 	b = binary.AppendUvarint(b, env.ID)
 	b = appendWireString(b, string(env.From))
@@ -169,12 +184,10 @@ func (e *binaryFrameEncoder) encodeRequest(env tcpEnvelope) error {
 	b = appendWireString(b, env.Req.Config)
 	b = appendWireString(b, env.Req.Type)
 	b = appendWireBytes(b, env.Req.Payload)
-	e.scratch = b
-	return e.writeFrame(b)
+	return b
 }
 
-func (e *binaryFrameEncoder) encodeReply(rep tcpReply) error {
-	b := e.scratch[:0]
+func appendReplyBody(b []byte, rep tcpReply) []byte {
 	b = append(b, frameReply)
 	b = binary.AppendUvarint(b, rep.ID)
 	if rep.Resp.OK {
@@ -184,8 +197,62 @@ func (e *binaryFrameEncoder) encodeReply(rep tcpReply) error {
 	}
 	b = appendWireString(b, rep.Resp.Err)
 	b = appendWireBytes(b, rep.Resp.Payload)
+	return b
+}
+
+func (e *binaryFrameEncoder) encodeRequest(env tcpEnvelope) error {
+	b := appendRequestBody(e.scratch[:0], env)
 	e.scratch = b
+	recordFrameEnvelopes(1)
 	return e.writeFrame(b)
+}
+
+func (e *binaryFrameEncoder) encodeReply(rep tcpReply) error {
+	b := appendReplyBody(e.scratch[:0], rep)
+	e.scratch = b
+	recordFrameEnvelopes(1)
+	return e.writeFrame(b)
+}
+
+// encodeBatch wraps n pre-built inner bodies (appended via build) into one
+// FrameBatch frame. A batch of one degrades to the plain single frame, so
+// the wire never pays batch overhead for a lone envelope.
+func (e *binaryFrameEncoder) encodeBatch(n int, build func(b []byte, i int) []byte) error {
+	if n == 1 {
+		b := build(e.scratch[:0], 0)
+		e.scratch = b
+		recordFrameEnvelopes(1)
+		return e.writeFrame(b)
+	}
+	outer := e.scratch[:0]
+	outer = append(outer, frameBatch)
+	outer = binary.AppendUvarint(outer, uint64(n))
+	for i := 0; i < n; i++ {
+		inner := build(e.inner[:0], i)
+		e.inner = inner
+		outer = appendWireBytes(outer, inner)
+	}
+	e.scratch = outer
+	recordFrameEnvelopes(n)
+	return e.writeFrame(outer)
+}
+
+func (e *binaryFrameEncoder) encodeRequestBatch(envs []tcpEnvelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	return e.encodeBatch(len(envs), func(b []byte, i int) []byte {
+		return appendRequestBody(b, envs[i])
+	})
+}
+
+func (e *binaryFrameEncoder) encodeReplyBatch(reps []tcpReply) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	return e.encodeBatch(len(reps), func(b []byte, i int) []byte {
+		return appendReplyBody(b, reps[i])
+	})
 }
 
 func (e *binaryFrameEncoder) flush() error { return e.bw.Flush() }
@@ -193,6 +260,10 @@ func (e *binaryFrameEncoder) flush() error { return e.bw.Flush() }
 type binaryFrameDecoder struct {
 	br      *bufio.Reader
 	scratch []byte
+	// pending holds the not-yet-consumed inner bodies of the last FrameBatch
+	// frame. They alias scratch, which is safe because readFrame only runs
+	// again once pending is empty.
+	pending [][]byte
 }
 
 // readFrame reads one length-prefixed frame body into the reused scratch
@@ -214,6 +285,50 @@ func (d *binaryFrameDecoder) readFrame() ([]byte, error) {
 		return nil, err
 	}
 	codecStats.wireDecodes.Add(1)
+	return body, nil
+}
+
+// nextBody returns the next envelope body: a queued inner body from the last
+// batch frame if any remain, otherwise a fresh frame — unpacking it first if
+// it is a FrameBatch. Callers see a flat stream of request/reply bodies; the
+// read loops never know whether the peer batched.
+func (d *binaryFrameDecoder) nextBody() ([]byte, error) {
+	if len(d.pending) > 0 {
+		body := d.pending[0]
+		d.pending = d.pending[1:]
+		return body, nil
+	}
+	body, err := d.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 || body[0] != frameBatch {
+		return body, nil
+	}
+	c := wireCursor{b: body[1:]}
+	n := c.uvarint()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("transport: empty batch frame")
+	}
+	if n > uint64(len(c.b)) { // every inner body costs ≥1 byte on the wire
+		return nil, fmt.Errorf("transport: batch frame claims %d envelopes in %d bytes", n, len(c.b))
+	}
+	inners := d.pending[:0]
+	for i := uint64(0); i < n; i++ {
+		inner := c.bytes()
+		if c.err != nil {
+			return nil, c.err
+		}
+		inners = append(inners, inner)
+	}
+	if len(c.b) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after batch frame", len(c.b))
+	}
+	body = inners[0]
+	d.pending = inners[1:]
 	return body, nil
 }
 
@@ -274,7 +389,7 @@ func (c *wireCursor) byte() byte {
 }
 
 func (d *binaryFrameDecoder) decodeRequest(env *tcpEnvelope) error {
-	body, err := d.readFrame()
+	body, err := d.nextBody()
 	if err != nil {
 		return err
 	}
@@ -297,7 +412,7 @@ func (d *binaryFrameDecoder) decodeRequest(env *tcpEnvelope) error {
 }
 
 func (d *binaryFrameDecoder) decodeReply(rep *tcpReply) error {
-	body, err := d.readFrame()
+	body, err := d.nextBody()
 	if err != nil {
 		return err
 	}
@@ -325,12 +440,35 @@ type gobFrameEncoder struct {
 
 func (e *gobFrameEncoder) encodeRequest(env tcpEnvelope) error {
 	codecStats.wireEncodes.Add(1)
+	recordFrameEnvelopes(1)
 	return e.enc.Encode(env)
 }
 
 func (e *gobFrameEncoder) encodeReply(rep tcpReply) error {
 	codecStats.wireEncodes.Add(1)
+	recordFrameEnvelopes(1)
 	return e.enc.Encode(rep)
+}
+
+// The gob stream has no batch framing: batching still amortizes the flush
+// syscall (one Flush per drained queue), but each envelope is its own gob
+// value so the legacy format stays decodable by older peers.
+func (e *gobFrameEncoder) encodeRequestBatch(envs []tcpEnvelope) error {
+	for _, env := range envs {
+		if err := e.encodeRequest(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *gobFrameEncoder) encodeReplyBatch(reps []tcpReply) error {
+	for _, rep := range reps {
+		if err := e.encodeReply(rep); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *gobFrameEncoder) flush() error { return e.bw.Flush() }

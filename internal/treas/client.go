@@ -47,7 +47,10 @@ func Factory(c cfg.Configuration, rpc transport.Client) (dap.Client, error) {
 	return NewClient(c, rpc)
 }
 
-var _ dap.Client = (*Client)(nil)
+var (
+	_ dap.Client          = (*Client)(nil)
+	_ dap.ConfirmedReader = (*Client)(nil)
+)
 
 // GetTag queries all servers for their highest tags and returns the maximum
 // among ⌈(n+k)/2⌉ responses (Alg. 2 get-tag).
@@ -71,13 +74,25 @@ func (c *Client) GetTag(ctx context.Context) (tag.Tag, error) {
 // tag that (i) appears in at least k lists and (ii) has coded elements in at
 // least k lists; both maxima must coincide (Alg. 2 get-data lines 11–17).
 func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
+	p, _, err := c.GetDataConfirmed(ctx)
+	return p, err
+}
+
+// GetDataConfirmed implements dap.ConfirmedReader. The decoded tag is
+// confirmed when every list in the gathered quorum carries its coded
+// element: the coding parameters then always permit skipping the
+// write-back, because with q = ⌈(n+k)/2⌉ any two quorums intersect in
+// 2q − n ≥ k servers, so every later get-data quorum finds at least k
+// elements of this tag (or of a larger one — element lists are
+// tag-monotone) and can decode it.
+func (c *Client) GetDataConfirmed(ctx context.Context) (tag.Pair, bool, error) {
 	q := c.cfg.Quorum()
 	got, err := transport.Broadcast(ctx, c.rpc, c.cfg.Servers,
 		transport.Phase[listResp]{Service: ServiceName, Key: c.cfg.Key, Config: string(c.cfg.ID), Type: msgQueryList, Body: struct{}{}},
 		transport.AtLeast[listResp](q.Size()),
 	)
 	if err != nil {
-		return tag.Pair{}, fmt.Errorf("treas: get-data on %s: %w", c.cfg.ID, err)
+		return tag.Pair{}, false, fmt.Errorf("treas: get-data on %s: %w", c.cfg.ID, err)
 	}
 
 	// Count, per tag: in how many lists it appears, and in how many it
@@ -120,17 +135,17 @@ func (c *Client) GetData(ctx context.Context) (tag.Pair, error) {
 		// Concurrent writes beyond δ can garbage-collect every common
 		// decodable tag out of this quorum's lists. The paper's read simply
 		// does not complete yet — report the retryable condition.
-		return tag.Pair{}, fmt.Errorf("%w: no tag decodable from %d lists on %s", ErrNotDecodable, k, c.cfg.ID)
+		return tag.Pair{}, false, fmt.Errorf("%w: no tag decodable from %d lists on %s", ErrNotDecodable, k, c.cfg.ID)
 	}
 	if tStarMax != tDecMax {
-		return tag.Pair{}, fmt.Errorf("%w: t*max=%v tdecmax=%v on %s", ErrNotDecodable, tStarMax, tDecMax, c.cfg.ID)
+		return tag.Pair{}, false, fmt.Errorf("%w: t*max=%v tdecmax=%v on %s", ErrNotDecodable, tStarMax, tDecMax, c.cfg.ID)
 	}
 	ti := info[tDecMax]
 	value, err := c.code.Decode(ti.elems, ti.valueLen)
 	if err != nil {
-		return tag.Pair{}, fmt.Errorf("treas: get-data decode on %s: %w", c.cfg.ID, err)
+		return tag.Pair{}, false, fmt.Errorf("treas: get-data decode on %s: %w", c.cfg.ID, err)
 	}
-	return tag.Pair{Tag: tDecMax, Value: value}, nil
+	return tag.Pair{Tag: tDecMax, Value: value}, ti.withElem >= q.Size(), nil
 }
 
 // PutData encodes the value and sends each server its coded element,

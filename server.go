@@ -42,6 +42,19 @@ const (
 // WithWireFormat selects the wire format for a server or client.
 func WithWireFormat(f WireFormat) TCPOption { return transport.WithWireFormat(f) }
 
+// WithBatching toggles cross-key envelope coalescing on the TCP data plane
+// (default on): a connection's writer packs every queued envelope for its
+// peer — across keys and phases — into batched frames and flushes once per
+// burst. Disable it for the unbatched baseline (ares-server -nobatch): one
+// frame and one flush per envelope.
+func WithBatching(enabled bool) TCPOption { return transport.WithBatching(enabled) }
+
+// WithBatchLimits caps one batched frame at maxEnvelopes envelopes and
+// approximately maxBytes of payload (defaults 64 and 128 KiB).
+func WithBatchLimits(maxEnvelopes, maxBytes int) TCPOption {
+	return transport.WithBatchLimits(maxEnvelopes, maxBytes)
+}
+
 // ParseWireFormat converts a flag value ("binary", "gob") into a WireFormat.
 func ParseWireFormat(s string) (WireFormat, error) { return transport.ParseWireFormat(s) }
 

@@ -537,6 +537,35 @@ func (s *ObjectStore) Keys() []string {
 	return keys
 }
 
+// ReadRoundStats is a process-wide snapshot of the one-round read fast
+// path's effect: how many reads completed, how many data rounds (get-data +
+// put-data quorum phases) they spent in total, and how many skipped the
+// write-back because the get-data quorum proved the max tag propagated.
+// Counters are process-wide and cumulative; benches snapshot before/after a
+// phase and subtract.
+type ReadRoundStats struct {
+	Ops       int64
+	Rounds    int64
+	FastPaths int64
+}
+
+// AvgRounds is Rounds/Ops (0 when no reads completed). On a quiescent key
+// it approaches 1.0; every read below 2.0 average is write-back traffic the
+// fast path saved.
+func (s ReadRoundStats) AvgRounds() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Rounds) / float64(s.Ops)
+}
+
+// ReadRounds reports the fast-path counters accumulated by every Client and
+// ObjectStore read in this process.
+func ReadRounds() ReadRoundStats {
+	u := transport.CodecStats()
+	return ReadRoundStats{Ops: u.ReadOps, Rounds: u.ReadRounds, FastPaths: u.ReadFastPaths}
+}
+
 // RepairServer reconstructs the coded elements missing at one server of a
 // TREAS configuration — recovery from state loss without a reconfiguration
 // (the paper's "efficient repair" future-work direction). It returns how
