@@ -156,6 +156,32 @@ type tcpFastReadResult struct {
 	OpsPerSec    float64 `json:"ops_per_sec"`
 }
 
+// tcpDurabilitySample is one leg of the durability comparison: an identical
+// write-heavy sweep workload measured against servers that are in-memory,
+// journaling without fsync, or journaling with fsync-per-group-commit.
+type tcpDurabilitySample struct {
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	SecondsTotal float64 `json:"seconds_total"`
+}
+
+// tcpDurabilityResult is the durability phase's artifact: write throughput
+// across the three persistence modes (interleaved timed slices, so host
+// drift hits all legs alike), plus a crash-recovery measurement — the
+// fsync-off cluster is SIGKILLed with a known value acknowledged on every
+// key, respawned on the same data directories, and timed until it serves
+// again; recovered_reads_ok says every key read back its pre-crash value.
+type tcpDurabilityResult struct {
+	Keys           int                 `json:"keys"`
+	InMemory       tcpDurabilitySample `json:"in_memory"`
+	FsyncOff       tcpDurabilitySample `json:"fsync_off"`
+	FsyncOn        tcpDurabilitySample `json:"fsync_on"`
+	FsyncOffRatio  float64             `json:"fsync_off_ratio"`
+	FsyncOnRatio   float64             `json:"fsync_on_ratio"`
+	RecoveryMillis float64             `json:"recovery_ms"`
+	RecoveredReads bool                `json:"recovered_reads_ok"`
+}
+
 // tcpSuiteSummary is the machine-readable artifact -tcp -json emits.
 type tcpSuiteSummary struct {
 	Generated  string               `json:"generated"`
@@ -173,6 +199,7 @@ type tcpSuiteSummary struct {
 	Codec      *tcpCodecResult      `json:"codec,omitempty"`
 	Coalescing *tcpCoalescingResult `json:"coalescing,omitempty"`
 	FastRead   *tcpFastReadResult   `json:"fast_read,omitempty"`
+	Durability *tcpDurabilityResult `json:"durability,omitempty"`
 	Workloads  []workloadResult     `json:"workloads"`
 }
 
@@ -186,6 +213,11 @@ type tcpCluster struct {
 	wire  ares.WireFormat
 	procs []*exec.Cmd
 	logs  []*strings.Builder
+	// bin and argv record how each server was started so the durability
+	// phase can kill the processes and respawn them on the same ports and
+	// data directories.
+	bin  string
+	argv [][]string
 }
 
 // freeLoopbackAddrs reserves n distinct loopback ports by binding and
@@ -245,6 +277,7 @@ func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstr
 	}
 	peersFlag := strings.Join(peers, ",")
 
+	c.bin = bin
 	for i, id := range c.ids {
 		args := []string{
 			"-id", string(id),
@@ -256,6 +289,7 @@ func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstr
 			args = append(args, "-bootstrap", bootstrap)
 		}
 		args = append(args, extraArgs...)
+		c.argv = append(c.argv, args)
 		cmd := exec.Command(bin, args...)
 		logBuf := &strings.Builder{}
 		if p.verbose {
@@ -279,6 +313,54 @@ func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstr
 		return nil, fmt.Errorf("%w\nserver output:\n%s", err, logs)
 	}
 	return c, nil
+}
+
+// kill SIGKILLs every server process — no shutdown hook, no flush — and
+// reaps them. The durability phase uses it to model a crash before measuring
+// recovery.
+func (c *tcpCluster) kill() {
+	for _, cmd := range c.procs {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range c.procs {
+		_ = cmd.Wait()
+	}
+	c.procs = nil
+}
+
+// respawn restarts every server with its original command line (same ports,
+// same data directories) and waits until all answer — which, for servers
+// with -data-dir, means recovery replayed before the listener came up.
+func (c *tcpCluster) respawn(p tcpSuiteParams) error {
+	if len(c.procs) != 0 {
+		return fmt.Errorf("tcp suite: respawn with %d processes still tracked", len(c.procs))
+	}
+	c.logs = nil
+	for i, args := range c.argv {
+		cmd := exec.Command(c.bin, args...)
+		logBuf := &strings.Builder{}
+		if p.verbose {
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+		} else {
+			cmd.Stdout = logBuf
+			cmd.Stderr = logBuf
+		}
+		if err := cmd.Start(); err != nil {
+			c.stop()
+			return fmt.Errorf("tcp suite: respawning %s: %w", c.ids[i], err)
+		}
+		c.procs = append(c.procs, cmd)
+		c.logs = append(c.logs, logBuf)
+	}
+	if err := c.awaitReady(p); err != nil {
+		logs := c.tail()
+		c.stop()
+		return fmt.Errorf("%w\nserver output:\n%s", err, logs)
+	}
+	return nil
 }
 
 // awaitReady pings every server's control service until it answers (any
@@ -878,6 +960,179 @@ func runTCPFastRead(rpc transport.Client, template ares.Config, d time.Duration)
 	return res, nil
 }
 
+// durabilityKeys sizes the durability phase's key set: enough concurrent
+// writers that the group-commit writer has bursts to batch.
+const durabilityKeys = 16
+
+// durabilityRounds is how many interleaved slice triples the phase runs
+// (same drift-fairness rationale as coalescingRounds).
+const durabilityRounds = 3
+
+// durabilityLeg is one persistence mode under measurement: a spawned
+// cluster, a client, and the running totals its timed slices fold into.
+type durabilityLeg struct {
+	name    string
+	cluster *tcpCluster
+	rpc     *transport.TCPClient
+	store   *tcpKeyStore
+	ops     int64
+	elapsed time.Duration
+}
+
+func (l *durabilityLeg) close() {
+	if l.rpc != nil {
+		l.rpc.Close()
+	}
+	if l.cluster != nil {
+		l.cluster.stop()
+	}
+}
+
+func (l *durabilityLeg) finish() tcpDurabilitySample {
+	s := tcpDurabilitySample{Ops: l.ops, SecondsTotal: l.elapsed.Seconds()}
+	if l.elapsed > 0 {
+		s.OpsPerSec = float64(l.ops) / l.elapsed.Seconds()
+	}
+	return s
+}
+
+// setupDurabilityLeg spawns one cluster with the given persistence flags,
+// installs the keyed template, and warms every key.
+func setupDurabilityLeg(p tcpSuiteParams, bin, name string, keys []string, value types.Value, serverArgs ...string) (*durabilityLeg, error) {
+	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, "", serverArgs...)
+	if err != nil {
+		return nil, err
+	}
+	leg := &durabilityLeg{name: name, cluster: cluster}
+	leg.rpc = ares.NewTCPClient(types.ProcessID("bench-dur-"+name), cluster.book)
+	template := tcpTemplateFor(cluster)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := core.RemoteInstaller(leg.rpc)(ctx, template); err != nil {
+		leg.close()
+		return nil, fmt.Errorf("installing template (%s): %w", name, err)
+	}
+	leg.store = newTCPKeyStore(template, leg.rpc)
+	if err := sweepKeys(keys, func(key string) error { return leg.store.Put(ctx, key, value) }); err != nil {
+		leg.close()
+		return nil, fmt.Errorf("durability warmup (%s): %w", name, err)
+	}
+	return leg, nil
+}
+
+// runDurabilitySlice drives concurrent per-key writes — the operation the
+// WAL sits under — against the leg for one timed slice.
+func runDurabilitySlice(l *durabilityLeg, keys []string, value types.Value, slice time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	deadline := start.Add(slice)
+	var ops int64
+	for time.Now().Before(deadline) {
+		if err := sweepKeys(keys, func(key string) error { return l.store.Put(ctx, key, value) }); err != nil {
+			return err
+		}
+		ops += int64(len(keys))
+	}
+	l.ops += ops
+	l.elapsed += time.Since(start)
+	return nil
+}
+
+// runTCPDurability measures what durability costs and what it buys: write
+// ops/s for in-memory vs fsync-off vs fsync-on servers in interleaved
+// slices, then a SIGKILL + respawn of the fsync-off cluster timed until it
+// serves again, with every key's pre-crash value read back and verified.
+func runTCPDurability(p tcpSuiteParams, bin, tmpDir string) (*tcpDurabilityResult, error) {
+	keys := make([]string, durabilityKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dur-%04d", i)
+	}
+	value := make(types.Value, p.valSize)
+
+	mem, err := setupDurabilityLeg(p, bin, "mem", keys, value)
+	if err != nil {
+		return nil, err
+	}
+	defer mem.close()
+	off, err := setupDurabilityLeg(p, bin, "nofsync", keys, value,
+		"-data-dir", filepath.Join(tmpDir, "dur-nofsync"), "-fsync=false")
+	if err != nil {
+		return nil, err
+	}
+	defer off.close()
+	on, err := setupDurabilityLeg(p, bin, "fsync", keys, value,
+		"-data-dir", filepath.Join(tmpDir, "dur-fsync"), "-fsync=true")
+	if err != nil {
+		return nil, err
+	}
+	defer on.close()
+
+	window := p.duration
+	if window > 2*time.Second {
+		window = 2 * time.Second
+	}
+	slice := window / durabilityRounds
+	if slice < 100*time.Millisecond {
+		slice = 100 * time.Millisecond
+	}
+	legs := []*durabilityLeg{mem, off, on}
+	for round := 0; round < durabilityRounds; round++ {
+		for i := 0; i < len(legs); i++ {
+			leg := legs[(round+i)%len(legs)] // rotate the order every round
+			if err := runDurabilitySlice(leg, keys, value, slice); err != nil {
+				return nil, fmt.Errorf("durability slice (round %d, %s): %w", round, leg.name, err)
+			}
+		}
+	}
+
+	res := &tcpDurabilityResult{
+		Keys:     durabilityKeys,
+		InMemory: mem.finish(),
+		FsyncOff: off.finish(),
+		FsyncOn:  on.finish(),
+	}
+	if res.InMemory.OpsPerSec > 0 {
+		res.FsyncOffRatio = res.FsyncOff.OpsPerSec / res.InMemory.OpsPerSec
+		res.FsyncOnRatio = res.FsyncOn.OpsPerSec / res.InMemory.OpsPerSec
+	}
+
+	// Recovery: acknowledge a known value on every key, SIGKILL the
+	// fsync-off cluster, respawn it on the same data directories, and time
+	// until it answers (recovery replays before the listener accepts).
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sentinel := types.Value("recovered-after-kill")
+	if err := sweepKeys(keys, func(key string) error { return off.store.Put(ctx, key, sentinel) }); err != nil {
+		return res, fmt.Errorf("durability sentinel writes: %w", err)
+	}
+	off.rpc.Close()
+	off.rpc = nil
+	off.cluster.kill()
+	start := time.Now()
+	if err := off.cluster.respawn(p); err != nil {
+		return res, fmt.Errorf("durability recovery respawn: %w", err)
+	}
+	res.RecoveryMillis = float64(time.Since(start)) / float64(time.Millisecond)
+
+	rpc := ares.NewTCPClient("bench-dur-verify", off.cluster.book)
+	defer rpc.Close()
+	verify := newTCPKeyStore(tcpTemplateFor(off.cluster), rpc)
+	res.RecoveredReads = true
+	for _, key := range keys {
+		v, err := verify.Get(ctx, key)
+		if err != nil {
+			res.RecoveredReads = false
+			return res, fmt.Errorf("durability phase: reading %s after recovery: %w", key, err)
+		}
+		if string(v) != string(sentinel) {
+			res.RecoveredReads = false
+			return res, fmt.Errorf("durability phase: key %s read %q after recovery, want %q — an acknowledged write was lost", key, v, sentinel)
+		}
+	}
+	return res, nil
+}
+
 // runTCPSuite is the -tcp entry point.
 func runTCPSuite(p tcpSuiteParams) error {
 	if p.servers < 3 {
@@ -1029,6 +1284,21 @@ func runTCPSuite(p tcpSuiteParams) error {
 		fmt.Printf("  coalescing (%d keys): batched %.0f ops/s (%.2f frames/op, %d batch frames) vs unbatched %.0f ops/s (%.2f frames/op) — %.2fx\n",
 			coalescing.Keys, coalescing.Batched.OpsPerSec, coalescing.Batched.FramesPerOp, coalescing.Batched.FramesBatched,
 			coalescing.Unbatched.OpsPerSec, coalescing.Unbatched.FramesPerOp, coalescing.Speedup)
+	}
+	if err != nil {
+		return fmt.Errorf("tcp suite: %w", err)
+	}
+
+	// Phase: durability (its own in-memory, fsync-off, and fsync-on clusters,
+	// plus a SIGKILL + recovery measurement on the fsync-off one).
+	durability, err := runTCPDurability(p, bin, tmpDir)
+	if durability != nil {
+		summary.Durability = durability
+		fmt.Printf("  durability (%d keys): in-memory %.0f ops/s, wal %.0f ops/s (%.2fx), wal+fsync %.0f ops/s (%.2fx); kill -9 recovery %.0fms, recovered reads ok=%v\n",
+			durability.Keys, durability.InMemory.OpsPerSec,
+			durability.FsyncOff.OpsPerSec, durability.FsyncOffRatio,
+			durability.FsyncOn.OpsPerSec, durability.FsyncOnRatio,
+			durability.RecoveryMillis, durability.RecoveredReads)
 	}
 	if err != nil {
 		return fmt.Errorf("tcp suite: %w", err)

@@ -39,6 +39,8 @@ func run() error {
 		bootstrap = flag.String("bootstrap", "", "initial configuration spec (optional; see package doc)")
 		wire      = flag.String("wire", "binary", "wire format: binary (compact framing) or gob (legacy); must match peers and clients")
 		nobatch   = flag.Bool("nobatch", false, "disable cross-key envelope coalescing (one frame per envelope); the bench's unbatched baseline")
+		dataDir   = flag.String("data-dir", "", "data directory for WAL + snapshots (empty = in-memory server, no crash recovery)")
+		fsync     = flag.Bool("fsync", true, "fsync the WAL on every group commit (only meaningful with -data-dir)")
 	)
 	flag.Parse()
 	if *id == "" || *peers == "" {
@@ -54,7 +56,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := ares.NewServer(ares.ProcessID(*id), *listen, book,
+	srv, stats, err := ares.NewServerWithDurability(ares.ProcessID(*id), *listen, book,
+		ares.Durability{Dir: *dataDir, Fsync: *fsync},
 		ares.WithWireFormat(wireFormat), ares.WithBatching(!*nobatch))
 	if err != nil {
 		return err
@@ -64,6 +67,10 @@ func run() error {
 			log.Printf("shutdown: %v", err)
 		}
 	}()
+	if *dataDir != "" {
+		log.Printf("recovered from %s: %d snapshot states, %d installs, %d retires, %d applies (%d skipped, %d torn segments truncated)",
+			*dataDir, stats.SnapshotStates, stats.Installs, stats.Retires, stats.Applies, stats.Skipped, stats.TornSegments)
+	}
 	log.Printf("ares-server %s listening on %s", srv.ID(), srv.Addr())
 
 	if *bootstrap != "" {

@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -91,5 +92,101 @@ func TestCmdBinariesEndToEnd(t *testing.T) {
 	// A fresh client rooted at c0 discovers c1 and reads through it.
 	if out := cli("r2", "read"); !strings.Contains(out, `value="multi process"`) {
 		t.Fatalf("read after reconfig: %s", out)
+	}
+}
+
+// TestCmdKillDashNineAndRecover is the end-to-end durability test: real
+// ares-server processes with -data-dir are killed with SIGKILL — no shutdown
+// hook, no flush — and restarted on the same directories. Every write the
+// cluster acknowledged before the kill must be readable afterwards, recovered
+// purely from WAL + snapshot state on disk.
+func TestCmdKillDashNineAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	t.Parallel()
+
+	bin := t.TempDir()
+	build := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	serverBin := build("ares-server")
+	cliBin := build("ares-cli")
+
+	base := 17750
+	ids := []string{"s1", "s2", "s3"}
+	var bookParts []string
+	addr := make(map[string]string, len(ids))
+	for i, id := range ids {
+		addr[id] = fmt.Sprintf("127.0.0.1:%d", base+i)
+		bookParts = append(bookParts, id+"="+addr[id])
+	}
+	book := strings.Join(bookParts, ",")
+	rootSpec := "id=c0;alg=treas;servers=s1,s2,s3;k=2;delta=4"
+	dataRoot := t.TempDir()
+
+	var servers []*exec.Cmd
+	kill := func() {
+		for _, s := range servers {
+			if s.Process != nil {
+				_ = s.Process.Signal(syscall.SIGKILL)
+			}
+			_ = s.Wait()
+		}
+		servers = nil
+	}
+	defer kill()
+	spawn := func() {
+		for _, id := range ids {
+			cmd := exec.Command(serverBin,
+				"-id", id, "-listen", addr[id], "-peers", book,
+				"-bootstrap", rootSpec,
+				"-data-dir", filepath.Join(dataRoot, id), "-fsync=false")
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("starting %s: %v", id, err)
+			}
+			servers = append(servers, cmd)
+		}
+		time.Sleep(300 * time.Millisecond) // wait for recovery + listeners
+	}
+
+	cli := func(clientID string, extra ...string) string {
+		args := append([]string{"-id", clientID, "-peers", book, "-root", rootSpec, "-timeout", "20s"}, extra...)
+		cmd := exec.Command(cliBin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ares-cli %v: %v\n%s", extra, err, out)
+		}
+		return string(out)
+	}
+
+	spawn()
+	// A few acknowledged writes; the last one is what a read must return.
+	for i := 0; i < 5; i++ {
+		if out := cli("w1", "write", fmt.Sprintf("durable-%d", i)); !strings.Contains(out, "ok tag=") {
+			t.Fatalf("write %d output: %s", i, out)
+		}
+	}
+
+	// SIGKILL every server — the processes get no chance to flush or say
+	// goodbye — then restart them on the same data directories.
+	kill()
+	spawn()
+
+	if out := cli("r1", "read"); !strings.Contains(out, `value="durable-4"`) {
+		t.Fatalf("read after kill -9 + recovery: %s", out)
+	}
+	// The recovered cluster keeps taking writes.
+	if out := cli("w2", "write", "post-recovery"); !strings.Contains(out, "ok tag=") {
+		t.Fatalf("post-recovery write output: %s", out)
+	}
+	if out := cli("r2", "read"); !strings.Contains(out, `value="post-recovery"`) {
+		t.Fatalf("post-recovery read output: %s", out)
 	}
 }

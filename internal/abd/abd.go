@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/dap"
@@ -68,6 +69,9 @@ type Service struct {
 	self   types.ProcessID
 	cfgs   cfg.Source
 	states *keystate.Map[*register]
+	// journal, when attached, write-ahead-logs every mutation before it
+	// applies (see durable.go); nil for in-memory operation.
+	journal atomic.Pointer[keystate.Journal]
 }
 
 // NewService returns the node-wide ABD store for server self. cfgs resolves
@@ -117,12 +121,12 @@ func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, 
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		if st.tag.Less(req.Tag) {
-			st.tag = req.Tag
-			st.val = types.Value(req.Value).Clone()
+		release, err := s.journalWrite(key, configID, payload)
+		if err != nil {
+			return nil, err
 		}
+		defer release()
+		st.apply(req)
 		return nil, nil // ACK
 	default:
 		return nil, fmt.Errorf("abd: unknown message type %q", msgType)

@@ -196,10 +196,16 @@ func TestScheduleOrderingAndStretch(t *testing.T) {
 }
 
 // TestScheduleAppliesAgainstNetwork runs a crash/restart timeline against a
-// real Simnet and observes the mutations land.
+// real Simnet and observes the mutations land, including that EvRestart
+// routes through the fabric's restart hook before delivery resumes.
 func TestScheduleAppliesAgainstNetwork(t *testing.T) {
 	t.Parallel()
 	net := transport.NewSimnet()
+	var restarted []types.ProcessID
+	fabric := Fabric{Net: net, Restart: func(id types.ProcessID) error {
+		restarted = append(restarted, id)
+		return nil
+	}}
 	s := Schedule{
 		{At: 0, Kind: EvCrash, Target: "s1"},
 		{At: 20 * time.Millisecond, Kind: EvRestart, Target: "s1"},
@@ -209,16 +215,43 @@ func TestScheduleAppliesAgainstNetwork(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		s.run(time.Now(), stop, net, func(string, ...any) {})
+		s.run(time.Now(), stop, fabric, func(string, ...any) {})
 	}()
 	<-done
 	if net.Crashed("s1") {
 		t.Fatal("s1 should have been restarted by the final event")
 	}
+	if len(restarted) != 1 || restarted[0] != "s1" {
+		t.Fatalf("restart hook saw %v, want [s1]", restarted)
+	}
 	if !net.LinkBlocked("a", "b") {
 		t.Fatal("a → b should be blocked")
 	}
 	close(stop)
+}
+
+// TestRestartWithoutHookRefused pins EvRestart's honesty contract: without a
+// restart hook there is no process rebuild, and the event must refuse to
+// degrade into the old preserve-state behavior. EvRestartPreserveState is
+// the explicit way to ask for that.
+func TestRestartWithoutHookRefused(t *testing.T) {
+	t.Parallel()
+	net := transport.NewSimnet()
+	net.Crash("s1")
+	ev := Event{Kind: EvRestart, Target: "s1"}
+	if err := ev.apply(Fabric{Net: net}); err == nil {
+		t.Fatal("EvRestart without a restart hook must error")
+	}
+	if !net.Crashed("s1") {
+		t.Fatal("a refused restart must leave the process crashed")
+	}
+	keep := Event{Kind: EvRestartPreserveState, Target: "s1"}
+	if err := keep.apply(Fabric{Net: net}); err != nil {
+		t.Fatal(err)
+	}
+	if net.Crashed("s1") {
+		t.Fatal("EvRestartPreserveState should clear the crash flag")
+	}
 }
 
 func TestSeedFromEnv(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/core"
 	"github.com/ares-storage/ares/internal/history"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/recon"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/types"
@@ -145,10 +146,32 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, fmt.Errorf("chaos: deploying %s: %w", sc.Name, err)
 	}
+	if sc.Durable {
+		// Durable scenarios journal under a run-scoped directory so an
+		// EvRestart recovers from disk. Fsync off: the run survives process
+		// kills (what EvRestart models), not machine crashes, and chaos runs
+		// are timeboxed. Enable before chain hosts join so every server —
+		// current and future — journals.
+		dir, err := os.MkdirTemp("", "ares-chaos-"+sc.Name+"-*")
+		if err != nil {
+			return Verdict{}, fmt.Errorf("chaos: data dir for %s: %w", sc.Name, err)
+		}
+		defer os.RemoveAll(dir)
+		if err := cluster.EnableDurability(dir, keystate.WithFsync(false)); err != nil {
+			return Verdict{}, fmt.Errorf("chaos: enabling durability for %s: %w", sc.Name, err)
+		}
+	}
 	for _, tmpl := range sc.Chain {
 		for _, s := range tmpl.Servers {
 			cluster.AddHost(s)
 		}
+	}
+	fabric := Fabric{
+		Net: net,
+		Restart: func(id types.ProcessID) error {
+			_, err := cluster.RestartHost(id)
+			return err
+		},
 	}
 
 	// reconfigures reports whether key k runs the reconfiguration walk:
@@ -334,7 +357,7 @@ func Run(sc Scenario, opt Options) (Verdict, error) {
 	schedDone := make(chan struct{})
 	go func() {
 		defer close(schedDone)
-		schedule.run(start, stop, net, logf)
+		schedule.run(start, stop, fabric, logf)
 	}()
 
 	time.Sleep(duration)

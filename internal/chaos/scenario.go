@@ -51,6 +51,12 @@ type Scenario struct {
 	// OpTimeout bounds each operation so faults stall an attempt, not the
 	// workload; timed-out writes are recorded as incomplete.
 	OpTimeout time.Duration
+	// Durable runs the cluster with the keystate durability layer under a
+	// temporary data directory: every server journals its mutations, and an
+	// EvRestart rebuilds the victim from WAL + snapshot recovery. Without it
+	// an EvRestart comes back amnesiac (honest, but quorum-unsafe — a
+	// scenario asserting linearizability across a restart must be Durable).
+	Durable bool
 	// Batching routes simulated delivery through the cross-key envelope
 	// coalescing seam (transport.WithSimBatching): concurrent requests to
 	// one destination are packed through the real FrameBatch codec before
@@ -147,10 +153,12 @@ func Matrix() []Scenario {
 			},
 		},
 		{
-			Name:        "crash-restart-during-write",
-			Description: "a TREAS server crash-fails mid-run with writes in flight and later recovers with its state intact",
-			Template:    treasTemplate("crw", 5, 3, 8),
-			Keys:        2, Writers: 3, Readers: 2,
+			Name: "kill-and-recover-during-write",
+			Description: "a TREAS server is killed mid-run with writes in flight and later restarts from WAL + snapshot recovery — " +
+				"its volatile state is discarded, acknowledged pre-crash writes must survive from disk, and linearizability is verified across the restart",
+			Template: treasTemplate("crw", 5, 3, 8),
+			Keys:     2, Writers: 3, Readers: 2,
+			Durable:  true,
 			Duration: 800 * time.Millisecond,
 			Delay:    transport.DelayRange{Max: time.Millisecond},
 			Schedule: func(env Env) Schedule {
@@ -158,6 +166,22 @@ func Matrix() []Scenario {
 				return Schedule{
 					{At: 250 * time.Millisecond, Kind: EvCrash, Target: victim},
 					{At: 500 * time.Millisecond, Kind: EvRestart, Target: victim},
+				}
+			},
+		},
+		{
+			Name: "crash-restart-preserve-state",
+			Description: "the legacy restart semantics, now explicit: a TREAS server becomes unreachable mid-run and recovers with its " +
+				"in-memory state untouched (the process never died) — the amnesia-free control for kill-and-recover-during-write",
+			Template: treasTemplate("crp", 5, 3, 8),
+			Keys:     2, Writers: 3, Readers: 2,
+			Duration: 800 * time.Millisecond,
+			Delay:    transport.DelayRange{Max: time.Millisecond},
+			Schedule: func(env Env) Schedule {
+				victim := env.Servers[len(env.Servers)-1]
+				return Schedule{
+					{At: 250 * time.Millisecond, Kind: EvCrash, Target: victim},
+					{At: 500 * time.Millisecond, Kind: EvRestartPreserveState, Target: victim},
 				}
 			},
 		},

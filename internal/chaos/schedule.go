@@ -38,10 +38,21 @@ const (
 	EvBlockLink EventKind = "block-link"
 	// EvUnblockLink re-opens the one-way link From → To.
 	EvUnblockLink EventKind = "unblock-link"
-	// EvCrash crash-fails Target (state preserved; see Simnet.Crash).
+	// EvCrash crash-fails Target (a kill: the network stops delivering to
+	// and from it; see Simnet.Crash).
 	EvCrash EventKind = "crash"
-	// EvRestart recovers Target with its retained state.
+	// EvRestart recovers Target like a real process restart: the fabric's
+	// restart hook discards the victim's volatile state and rebuilds it —
+	// from WAL + snapshot recovery on a durable cluster, amnesiac otherwise
+	// — before the network resumes delivery. It requires a restart hook;
+	// schedules driven against a bare network must use
+	// EvRestartPreserveState.
 	EvRestart EventKind = "restart"
+	// EvRestartPreserveState recovers Target with its in-memory state
+	// untouched — the process never really died, it was only unreachable.
+	// This is the old EvRestart behavior, kept for amnesia-free scenarios;
+	// it says nothing about durability.
+	EvRestartPreserveState EventKind = "restart-preserve-state"
 	// EvLinkFaults installs Faults on the one-way link From → To.
 	EvLinkFaults EventKind = "link-faults"
 	// EvDefaultFaults installs Faults on every link without an override.
@@ -70,8 +81,23 @@ type Event struct {
 	Faults transport.LinkFaults `json:"faults,omitempty"`
 }
 
-// apply executes the mutation against the network.
-func (e Event) apply(net *transport.Simnet) error {
+// Fabric is the execution substrate a schedule mutates: the simulated
+// network plus the hook through which a restart rebuilds a server process.
+type Fabric struct {
+	// Net is the simulated network every fault lands on.
+	Net *transport.Simnet
+	// Restart rebuilds the process for an EvRestart: the runner wires it to
+	// core.Cluster.RestartHost, which discards the old host object (all
+	// volatile keyed state) and recovers from the durability directory — or
+	// comes back amnesiac on a non-durable cluster. Nil means EvRestart
+	// cannot be honored (schedules against a bare network use
+	// EvRestartPreserveState instead).
+	Restart func(types.ProcessID) error
+}
+
+// apply executes the mutation against the fabric.
+func (e Event) apply(f Fabric) error {
+	net := f.Net
 	switch e.Kind {
 	case EvPartition:
 		net.Partition(e.A, e.B)
@@ -84,6 +110,17 @@ func (e Event) apply(net *transport.Simnet) error {
 	case EvCrash:
 		net.Crash(e.Target)
 	case EvRestart:
+		// Rebuild the process first, then resume delivery: a recovered host
+		// must replay its logs before its first envelope, exactly like a real
+		// server replaying before its listener accepts.
+		if f.Restart == nil {
+			return fmt.Errorf("chaos: EvRestart for %s needs a restart hook (use EvRestartPreserveState for bare-network schedules)", e.Target)
+		}
+		if err := f.Restart(e.Target); err != nil {
+			return fmt.Errorf("chaos: restarting %s: %w", e.Target, err)
+		}
+		net.Restart(e.Target)
+	case EvRestartPreserveState:
 		net.Restart(e.Target)
 	case EvLinkFaults:
 		net.SetLinkFaults(e.From, e.To, e.Faults)
@@ -104,7 +141,7 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%v %s %v | %v", e.At, e.Kind, e.A, e.B)
 	case EvBlockLink, EvUnblockLink:
 		return fmt.Sprintf("t=%v %s %s → %s", e.At, e.Kind, e.From, e.To)
-	case EvCrash, EvRestart:
+	case EvCrash, EvRestart, EvRestartPreserveState:
 		return fmt.Sprintf("t=%v %s %s", e.At, e.Kind, e.Target)
 	case EvLinkFaults:
 		return fmt.Sprintf("t=%v %s %s → %s drop=%.2f dup=%.2f extra=[%v,%v]",
@@ -148,7 +185,7 @@ func (s Schedule) stretch(factor float64) Schedule {
 // logf. It is the scheduler's goroutine body; deterministic given the
 // schedule (timer jitter shifts an event by scheduler latency, never
 // reorders it: events are applied in At order regardless).
-func (s Schedule) run(start time.Time, stop <-chan struct{}, net *transport.Simnet, logf func(string, ...any)) {
+func (s Schedule) run(start time.Time, stop <-chan struct{}, f Fabric, logf func(string, ...any)) {
 	for _, ev := range s.sorted() {
 		wait := time.Until(start.Add(ev.At))
 		if wait > 0 {
@@ -164,7 +201,7 @@ func (s Schedule) run(start time.Time, stop <-chan struct{}, net *transport.Simn
 			default:
 			}
 		}
-		if err := ev.apply(net); err != nil {
+		if err := ev.apply(f); err != nil {
 			logf("chaos: %v", err)
 			continue
 		}

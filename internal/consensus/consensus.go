@@ -24,6 +24,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ares-storage/ares/internal/cfg"
@@ -117,6 +118,9 @@ type Service struct {
 	self   types.ProcessID
 	cfgs   cfg.Source
 	states *keystate.Map[*acceptor]
+	// journal, when attached, write-ahead-logs prepare/accept/decide before
+	// they mutate (see durable.go); nil for in-memory operation.
+	journal atomic.Pointer[keystate.Journal]
 }
 
 // NewService returns the node-wide acceptor service for server self; each
@@ -154,18 +158,35 @@ func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, 
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
+		// The promise must be durable before the reply leaves: a re-started
+		// acceptor that forgot a promise could split a decision.
+		release, err := s.journalOp(key, configID, opPrepare, payload)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		return st.prepare(req), nil
 	case msgAccept:
 		var req acceptReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
+		release, err := s.journalOp(key, configID, opAccept, payload)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		return st.accept(req), nil
 	case msgDecide:
 		var req decideReq
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
+		release, err := s.journalOp(key, configID, opDecide, payload)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		st.decide(req.Value)
 		return nil, nil
 	case msgLearn:

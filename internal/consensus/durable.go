@@ -1,0 +1,132 @@
+package consensus
+
+// Durability hooks. A Paxos acceptor's promises are the one state in this
+// system that MUST survive a crash for safety (not just liveness): an
+// acceptor that forgets a promise can accept a conflicting older ballot and
+// split a decision. Prepare, accept, and decide therefore all journal before
+// they mutate — and before the reply leaves the server. Replay re-runs the
+// same ballot-monotone transitions, so records and snapshots compose
+// idempotently.
+
+import (
+	"fmt"
+
+	"github.com/ares-storage/ares/internal/keystate"
+	"github.com/ares-storage/ares/internal/transport"
+)
+
+// Journal ops.
+const (
+	opPrepare byte = 1
+	opAccept  byte = 2
+	opDecide  byte = 3
+)
+
+// acceptorSnap is the snapshot blob of one acceptor.
+type acceptorSnap struct {
+	Promised      Ballot
+	HasPromised   bool
+	Accepted      Ballot
+	HasAccepted   bool
+	AcceptedValue []byte
+	Decided       bool
+	DecidedValue  []byte
+}
+
+var _ keystate.DurableService = (*Service)(nil)
+
+// DurableFamily implements keystate.DurableService.
+func (s *Service) DurableFamily() string { return ServiceName }
+
+// SetJournal attaches the write-ahead journal (nil = in-memory).
+func (s *Service) SetJournal(j *keystate.Journal) { s.journal.Store(j) }
+
+func (s *Service) journalOp(key, configID string, op byte, payload []byte) (func(), error) {
+	jr := s.journal.Load()
+	if jr == nil {
+		return func() {}, nil
+	}
+	return jr.Append(key, configID, op, payload)
+}
+
+// ReplayApply implements keystate.DurableService.
+func (s *Service) ReplayApply(key, configID string, op byte, payload []byte) error {
+	st, err := s.state(key, configID)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opPrepare:
+		var req prepareReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return err
+		}
+		st.prepare(req)
+	case opAccept:
+		var req acceptReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return err
+		}
+		st.accept(req)
+	case opDecide:
+		var req decideReq
+		if err := transport.Unmarshal(payload, &req); err != nil {
+			return err
+		}
+		st.decide(req.Value)
+	default:
+		return fmt.Errorf("consensus: unknown journal op %d", op)
+	}
+	return nil
+}
+
+// SnapshotStates implements keystate.DurableService.
+func (s *Service) SnapshotStates(emit func(key, configID string, blob []byte) error) error {
+	var outerErr error
+	s.states.Range(func(ref keystate.Ref, st *acceptor) bool {
+		st.mu.Lock()
+		snap := acceptorSnap{
+			Promised: st.promised, HasPromised: st.hasPromised,
+			Accepted: st.accepted, HasAccepted: st.hasAccepted, AcceptedValue: st.acceptedValue,
+			Decided: st.decided, DecidedValue: st.decidedValue,
+		}
+		st.mu.Unlock()
+		blob, err := transport.Marshal(snap)
+		if err == nil {
+			err = emit(ref.Key, ref.Config, blob)
+		}
+		outerErr = err
+		return err == nil
+	})
+	return outerErr
+}
+
+// RestoreState implements keystate.DurableService. Each component merges
+// ballot-monotonically, so a snapshot restored under replayed log records
+// never regresses a promise or resurrects a pre-decision state.
+func (s *Service) RestoreState(key, configID string, blob []byte) error {
+	var snap acceptorSnap
+	if err := transport.Unmarshal(blob, &snap); err != nil {
+		return err
+	}
+	st, err := s.state(key, configID)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if snap.HasPromised && (!st.hasPromised || st.promised.Less(snap.Promised)) {
+		st.promised = snap.Promised
+		st.hasPromised = true
+	}
+	if snap.HasAccepted && (!st.hasAccepted || st.accepted.Less(snap.Accepted)) {
+		st.accepted = snap.Accepted
+		st.acceptedValue = snap.AcceptedValue
+		st.hasAccepted = true
+	}
+	if snap.Decided && !st.decided {
+		st.decided = true
+		st.decidedValue = snap.DecidedValue
+	}
+	return nil
+}

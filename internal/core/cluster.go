@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/dap"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/recon"
 	"github.com/ares-storage/ares/internal/transport"
@@ -24,6 +26,13 @@ type Cluster struct {
 
 	mu    sync.Mutex
 	hosts map[types.ProcessID]*Host
+
+	// Durability (see durable.go): once EnableDurability ran, every current
+	// and future host journals under durDir/<id>, and RestartHost recovers
+	// from there instead of preserving in-memory state.
+	durable bool
+	durDir  string
+	durOpts []keystate.DurOption
 }
 
 // NewCluster deploys the initial configuration c0 on net: it creates a host
@@ -63,6 +72,15 @@ func (c *Cluster) AddHost(id types.ProcessID) *Host {
 		return h
 	}
 	h := NewHost(node.New(id), c.network.Client(id))
+	if c.durable {
+		// Recovery runs before the host is registered (hence reachable):
+		// this is the Simnet analogue of a server replaying its logs before
+		// its listener accepts. A host failing recovery would be a
+		// programming error in tests; surface it loudly.
+		if _, err := h.EnableDurability(filepath.Join(c.durDir, string(id)), c.durOpts...); err != nil {
+			panic(fmt.Sprintf("core: enabling durability for %s: %v", id, err))
+		}
+	}
 	c.network.Register(id, h.Node())
 	c.hosts[id] = h
 	return h
@@ -158,6 +176,11 @@ func (c *Cluster) RetiredStates() int64 {
 // idempotent, and the cluster remains usable afterwards (delay sleeps merely
 // lose pump fidelity).
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	for _, h := range c.hosts {
+		_ = h.Close()
+	}
+	c.mu.Unlock()
 	c.network.Close()
 }
 

@@ -1,0 +1,193 @@
+package core
+
+// End-to-end durability tests over the real services: a cluster journals
+// under a temp dir, a host is crash-restarted (RestartHost — the old host
+// object and its volatile state discarded), and recovered state must answer
+// exactly as the live state did.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/keystate"
+	"github.com/ares-storage/ares/internal/recon"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+func durableCluster(t *testing.T, c0 cfg.Configuration) *Cluster {
+	t.Helper()
+	cluster, err := NewCluster(c0, transport.NewSimnet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	if err := cluster.EnableDurability(t.TempDir(), keystate.WithFsync(false)); err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+// TestDurableRestartRecoversAcknowledgedWrites pins the tentpole across both
+// store algorithms: acknowledged writes survive a full crash-restart of
+// every server — each restart discards the host object entirely and rebuilds
+// from WAL + snapshot — and a fresh reader sees the last written value.
+func TestDurableRestartRecoversAcknowledgedWrites(t *testing.T) {
+	t.Parallel()
+	for _, alg := range []struct {
+		name string
+		c0   cfg.Configuration
+	}{
+		{"abd", abdConfig("c0", "da", 3)},
+		{"treas", treasConfig("c0", "dt", 5, 3, 2)},
+	} {
+		alg := alg
+		t.Run(alg.name, func(t *testing.T) {
+			t.Parallel()
+			cluster := durableCluster(t, alg.c0)
+			ctx := context.Background()
+			w, err := cluster.NewClient("w1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lastTag interface{ String() string }
+			for i := 0; i < 5; i++ {
+				wTag, err := w.Write(ctx, types.Value(fmt.Sprintf("v%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				lastTag = wTag
+			}
+			// Crash-restart EVERY server: nothing survives in memory.
+			for _, s := range alg.c0.Servers {
+				if _, err := cluster.RestartHost(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r, err := cluster.NewClient("r1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair, err := r.Read(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(pair.Value) != "v4" {
+				t.Fatalf("after restart read %q (tag %v), want v4 (tag %v)", pair.Value, pair.Tag, lastTag)
+			}
+		})
+	}
+}
+
+// TestDurableRestartWithoutDurabilityIsAmnesiac pins the honest-restart
+// semantics on its own: with durability NOT enabled, RestartHost must lose
+// the victim's state — the opposite of the old EvRestart bug where a
+// "restarted" process kept its memory.
+func TestDurableRestartWithoutDurabilityIsAmnesiac(t *testing.T) {
+	t.Parallel()
+	c0 := abdConfig("c0", "amn", 3)
+	cluster, err := NewCluster(c0, transport.NewSimnet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx := context.Background()
+	w, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, types.Value("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	victim := c0.Servers[0]
+	h, _ := cluster.Host(victim)
+	if h.MaterializedStates() == 0 {
+		t.Fatal("victim had no state before restart")
+	}
+	h2, err := cluster.RestartHost(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := h2.MaterializedStates(); n != 0 {
+		t.Fatalf("amnesiac restart kept %d states", n)
+	}
+}
+
+// TestDurableReconfigAndRetirementSurviveRestart runs a reconfiguration
+// (ABD → ABD on the same server set), restarts every server, and asserts
+// (a) the written value is still readable after the walk and the restarts
+// and (b) the retirement tombstones did not evaporate — a lagging client
+// must keep getting redirected, never rematerialized v₀ state.
+func TestDurableReconfigAndRetirementSurviveRestart(t *testing.T) {
+	t.Parallel()
+	const key = "rw"
+	c0 := abdConfig("dur/rw/c0", "rw", 3)
+	c0.Key = key
+	c1 := abdConfig("dur/rw/c1", "rw", 3) // same servers, new configuration
+	c1.Key = key
+	cluster := durableCluster(t, c0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	w, err := cluster.NewClient("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, types.Value("before-recon")); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := cluster.NewReconfigurer("rec1", recon.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Reconfig(ctx, c1); err != nil {
+		t.Fatal(err)
+	}
+	// Finalization gossip (and with it, retirement) is asynchronous: wait
+	// until every server has tombstoned (key, c0) before pulling the plug.
+	tombstoned := func() bool {
+		for _, s := range c0.Servers {
+			h, _ := cluster.Host(s)
+			if _, ok := h.Resolver().RetiredSuccessor(key, c0.ID); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for deadline := time.Now().Add(5 * time.Second); !tombstoned(); {
+		if time.Now().After(deadline) {
+			t.Fatal("reconfiguration never retired (key, c0) on every server")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for _, s := range c0.Servers {
+		if _, err := cluster.RestartHost(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range c0.Servers {
+		h, _ := cluster.Host(s)
+		if rs, ok := h.Resolver().RetiredSuccessor(key, c0.ID); !ok {
+			t.Fatalf("server %s forgot the retirement of %s", s, c0.ID)
+		} else if rs != c1.ID {
+			t.Fatalf("server %s recovered successor %s, want %s", s, rs, c1.ID)
+		}
+	}
+
+	r, err := cluster.NewClient("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := r.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pair.Value) != "before-recon" {
+		t.Fatalf("after reconfig+restart read %q, want before-recon", pair.Value)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/ares-storage/ares/internal/abd"
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/consensus"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/ldr"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/recon"
@@ -45,6 +46,11 @@ type Host struct {
 	stores []storageReporter
 	recon  *recon.Service
 	counts []stateReporter
+
+	// Durability (see durable.go): the keyed services in registration order,
+	// and the layer itself once EnableDurability ran (nil = in-memory host).
+	durables []keystate.DurableService
+	dur      *keystate.Durability
 }
 
 // stateReporter is satisfied by every keyed service; it reports how many
@@ -83,6 +89,7 @@ func NewHost(n *node.Node, rpc transport.Client) *Host {
 	h.stores = []storageReporter{abdSvc, treasSvc, ldrRep}
 	h.recon = reconSvc
 	h.counts = []stateReporter{abdSvc, treasSvc, ldrRep, ldrDir, reconSvc, paxosSvc}
+	h.durables = []keystate.DurableService{abdSvc, treasSvc, ldrRep, ldrDir, reconSvc, paxosSvc}
 
 	// Configuration-lifecycle GC: when the pointer service witnesses a
 	// finalized successor for (key, c), every family retires its (key, c)
@@ -143,6 +150,20 @@ func (h *Host) InstallConfiguration(c cfg.Configuration) error {
 		}
 	} else if err := c.Validate(); err != nil {
 		return fmt.Errorf("core: installing %s on %s: %w", c.ID, h.ID(), err)
+	}
+	// Journal the install before registering it: a configuration a service
+	// journaled mutations against must itself resolve on replay. Re-installs
+	// journal too (replay's Add is first-wins, so duplicates are harmless).
+	if h.dur != nil {
+		blob, err := transport.Marshal(c)
+		if err != nil {
+			return err
+		}
+		release, err := h.dur.AppendInstall(blob)
+		if err != nil {
+			return fmt.Errorf("core: journaling install of %s on %s: %w", c.ID, h.ID(), err)
+		}
+		defer release()
 	}
 	if !h.cfgs.Add(c) {
 		// Already registered: idempotent when identical, an error when a

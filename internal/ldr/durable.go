@@ -1,0 +1,180 @@
+package ldr
+
+// Durability hooks for both LDR roles. Each role has exactly one mutation —
+// the directory's put-metadata, the replica's put-data — and both are
+// tag-monotone, so journaled records and snapshot blobs replay idempotently
+// in any interleaving.
+
+import (
+	"fmt"
+
+	"github.com/ares-storage/ares/internal/keystate"
+	"github.com/ares-storage/ares/internal/tag"
+	"github.com/ares-storage/ares/internal/transport"
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// opPut journals the role's single mutation (put-metadata for directories,
+// put-data for replicas).
+const opPut byte = 1
+
+type (
+	// dirSnap is the snapshot blob of one directory state.
+	dirSnap struct {
+		Tag tag.Tag
+		Loc []types.ProcessID
+	}
+	// repSnap is the snapshot blob of one replica state.
+	repSnap struct {
+		Tag   tag.Tag
+		Value []byte
+	}
+)
+
+var (
+	_ keystate.DurableService = (*DirectoryService)(nil)
+	_ keystate.DurableService = (*ReplicaService)(nil)
+)
+
+// apply advances the directory metadata iff the incoming tag is newer — the
+// shared mutation path for live handling, replay, and restore.
+func (st *dirState) apply(req putMetadataReq) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.tag.Less(req.Tag) {
+		st.tag = req.Tag
+		st.loc = append([]types.ProcessID(nil), req.Loc...)
+	}
+}
+
+// DurableFamily implements keystate.DurableService.
+func (s *DirectoryService) DurableFamily() string { return DirectoryServiceName }
+
+// SetJournal attaches the write-ahead journal (nil = in-memory).
+func (s *DirectoryService) SetJournal(j *keystate.Journal) { s.journal.Store(j) }
+
+func (s *DirectoryService) journalPut(key, configID string, payload []byte) (func(), error) {
+	jr := s.journal.Load()
+	if jr == nil {
+		return func() {}, nil
+	}
+	return jr.Append(key, configID, opPut, payload)
+}
+
+// ReplayApply implements keystate.DurableService.
+func (s *DirectoryService) ReplayApply(key, configID string, op byte, payload []byte) error {
+	if op != opPut {
+		return fmt.Errorf("ldr: directory: unknown journal op %d", op)
+	}
+	st, err := s.state(key, configID)
+	if err != nil {
+		return err
+	}
+	var req putMetadataReq
+	if err := transport.Unmarshal(payload, &req); err != nil {
+		return err
+	}
+	st.apply(req)
+	return nil
+}
+
+// SnapshotStates implements keystate.DurableService.
+func (s *DirectoryService) SnapshotStates(emit func(key, configID string, blob []byte) error) error {
+	var outerErr error
+	s.states.Range(func(ref keystate.Ref, st *dirState) bool {
+		st.mu.Lock()
+		blob, err := transport.Marshal(dirSnap{Tag: st.tag, Loc: st.loc})
+		st.mu.Unlock()
+		if err == nil {
+			err = emit(ref.Key, ref.Config, blob)
+		}
+		outerErr = err
+		return err == nil
+	})
+	return outerErr
+}
+
+// RestoreState implements keystate.DurableService.
+func (s *DirectoryService) RestoreState(key, configID string, blob []byte) error {
+	var snap dirSnap
+	if err := transport.Unmarshal(blob, &snap); err != nil {
+		return err
+	}
+	st, err := s.state(key, configID)
+	if err != nil {
+		return err
+	}
+	st.apply(putMetadataReq{Tag: snap.Tag, Loc: snap.Loc})
+	return nil
+}
+
+// apply advances the replica pair iff the incoming tag is newer.
+func (st *repState) apply(req putDataReq) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.tag.Less(req.Tag) {
+		st.tag = req.Tag
+		st.val = types.Value(req.Value).Clone()
+	}
+}
+
+// DurableFamily implements keystate.DurableService.
+func (s *ReplicaService) DurableFamily() string { return ReplicaServiceName }
+
+// SetJournal attaches the write-ahead journal (nil = in-memory).
+func (s *ReplicaService) SetJournal(j *keystate.Journal) { s.journal.Store(j) }
+
+func (s *ReplicaService) journalPut(key, configID string, payload []byte) (func(), error) {
+	jr := s.journal.Load()
+	if jr == nil {
+		return func() {}, nil
+	}
+	return jr.Append(key, configID, opPut, payload)
+}
+
+// ReplayApply implements keystate.DurableService.
+func (s *ReplicaService) ReplayApply(key, configID string, op byte, payload []byte) error {
+	if op != opPut {
+		return fmt.Errorf("ldr: replica: unknown journal op %d", op)
+	}
+	st, err := s.state(key, configID)
+	if err != nil {
+		return err
+	}
+	var req putDataReq
+	if err := transport.Unmarshal(payload, &req); err != nil {
+		return err
+	}
+	st.apply(req)
+	return nil
+}
+
+// SnapshotStates implements keystate.DurableService.
+func (s *ReplicaService) SnapshotStates(emit func(key, configID string, blob []byte) error) error {
+	var outerErr error
+	s.states.Range(func(ref keystate.Ref, st *repState) bool {
+		st.mu.Lock()
+		blob, err := transport.Marshal(repSnap{Tag: st.tag, Value: st.val})
+		st.mu.Unlock()
+		if err == nil {
+			err = emit(ref.Key, ref.Config, blob)
+		}
+		outerErr = err
+		return err == nil
+	})
+	return outerErr
+}
+
+// RestoreState implements keystate.DurableService.
+func (s *ReplicaService) RestoreState(key, configID string, blob []byte) error {
+	var snap repSnap
+	if err := transport.Unmarshal(blob, &snap); err != nil {
+		return err
+	}
+	st, err := s.state(key, configID)
+	if err != nil {
+		return err
+	}
+	st.apply(putDataReq{Tag: snap.Tag, Value: snap.Value})
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/dap"
@@ -84,6 +85,9 @@ type DirectoryService struct {
 	self   types.ProcessID
 	cfgs   cfg.Source
 	states *keystate.Map[*dirState]
+	// journal, when attached, write-ahead-logs put-metadata before it
+	// applies (see durable.go); nil for in-memory operation.
+	journal atomic.Pointer[keystate.Journal]
 }
 
 // NewDirectoryService returns the node-wide directory service for server
@@ -129,12 +133,12 @@ func (s *DirectoryService) HandleKeyed(_ types.ProcessID, key, configID, msgType
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		if st.tag.Less(req.Tag) {
-			st.tag = req.Tag
-			st.loc = append([]types.ProcessID(nil), req.Loc...)
+		release, err := s.journalPut(key, configID, payload)
+		if err != nil {
+			return nil, err
 		}
+		defer release()
+		st.apply(req)
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("ldr: directory: unknown message type %q", msgType)
@@ -176,6 +180,9 @@ type ReplicaService struct {
 	self   types.ProcessID
 	cfgs   cfg.Source
 	states *keystate.Map[*repState]
+	// journal, when attached, write-ahead-logs put-data before it applies
+	// (see durable.go); nil for in-memory operation.
+	journal atomic.Pointer[keystate.Journal]
 }
 
 // NewReplicaService returns the node-wide replica service for server self;
@@ -223,12 +230,12 @@ func (s *ReplicaService) HandleKeyed(_ types.ProcessID, key, configID, msgType s
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		if st.tag.Less(req.Tag) {
-			st.tag = req.Tag
-			st.val = types.Value(req.Value).Clone()
+		release, err := s.journalPut(key, configID, payload)
+		if err != nil {
+			return nil, err
 		}
+		defer release()
+		st.apply(req)
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("ldr: replica: unknown message type %q", msgType)

@@ -97,6 +97,11 @@ type Service struct {
 	rpc      transport.Client
 	retired  atomic.Int64
 	sends    sync.WaitGroup
+	// Durability wiring (see durable.go): the write-ahead journal for
+	// write-config transitions, and the host's hook that journals a
+	// retirement before it mutates memory. Both nil for in-memory operation.
+	journal   atomic.Pointer[keystate.Journal]
+	preRetire PreRetireFunc
 	// gossipSlots caps concurrent gossip fan-outs. Gossip is best effort
 	// (client traversals re-propagate finalizations anyway), so under
 	// saturation — e.g. churn with an unreachable member holding slots for
@@ -213,6 +218,15 @@ func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, 
 		if err := transport.Unmarshal(payload, &req); err != nil {
 			return nil, err
 		}
+		// The journal span covers the retire below too: its nested meta-log
+		// append is deliberately gate-free (see keystate.AppendRetire), so
+		// snapshot rotation can never slip between this record and the
+		// retirement it triggers.
+		release, err := s.journalWriteConfig(key, configID, payload)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		st.mu.Lock()
 		// Alg. 6 lines 10–11: accept when nextC is ⊥ or still pending. A
 		// finalized pointer is immutable.
@@ -254,6 +268,14 @@ func (s *Service) retire(key, configID string, next cfg.Entry) {
 	ret, ok := s.cfgs.(cfg.Retirer)
 	if !ok {
 		return // lifecycle not supported by this source; keep state
+	}
+	// Journal the retirement (with its full successor entry) before any
+	// in-memory lifecycle mutation, so recovery replays it in meta-log order.
+	// A hook failure is survivable: the finalized write-config record is
+	// already journaled, and CompleteRetirements re-derives the retirement on
+	// the next recovery.
+	if s.preRetire != nil {
+		_ = s.preRetire(key, configID, next)
 	}
 	// Capture the member set before the resolver prunes the configuration.
 	var peers []types.ProcessID

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -61,6 +63,73 @@ const (
 	defaultBatchBytes     = 128 << 10
 )
 
+// DialBackoff paces re-dials of an unreachable peer (the same shape as the
+// client-level retry policy): after a failed dial, further Invokes to that
+// peer fail fast with ErrUnreachable until the backoff window expires, and
+// each consecutive failure grows the window exponentially up to Cap. Without
+// it a dead peer costs every quorum phase a full dial attempt — hundreds of
+// SYNs per second against a host that is down.
+type DialBackoff struct {
+	// Base is the window after the first failure. Zero or negative falls
+	// back to DefaultDialBackoff.Base.
+	Base time.Duration
+	// Cap bounds the grown window.
+	Cap time.Duration
+	// Multiplier scales the window per consecutive failure; values below 1
+	// are treated as 1 (constant pacing).
+	Multiplier float64
+	// Jitter is the fraction of each window randomized away, in [0, 1]: the
+	// window is drawn uniformly from [w·(1−Jitter), w], so a fleet of
+	// clients doesn't re-dial a recovering server in lockstep.
+	Jitter float64
+	// Seed, when non-zero, seeds the client's private jitter source for
+	// reproducible pacing. Zero derives a stable seed from the process ID.
+	Seed int64
+}
+
+// DefaultDialBackoff is the dial pacing every TCPClient starts with.
+var DefaultDialBackoff = DialBackoff{
+	Base:       50 * time.Millisecond,
+	Cap:        2 * time.Second,
+	Multiplier: 2,
+	Jitter:     0.5,
+}
+
+// normalized fills unset fields from the defaults.
+func (b DialBackoff) normalized() DialBackoff {
+	if b.Base <= 0 {
+		b.Base = DefaultDialBackoff.Base
+	}
+	if b.Cap < b.Base {
+		b.Cap = b.Base
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 1
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// window returns the backoff window after fails consecutive failures.
+func (b DialBackoff) window(fails int, rng *rand.Rand) time.Duration {
+	w := float64(b.Base)
+	for i := 1; i < fails && w < float64(b.Cap); i++ {
+		w *= b.Multiplier
+	}
+	if w > float64(b.Cap) {
+		w = float64(b.Cap)
+	}
+	if b.Jitter > 0 {
+		w -= rng.Float64() * b.Jitter * w
+	}
+	return time.Duration(w)
+}
+
 // tcpOptions collects the tunables shared by TCPClient and TCPServer.
 type tcpOptions struct {
 	wire           WireFormat
@@ -71,6 +140,7 @@ type tcpOptions struct {
 	batchEnvelopes int
 	batchBytes     int
 	dial           func(ctx context.Context, addr string) (net.Conn, error)
+	backoff        DialBackoff
 }
 
 func defaultTCPOptions() tcpOptions {
@@ -82,6 +152,7 @@ func defaultTCPOptions() tcpOptions {
 		batching:       true,
 		batchEnvelopes: defaultBatchEnvelopes,
 		batchBytes:     defaultBatchBytes,
+		backoff:        DefaultDialBackoff,
 	}
 }
 
@@ -176,6 +247,14 @@ func WithDialFunc(dial func(ctx context.Context, addr string) (net.Conn, error))
 		if dial != nil {
 			o.dial = dial
 		}
+	}
+}
+
+// WithDialBackoff tunes the per-peer re-dial pacing (default
+// DefaultDialBackoff; see DialBackoff).
+func WithDialBackoff(b DialBackoff) TCPOption {
+	return func(o *tcpOptions) {
+		o.backoff = b.normalized()
 	}
 }
 
@@ -393,8 +472,17 @@ type TCPClient struct {
 
 	mu     sync.Mutex
 	conns  map[string]*tcpConn
+	dials  map[string]*dialState
+	rng    *rand.Rand
 	closed bool
 	next   atomic.Uint64
+}
+
+// dialState is one peer's re-dial pacing: consecutive failures and the
+// instant the next attempt is allowed. Guarded by TCPClient.mu.
+type dialState struct {
+	fails int
+	until time.Time
 }
 
 // NewTCPClient constructs a client for process self that resolves server
@@ -404,11 +492,19 @@ func NewTCPClient(self types.ProcessID, book func(types.ProcessID) (string, bool
 	for _, opt := range opts {
 		opt(&o)
 	}
+	seed := o.backoff.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(self))
+		seed = int64(h.Sum64())
+	}
 	return &TCPClient{
 		self:  self,
 		book:  book,
 		opts:  o,
 		conns: make(map[string]*tcpConn),
+		dials: make(map[string]*dialState),
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -511,7 +607,10 @@ func (c *TCPClient) Close() {
 }
 
 // conn returns the live connection for addr, dialing one — under the
-// caller's context plus the configured timeout — if none exists.
+// caller's context plus the configured timeout — if none exists. Re-dials of
+// a peer that keeps refusing are paced by the dial backoff: inside a peer's
+// backoff window conn fails fast instead of dialing, so a dead server costs
+// each quorum phase a map lookup, not a SYN + refusal round trip.
 func (c *TCPClient) conn(ctx context.Context, addr string) (*tcpConn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -521,6 +620,13 @@ func (c *TCPClient) conn(ctx context.Context, addr string) (*tcpConn, error) {
 	if tc, ok := c.conns[addr]; ok {
 		c.mu.Unlock()
 		return tc, nil
+	}
+	if ds, ok := c.dials[addr]; ok {
+		if wait := time.Until(ds.until); wait > 0 {
+			fails := ds.fails
+			c.mu.Unlock()
+			return nil, fmt.Errorf("dial backoff after %d failures (next attempt in %v)", fails, wait.Round(time.Millisecond))
+		}
 	}
 	c.mu.Unlock()
 
@@ -534,10 +640,14 @@ func (c *TCPClient) conn(ctx context.Context, addr string) (*tcpConn, error) {
 	raw, err := dial(ctx, addr)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller gave up, the peer didn't refuse: not a failure to
+			// hold against the peer.
 			return nil, ctxErr
 		}
+		c.noteDialFailure(addr)
 		return nil, err
 	}
+	c.clearDialFailures(addr)
 	tc := &tcpConn{
 		conn:    raw,
 		sendQ:   make(chan tcpEnvelope, c.opts.sendQueue),
@@ -563,6 +673,27 @@ func (c *TCPClient) conn(ctx context.Context, addr string) (*tcpConn, error) {
 	go c.writeLoop(addr, tc)
 	go c.readLoop(addr, tc)
 	return tc, nil
+}
+
+// noteDialFailure records one failed dial of addr and opens (or grows) its
+// backoff window.
+func (c *TCPClient) noteDialFailure(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := c.dials[addr]
+	if ds == nil {
+		ds = &dialState{}
+		c.dials[addr] = ds
+	}
+	ds.fails++
+	ds.until = time.Now().Add(c.opts.backoff.window(ds.fails, c.rng))
+}
+
+// clearDialFailures forgets addr's backoff state after a successful dial.
+func (c *TCPClient) clearDialFailures(addr string) {
+	c.mu.Lock()
+	delete(c.dials, addr)
+	c.mu.Unlock()
 }
 
 // requestWireSize estimates an envelope's frame cost for the batch byte cap

@@ -2,8 +2,11 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -140,6 +143,110 @@ func TestTCPContextCancellation(t *testing.T) {
 	}
 	if time.Since(start) > 500*time.Millisecond {
 		t.Fatal("cancellation was not prompt")
+	}
+}
+
+// TestTCPDialBackoffLimitsRedials is the regression test for unbounded
+// re-dialing: a client hammering a refusing peer must dial only a handful of
+// times — attempts inside the backoff window fail fast with ErrUnreachable —
+// instead of once per Invoke. Run under -race: the dial counter and the
+// backoff state are exercised from 8 goroutines.
+func TestTCPDialBackoffLimitsRedials(t *testing.T) {
+	t.Parallel()
+	var dials atomic.Int64
+	refused := errors.New("connection refused")
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": "127.0.0.1:1"}),
+		WithDialFunc(func(context.Context, string) (net.Conn, error) {
+			dials.Add(1)
+			return nil, refused
+		}),
+		WithDialBackoff(DialBackoff{Base: 50 * time.Millisecond, Cap: 200 * time.Millisecond, Multiplier: 2, Jitter: 0}),
+	)
+	defer client.Close()
+
+	const workers = 8
+	var attempts atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				_, err := client.Invoke(context.Background(), "s1", Request{})
+				if err == nil {
+					t.Error("Invoke against a refusing peer succeeded")
+					return
+				}
+				if !errors.Is(err, ErrUnreachable) {
+					t.Errorf("Invoke error = %v, want ErrUnreachable", err)
+					return
+				}
+				attempts.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// 300ms of hammering with windows 50 → 100 → 200ms allows ~4 dial
+	// attempts (plus a small race allowance when several goroutines pass the
+	// window check together); without backoff every attempt would dial.
+	got, tried := dials.Load(), attempts.Load()
+	if tried < 100 {
+		t.Fatalf("only %d invoke attempts — fail-fast is not fast", tried)
+	}
+	if got > 12 {
+		t.Fatalf("%d dials for %d invoke attempts — backoff is not limiting re-dials", got, tried)
+	}
+	if got < 2 {
+		t.Fatalf("%d dials — the backoff window never expired and retried", got)
+	}
+}
+
+// TestTCPDialBackoffResetsOnSuccess pins recovery: once a dial succeeds the
+// peer's failure history is forgotten, so the next disconnect starts from
+// the base window, not the grown one.
+func TestTCPDialBackoffResetsOnSuccess(t *testing.T) {
+	t.Parallel()
+	srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var fail atomic.Bool
+	fail.Store(true)
+	d := net.Dialer{Timeout: time.Second}
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}),
+		WithDialFunc(func(ctx context.Context, addr string) (net.Conn, error) {
+			if fail.Load() {
+				return nil, errors.New("connection refused")
+			}
+			return d.DialContext(ctx, "tcp", addr)
+		}),
+		WithDialBackoff(DialBackoff{Base: 10 * time.Millisecond, Cap: 20 * time.Millisecond, Multiplier: 2, Jitter: 0}),
+	)
+	defer client.Close()
+
+	if _, err := client.Invoke(context.Background(), "s1", Request{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("first invoke: err = %v, want ErrUnreachable", err)
+	}
+	fail.Store(false)
+	// Inside the window invokes still fail fast; after it, the dial succeeds.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Invoke(context.Background(), "s1", Request{Type: "echo", Payload: []byte("back")})
+		if err == nil {
+			if string(resp.Payload) != "back" {
+				t.Fatalf("resp = %+v", resp)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never reconnected after backoff: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

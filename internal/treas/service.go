@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/erasure"
@@ -124,6 +125,10 @@ type Service struct {
 	codes  map[codeParams]*sharedCode
 
 	sends sync.WaitGroup
+
+	// journal, when attached, write-ahead-logs put-data and fwd-elem before
+	// they apply (see durable.go); nil for in-memory operation.
+	journal atomic.Pointer[keystate.Journal]
 }
 
 // NewService returns the node-wide TREAS store for server self. cfgs
@@ -206,10 +211,20 @@ func (s *Service) HandleKeyed(_ types.ProcessID, key, configID, msgType string, 
 	case msgQueryList:
 		return st.handleQueryList()
 	case msgPutData:
+		release, err := s.journalOp(key, configID, opPutData, payload)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		return st.handlePutData(payload)
 	case msgReqForward:
 		return s.handleReqForward(st, payload)
 	case msgFwdElem:
+		release, err := s.journalOp(key, configID, opFwdElem, payload)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		return st.handleFwdElem(payload)
 	case msgHasTag:
 		return st.handleHasTag(payload)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/ares-storage/ares/internal/core"
+	"github.com/ares-storage/ares/internal/keystate"
 	"github.com/ares-storage/ares/internal/node"
 	"github.com/ares-storage/ares/internal/transport"
 )
@@ -58,20 +59,60 @@ func WithBatchLimits(maxEnvelopes, maxBytes int) TCPOption {
 // ParseWireFormat converts a flag value ("binary", "gob") into a WireFormat.
 func ParseWireFormat(s string) (WireFormat, error) { return transport.ParseWireFormat(s) }
 
+// Durability configures the server's persistent state. A zero Dir leaves the
+// server in-memory (the pre-durability behavior); a non-zero Dir makes every
+// acknowledged mutation durable under it — write-ahead logged before the
+// reply leaves, snapshotted in the background, and recovered on the next
+// start before the listener accepts its first connection.
+type Durability struct {
+	// Dir is the server's data directory, created if missing. Each server
+	// process needs its own.
+	Dir string
+	// Fsync syncs the WAL on every group commit (the crash-safe default when
+	// durability is on). Disabling it trades power-loss safety for
+	// throughput: acknowledged writes survive a process kill but not a
+	// machine crash.
+	Fsync bool
+}
+
+// RecoveryStats describes what a server start replayed from its data
+// directory.
+type RecoveryStats = keystate.RecoveryStats
+
 // NewServer starts an ARES server for process id on addr ("host:port"; use
 // port 0 to auto-assign and discover via Addr). book must cover every server
 // this process will talk to (peers of its configurations). Configurations
 // are installed remotely by reconfigurers through the control service, or
 // locally with Install.
 func NewServer(id ProcessID, addr string, book AddressBook, opts ...TCPOption) (*Server, error) {
+	s, _, err := NewServerWithDurability(id, addr, book, Durability{}, opts...)
+	return s, err
+}
+
+// NewServerWithDurability starts an ARES server with a durability layer
+// rooted at dur.Dir (no layer when dur.Dir is empty; see Durability).
+// Recovery — snapshot restore plus log-tail replay — completes before the
+// TCP listener starts, so the node never answers an envelope from
+// pre-recovery state. The returned stats describe the recovery pass.
+func NewServerWithDurability(id ProcessID, addr string, book AddressBook, dur Durability, opts ...TCPOption) (*Server, RecoveryStats, error) {
 	out := transport.NewTCPClient(id, transport.StaticBook(book), opts...)
 	host := core.NewHost(node.New(id), out)
+	var stats RecoveryStats
+	if dur.Dir != "" {
+		var err error
+		stats, err = host.EnableDurability(dur.Dir, keystate.WithFsync(dur.Fsync))
+		if err != nil {
+			out.Close()
+			return nil, stats, fmt.Errorf("ares: starting server %s: %w", id, err)
+		}
+	}
 	tcp, err := transport.NewTCPServer(id, addr, host.Node(), opts...)
 	if err != nil {
+		_ = host.Close()
 		out.Close()
-		return nil, fmt.Errorf("ares: starting server %s: %w", id, err)
+		return nil, stats, fmt.Errorf("ares: starting server %s: %w", id, err)
 	}
-	return &Server{host: host, tcp: tcp, out: out}, nil
+	return &Server{host: host, tcp: tcp, out: out}, stats, nil
 }
 
 // Addr returns the server's bound TCP address.
@@ -86,10 +127,15 @@ func (s *Server) Install(c Config) error {
 	return s.host.InstallConfiguration(c)
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections, then flushes and closes the
+// durability layer (when one is attached).
 func (s *Server) Close() error {
 	s.out.Close()
-	return s.tcp.Close()
+	tcpErr := s.tcp.Close()
+	if err := s.host.Close(); err != nil {
+		return err
+	}
+	return tcpErr
 }
 
 // NewTCPClient returns a transport client for a client-side process (reader,
