@@ -1,0 +1,300 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/benchutil"
+)
+
+// The adaptive suite measures the tentpole claim end to end: the workload
+// drifts mid-run from uniformly small-and-hot to per-key heterogeneous —
+// half the keys flip to large write-heavy values while the other half stay
+// small and hot. After the flip no single static [algorithm, n, k] serves
+// both key groups: narrow ABD pays full-value transfers on the large keys,
+// a wide TREAS pays extra quorum latency on the small ones. A store whose
+// per-key configuration is driven by the telemetry controller serves each
+// key with its specialist. Each leg runs the identical workload on an
+// isolated cluster over the same bandwidth-modelled network; the only
+// variable is who picks the configurations.
+const (
+	adaptiveKeys = 8
+	// Small-hot traffic: quorum round-trips dominate, so a narrow
+	// full-replication ABD wins.
+	adaptiveSmallBytes = 64
+	adaptiveP1Reads    = 0.9
+	// Large write-heavy traffic: transfer time dominates (the network
+	// charges per byte), so a wide erasure code moving ~size/k per server
+	// wins.
+	adaptiveLargeBytes = 64 << 10
+	adaptiveP2Reads    = 0.1
+	// adaptivePerByte is the simulated per-byte transfer cost: 1µs/B makes a
+	// 64KiB full-replica transfer ~66ms against a ~22ms coded shard.
+	adaptivePerByte = time.Microsecond
+)
+
+// largeKey reports whether key index i joins the large/write-heavy group
+// after the phase flip (the odd half; even keys stay small and hot).
+func largeKey(i int) bool { return i%2 == 1 }
+
+// adaptiveLeg is one contender's outcome over the drifting workload.
+type adaptiveLeg struct {
+	Name       string  `json:"name"`
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Phase1Ops  int64   `json:"phase1_ops"`
+	Phase2Ops  int64   `json:"phase2_ops"`
+	Phase1Rate float64 `json:"phase1_ops_per_sec"`
+	Phase2Rate float64 `json:"phase2_ops_per_sec"`
+	AutoMoves  int64   `json:"auto_moves,omitempty"`
+	// Final controller classes for one key from each group — the small-hot
+	// group should settle on SmallHot, the flipped group on LargeCold.
+	FinalClassSmall string `json:"final_class_small_key,omitempty"`
+	FinalClassLarge string `json:"final_class_large_key,omitempty"`
+	Description     string `json:"description"`
+}
+
+// adaptiveSummary is the BENCH_adaptive.json artifact: the controller leg
+// against every static leg, plus the headline ratio CI asserts on.
+type adaptiveSummary struct {
+	Generated     string        `json:"generated"`
+	Suite         string        `json:"suite"`
+	DurationMS    int64         `json:"duration_ms_per_leg"`
+	Workers       int           `json:"workers"`
+	Keys          int           `json:"keys"`
+	Seed          int64         `json:"seed"`
+	Legs          []adaptiveLeg `json:"legs"`
+	BestStatic    string        `json:"best_static"`
+	BestStaticOps float64       `json:"best_static_ops_per_sec"`
+	ControllerOps float64       `json:"controller_ops_per_sec"`
+	// AdaptiveGain is controller ops/s ÷ best static ops/s — ≥ 1 means
+	// self-driving reconfiguration beat every fixed choice.
+	AdaptiveGain float64 `json:"adaptive_gain"`
+}
+
+type adaptiveSuiteParams struct {
+	duration time.Duration
+	workers  int
+	seed     int64
+	jsonPath string
+}
+
+// adaptiveServers names the suite's five servers under a leg prefix.
+func adaptiveServers(prefix string, n int) []ares.ProcessID {
+	out := make([]ares.ProcessID, n)
+	for i := range out {
+		out[i] = ares.ProcessID(fmt.Sprintf("%s-s%d", prefix, i+1))
+	}
+	return out
+}
+
+func adaptiveABD(prefix string, n int) ares.Config {
+	return ares.Config{Algorithm: ares.ABD, Servers: adaptiveServers(prefix, n)}
+}
+
+func adaptiveTREAS(prefix string, n, k int) ares.Config {
+	return ares.Config{Algorithm: ares.TREAS, Servers: adaptiveServers(prefix, n), K: k, Delta: 32}
+}
+
+// runAdaptiveLeg deploys an isolated cluster + store (adaptive or static)
+// and drives the two-phase drifting workload against it.
+func runAdaptiveLeg(name, desc string, p adaptiveSuiteParams, template ares.Config, storeOpts ...ares.StoreOption) (adaptiveLeg, error) {
+	leg := adaptiveLeg{Name: name, Description: desc}
+	root := template
+	root.ID = ares.ConfigID("bench-adaptive-" + name + "/root")
+	net := ares.NewSimNetwork(
+		ares.WithDelayRange(time.Millisecond, 4*time.Millisecond),
+		ares.WithBandwidth(adaptivePerByte),
+		ares.WithSeed(p.seed),
+	)
+	cluster, err := ares.NewCluster(root, net)
+	if err != nil {
+		return leg, err
+	}
+	defer cluster.Close()
+	store, err := ares.NewObjectStore(cluster, template, storeOpts...)
+	if err != nil {
+		return leg, err
+	}
+	defer store.Close()
+
+	ctx := context.Background()
+	keys := make([]string, adaptiveKeys)
+	small := make(ares.Value, adaptiveSmallBytes)
+	large := make(ares.Value, adaptiveLargeBytes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ad-%03d", i)
+		// Pre-touch outside the timed window so phase-1 reads hit real state.
+		if err := store.Put(ctx, keys[i], small); err != nil {
+			return leg, fmt.Errorf("pre-touch %s: %w", keys[i], err)
+		}
+	}
+
+	var phase1Ops, phase2Ops, errs atomic.Int64
+	start := time.Now()
+	flip := start.Add(p.duration / 2)
+	deadline := start.Add(p.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.seed + int64(w)*7919))
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				phase2 := !now.Before(flip)
+				ki := rng.Intn(len(keys))
+				key := keys[ki]
+				// After the flip only the odd keys turn large and
+				// write-heavy; even keys keep their small-hot traffic.
+				readP, value := adaptiveP1Reads, small
+				if phase2 && largeKey(ki) {
+					readP, value = adaptiveP2Reads, large
+				}
+				var err error
+				if rng.Float64() < readP {
+					_, err = store.Get(ctx, key)
+				} else {
+					err = store.Put(ctx, key, value)
+				}
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				// Ops completing after the deadline don't count: rates are
+				// per fixed wall-clock window, so a single slow tail op
+				// can't skew one leg's denominator.
+				if time.Now().After(deadline) {
+					return
+				}
+				if phase2 {
+					phase2Ops.Add(1)
+				} else {
+					phase1Ops.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	half := (p.duration / 2).Seconds()
+	leg.Phase1Ops = phase1Ops.Load()
+	leg.Phase2Ops = phase2Ops.Load()
+	leg.Ops = leg.Phase1Ops + leg.Phase2Ops
+	leg.Errors = errs.Load()
+	leg.OpsPerSec = float64(leg.Ops) / p.duration.Seconds()
+	leg.Phase1Rate = float64(leg.Phase1Ops) / half
+	leg.Phase2Rate = float64(leg.Phase2Ops) / half
+	leg.AutoMoves = store.AdaptiveMoves()
+	if leg.AutoMoves > 0 {
+		leg.FinalClassSmall = store.AdaptiveClass(keys[0]).String()
+		leg.FinalClassLarge = store.AdaptiveClass(keys[1]).String()
+	}
+	return leg, nil
+}
+
+// runAdaptiveSuite runs the controller leg and every static leg over the
+// identical drifting workload and writes BENCH_adaptive.json.
+func runAdaptiveSuite(p adaptiveSuiteParams) error {
+	if p.workers < 1 {
+		p.workers = 8
+	}
+	if p.duration <= 0 {
+		p.duration = 8 * time.Second
+	}
+
+	adaptiveTemplate := adaptiveTREAS("ad", 5, 3)
+	spec := ares.AdaptiveSpec{
+		Interval: 100 * time.Millisecond,
+		Policy: ares.AdaptivePolicy{
+			SmallObjectBytes: 512,
+			LargeObjectBytes: 4 << 10,
+			HotOps:           4,
+			ConfirmWindows:   2,
+			Cooldown:         300 * time.Millisecond,
+			MaxMovesPerTick:  adaptiveKeys,
+		},
+		Profiles: map[ares.AdaptiveClass]ares.Config{
+			ares.ClassDefault:   adaptiveTREAS("ad", 5, 3),
+			ares.ClassSmallHot:  {Algorithm: ares.ABD, Servers: adaptiveServers("ad", 5)[:3]},
+			ares.ClassLargeCold: adaptiveTREAS("ad", 5, 3),
+			ares.ClassFaulty:    adaptiveABD("ad", 5),
+		},
+		Recon: ares.ReconOptions{DirectTransfer: true},
+	}
+
+	type legSpec struct {
+		name, desc string
+		template   ares.Config
+		opts       []ares.StoreOption
+	}
+	legs := []legSpec{
+		{"adaptive", "telemetry controller: starts TREAS [5,3], follows the workload", adaptiveTemplate,
+			[]ares.StoreOption{ares.WithAdaptive(spec)}},
+		{"static-abd3", "fixed ABD n=3 (the small-hot specialist)", adaptiveABD("st3", 3), nil},
+		{"static-abd5", "fixed ABD n=5 (max redundancy)", adaptiveABD("st5", 5), nil},
+		{"static-treas53", "fixed TREAS [5,3] (the large-value specialist)", adaptiveTREAS("stt", 5, 3), nil},
+	}
+
+	summary := adaptiveSummary{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Suite:      "adaptive-vs-static",
+		DurationMS: p.duration.Milliseconds(),
+		Workers:    p.workers,
+		Keys:       adaptiveKeys,
+		Seed:       p.seed,
+	}
+	fmt.Printf("\n== ADAPTIVE: controller vs static configurations over a drifting workload\n")
+	fmt.Printf("   phase 1 (%v): all keys %dB values, %.0f%% reads — phase 2 (%v): odd keys flip to %dKiB, %.0f%%reads; even keys stay small-hot\n\n",
+		p.duration/2, adaptiveSmallBytes, adaptiveP1Reads*100, p.duration/2, adaptiveLargeBytes>>10, adaptiveP2Reads*100)
+	table := benchutil.NewTable("leg", "ops", "errs", "ops/s", "phase1 ops/s", "phase2 ops/s", "moves")
+	for _, ls := range legs {
+		leg, err := runAdaptiveLeg(ls.name, ls.desc, p, ls.template, ls.opts...)
+		if err != nil {
+			return fmt.Errorf("adaptive suite: leg %s: %w", ls.name, err)
+		}
+		table.AddRow(leg.Name, leg.Ops, leg.Errors,
+			fmt.Sprintf("%.0f", leg.OpsPerSec), fmt.Sprintf("%.0f", leg.Phase1Rate),
+			fmt.Sprintf("%.0f", leg.Phase2Rate), leg.AutoMoves)
+		summary.Legs = append(summary.Legs, leg)
+	}
+	table.Render(os.Stdout)
+
+	statics := summary.Legs[1:]
+	sort.Slice(statics, func(i, j int) bool { return statics[i].OpsPerSec > statics[j].OpsPerSec })
+	summary.BestStatic = statics[0].Name
+	summary.BestStaticOps = statics[0].OpsPerSec
+	summary.ControllerOps = summary.Legs[0].OpsPerSec
+	if summary.BestStaticOps > 0 {
+		summary.AdaptiveGain = summary.ControllerOps / summary.BestStaticOps
+	}
+	fmt.Printf("\n  controller %.0f ops/s vs best static (%s) %.0f ops/s → adaptive gain %.2fx\n",
+		summary.ControllerOps, summary.BestStatic, summary.BestStaticOps, summary.AdaptiveGain)
+	if summary.Legs[0].AutoMoves == 0 {
+		return fmt.Errorf("adaptive suite: the controller never moved a key — telemetry loop is dead")
+	}
+
+	if p.jsonPath != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  → %s\n", p.jsonPath)
+	}
+	return nil
+}

@@ -71,11 +71,21 @@ func run() error {
 		tcpRun    = flag.Bool("tcp", false, "run the real-network suite against a spawned multi-process ares-server cluster")
 		tcpSrvs   = flag.Int("tcp-servers", 3, "tcp suite: number of ares-server processes to spawn (min 3)")
 		serverBin = flag.String("server-bin", "", "tcp suite: prebuilt ares-server binary (default: go build from the module)")
+		adaptRun  = flag.Bool("adaptive", false, "run the adaptive-vs-static suite: the telemetry controller against fixed configurations over a drifting workload")
+		adaptDur  = flag.Duration("adaptive-duration", 8*time.Second, "adaptive suite: duration of each leg (two workload phases per leg); ~8s amortizes the controller's adaptation lag")
 	)
 	flag.Parse()
 
 	if *chaosRun {
 		return runChaosSuite(*scenarios, chaos.SeedFromEnv(*seed), *stretch, *jsonPath, *verbose)
+	}
+	if *adaptRun {
+		return runAdaptiveSuite(adaptiveSuiteParams{
+			duration: *adaptDur,
+			workers:  *workers,
+			seed:     *seed,
+			jsonPath: *jsonPath,
+		})
 	}
 	if *tcpRun {
 		return runTCPSuite(tcpSuiteParams{
@@ -160,6 +170,12 @@ func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, 
 			// bound: an unbounded-leak regression, failed like a safety one.
 			verdict = "STATE-LEAK"
 			failed++
+		} else if sc.AdaptiveProfiles != nil && v.AutoReconfigs == 0 {
+			// A workload-shift scenario where the controller never moved a
+			// key means the telemetry loop is dead — fail it even though the
+			// (static) history stayed linearizable.
+			verdict = "NO-ADAPT"
+			failed++
 		}
 		// Keys may fall back to the tag check independently; the row shows
 		// the per-key methods honestly rather than just the first key's.
@@ -172,7 +188,9 @@ func runChaosSuite(filter string, seed int64, stretch float64, jsonPath string, 
 				method = "mixed"
 			}
 		}
-		table.AddRow(v.Scenario, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, v.ServerStates, v.RetiredStates, method, verdict)
+		table.AddRow(v.Scenario, v.Ops, v.Incomplete, v.OpErrors,
+			fmt.Sprintf("%d+%da", v.Reconfigs, v.AutoReconfigs),
+			v.ServerStates, v.RetiredStates, method, verdict)
 		summary.Verdicts = append(summary.Verdicts, v)
 	}
 

@@ -172,14 +172,21 @@ type tcpDurabilitySample struct {
 // key, respawned on the same data directories, and timed until it serves
 // again; recovered_reads_ok says every key read back its pre-crash value.
 type tcpDurabilityResult struct {
-	Keys           int                 `json:"keys"`
-	InMemory       tcpDurabilitySample `json:"in_memory"`
-	FsyncOff       tcpDurabilitySample `json:"fsync_off"`
-	FsyncOn        tcpDurabilitySample `json:"fsync_on"`
-	FsyncOffRatio  float64             `json:"fsync_off_ratio"`
-	FsyncOnRatio   float64             `json:"fsync_on_ratio"`
-	RecoveryMillis float64             `json:"recovery_ms"`
-	RecoveredReads bool                `json:"recovered_reads_ok"`
+	Keys     int                 `json:"keys"`
+	InMemory tcpDurabilitySample `json:"in_memory"`
+	FsyncOff tcpDurabilitySample `json:"fsync_off"`
+	FsyncOn  tcpDurabilitySample `json:"fsync_on"`
+	// FsyncNoCoalesce runs fsync with cross-stripe barrier coalescing
+	// disabled (-fsync-coalesce=false): each stripe's burst syncs alone.
+	FsyncNoCoalesce      tcpDurabilitySample `json:"fsync_nocoalesce"`
+	FsyncOffRatio        float64             `json:"fsync_off_ratio"`
+	FsyncOnRatio         float64             `json:"fsync_on_ratio"`
+	FsyncNoCoalesceRatio float64             `json:"fsync_nocoalesce_ratio"`
+	// CoalescingGain is coalesced fsync ops/s ÷ uncoalesced fsync ops/s —
+	// what sharing one barrier across stripes buys under concurrent writers.
+	CoalescingGain float64 `json:"fsync_coalescing_gain"`
+	RecoveryMillis float64 `json:"recovery_ms"`
+	RecoveredReads bool    `json:"recovered_reads_ok"`
 }
 
 // tcpSuiteSummary is the machine-readable artifact -tcp -json emits.
@@ -1067,6 +1074,12 @@ func runTCPDurability(p tcpSuiteParams, bin, tmpDir string) (*tcpDurabilityResul
 		return nil, err
 	}
 	defer on.close()
+	noco, err := setupDurabilityLeg(p, bin, "fsync-nocoalesce", keys, value,
+		"-data-dir", filepath.Join(tmpDir, "dur-fsync-nocoalesce"), "-fsync=true", "-fsync-coalesce=false")
+	if err != nil {
+		return nil, err
+	}
+	defer noco.close()
 
 	window := p.duration
 	if window > 2*time.Second {
@@ -1076,7 +1089,7 @@ func runTCPDurability(p tcpSuiteParams, bin, tmpDir string) (*tcpDurabilityResul
 	if slice < 100*time.Millisecond {
 		slice = 100 * time.Millisecond
 	}
-	legs := []*durabilityLeg{mem, off, on}
+	legs := []*durabilityLeg{mem, off, on, noco}
 	for round := 0; round < durabilityRounds; round++ {
 		for i := 0; i < len(legs); i++ {
 			leg := legs[(round+i)%len(legs)] // rotate the order every round
@@ -1087,14 +1100,19 @@ func runTCPDurability(p tcpSuiteParams, bin, tmpDir string) (*tcpDurabilityResul
 	}
 
 	res := &tcpDurabilityResult{
-		Keys:     durabilityKeys,
-		InMemory: mem.finish(),
-		FsyncOff: off.finish(),
-		FsyncOn:  on.finish(),
+		Keys:            durabilityKeys,
+		InMemory:        mem.finish(),
+		FsyncOff:        off.finish(),
+		FsyncOn:         on.finish(),
+		FsyncNoCoalesce: noco.finish(),
 	}
 	if res.InMemory.OpsPerSec > 0 {
 		res.FsyncOffRatio = res.FsyncOff.OpsPerSec / res.InMemory.OpsPerSec
 		res.FsyncOnRatio = res.FsyncOn.OpsPerSec / res.InMemory.OpsPerSec
+		res.FsyncNoCoalesceRatio = res.FsyncNoCoalesce.OpsPerSec / res.InMemory.OpsPerSec
+	}
+	if res.FsyncNoCoalesce.OpsPerSec > 0 {
+		res.CoalescingGain = res.FsyncOn.OpsPerSec / res.FsyncNoCoalesce.OpsPerSec
 	}
 
 	// Recovery: acknowledge a known value on every key, SIGKILL the
@@ -1289,15 +1307,17 @@ func runTCPSuite(p tcpSuiteParams) error {
 		return fmt.Errorf("tcp suite: %w", err)
 	}
 
-	// Phase: durability (its own in-memory, fsync-off, and fsync-on clusters,
-	// plus a SIGKILL + recovery measurement on the fsync-off one).
+	// Phase: durability (its own in-memory, fsync-off, fsync-on, and
+	// fsync-uncoalesced clusters, plus a SIGKILL + recovery measurement on
+	// the fsync-off one).
 	durability, err := runTCPDurability(p, bin, tmpDir)
 	if durability != nil {
 		summary.Durability = durability
-		fmt.Printf("  durability (%d keys): in-memory %.0f ops/s, wal %.0f ops/s (%.2fx), wal+fsync %.0f ops/s (%.2fx); kill -9 recovery %.0fms, recovered reads ok=%v\n",
+		fmt.Printf("  durability (%d keys): in-memory %.0f ops/s, wal %.0f ops/s (%.2fx), wal+fsync %.0f ops/s (%.2fx), wal+fsync uncoalesced %.0f ops/s (%.2fx, coalescing gain %.2fx); kill -9 recovery %.0fms, recovered reads ok=%v\n",
 			durability.Keys, durability.InMemory.OpsPerSec,
 			durability.FsyncOff.OpsPerSec, durability.FsyncOffRatio,
 			durability.FsyncOn.OpsPerSec, durability.FsyncOnRatio,
+			durability.FsyncNoCoalesce.OpsPerSec, durability.FsyncNoCoalesceRatio, durability.CoalescingGain,
 			durability.RecoveryMillis, durability.RecoveredReads)
 	}
 	if err != nil {

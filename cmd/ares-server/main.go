@@ -41,6 +41,7 @@ func run() error {
 		nobatch   = flag.Bool("nobatch", false, "disable cross-key envelope coalescing (one frame per envelope); the bench's unbatched baseline")
 		dataDir   = flag.String("data-dir", "", "data directory for WAL + snapshots (empty = in-memory server, no crash recovery)")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every group commit (only meaningful with -data-dir)")
+		coalesce  = flag.Bool("fsync-coalesce", true, "batch fsync barriers across WAL stripes (only meaningful with -fsync); false restores sync-per-burst")
 	)
 	flag.Parse()
 	if *id == "" || *peers == "" {
@@ -57,7 +58,7 @@ func run() error {
 		return err
 	}
 	srv, stats, err := ares.NewServerWithDurability(ares.ProcessID(*id), *listen, book,
-		ares.Durability{Dir: *dataDir, Fsync: *fsync},
+		ares.Durability{Dir: *dataDir, Fsync: *fsync, NoFsyncCoalesce: !*coalesce},
 		ares.WithWireFormat(wireFormat), ares.WithBatching(!*nobatch))
 	if err != nil {
 		return err

@@ -1,0 +1,385 @@
+package adaptive
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class is the controller's verdict on how a key should be configured. The
+// caller maps classes to concrete configurations (e.g. ClassSmallHot → ABD
+// n=3, ClassLargeCold → a wide TREAS [n, k], ClassFaulty → maximum
+// redundancy); the controller only decides which class a key is in.
+type Class uint8
+
+const (
+	// ClassDefault is every key's starting class — whatever configuration
+	// the deployment template chose.
+	ClassDefault Class = iota
+	// ClassSmallHot marks small objects under heavy traffic: latency is all
+	// quorum round-trips, so full replication over few replicas (ABD n=3)
+	// wins.
+	ClassSmallHot
+	// ClassLargeCold marks large objects: bandwidth dominates, so a wide
+	// erasure code (TREAS [n, k], each replica storing ~size/k) wins.
+	ClassLargeCold
+	// ClassFaulty marks keys whose operations are fighting faults (retries,
+	// errors): more redundancy buys availability until the spike clears.
+	ClassFaulty
+)
+
+// String names the class for logs and JSON verdicts.
+func (c Class) String() string {
+	switch c {
+	case ClassDefault:
+		return "default"
+	case ClassSmallHot:
+		return "small-hot"
+	case ClassLargeCold:
+		return "large-cold"
+	case ClassFaulty:
+		return "faulty"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Policy holds the controller's thresholds and damping. The zero value is
+// usable: every field falls back to the documented default.
+type Policy struct {
+	// SmallObjectBytes: average value size ≤ this reads as "small"
+	// (default 1 KiB).
+	SmallObjectBytes int64
+	// LargeObjectBytes: average value size ≥ this reads as "large"
+	// (default 8 KiB).
+	LargeObjectBytes int64
+	// HotOps: a key with at least this many operations per window is "hot"
+	// (default 16).
+	HotOps int64
+	// FaultRatio: (retries+failures)/attempts at or above this reads as a
+	// fault spike (default 0.2).
+	FaultRatio float64
+	// ConfirmWindows is the hysteresis depth: a key must classify into the
+	// same new class for this many consecutive non-idle windows before the
+	// controller moves it (default 2). A stable workload therefore causes at
+	// most one move per key, ever; a borderline workload that alternates
+	// classes window to window never moves at all.
+	ConfirmWindows int
+	// Cooldown is the minimum time between two moves of the same key
+	// (default 2s) — the per-key damper that keeps controller churn inside
+	// the reconfiguration-GC envelope.
+	Cooldown time.Duration
+	// MaxMovesPerTick budgets reconfigurations per tick (default 4), so a
+	// mass workload shift rolls through the keyspace at a bounded rate
+	// instead of reconfiguring every key at once.
+	MaxMovesPerTick int
+	// IdleEvictWindows: a key observed idle for this many consecutive
+	// windows has its controller state and sampler counters dropped
+	// (default 16; the store's client-cache TTL machinery handles the
+	// client side).
+	IdleEvictWindows int
+}
+
+// withDefaults fills unset fields.
+func (p Policy) withDefaults() Policy {
+	if p.SmallObjectBytes <= 0 {
+		p.SmallObjectBytes = 1024
+	}
+	if p.LargeObjectBytes <= 0 {
+		p.LargeObjectBytes = 8192
+	}
+	if p.HotOps <= 0 {
+		p.HotOps = 16
+	}
+	if p.FaultRatio <= 0 {
+		p.FaultRatio = 0.2
+	}
+	if p.ConfirmWindows <= 0 {
+		p.ConfirmWindows = 2
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 2 * time.Second
+	}
+	if p.MaxMovesPerTick <= 0 {
+		p.MaxMovesPerTick = 4
+	}
+	if p.IdleEvictWindows <= 0 {
+		p.IdleEvictWindows = 16
+	}
+	return p
+}
+
+// classify maps one window of telemetry to a class. With no strong signal the
+// key keeps its current class — moving costs a reconfiguration, staying is
+// free, so the burden of proof is on change.
+func (p Policy) classify(st KeyStats, current Class) Class {
+	if st.Ops() == 0 && st.Failures == 0 {
+		return current
+	}
+	if st.FaultRatio() >= p.FaultRatio {
+		return ClassFaulty
+	}
+	avg := st.AvgBytes()
+	switch {
+	case avg >= p.LargeObjectBytes:
+		return ClassLargeCold
+	case avg <= p.SmallObjectBytes && st.Ops() >= p.HotOps:
+		return ClassSmallHot
+	}
+	if current == ClassFaulty {
+		// The spike cleared and the traffic carries no size/heat signal:
+		// step back to the default rather than pinning extra redundancy
+		// forever.
+		return ClassDefault
+	}
+	return current
+}
+
+// Move records one applied (or attempted) reconfiguration decision.
+type Move struct {
+	Key      string
+	From, To Class
+	// Stats is the telemetry window that confirmed the move.
+	Stats KeyStats
+	// Err is the apply hook's failure, if any; failed moves stay in the
+	// candidate state and are retried on a later tick.
+	Err error `json:"Err,omitempty"`
+}
+
+// TickReport summarizes one controller tick for logs, benches, and verdicts.
+type TickReport struct {
+	// Keys is how many keys had traffic this window.
+	Keys int
+	// Moves lists the reconfigurations applied (or attempted) this tick.
+	Moves []Move
+	// Deferred counts keys whose confirmed move was pushed to a later tick
+	// by the MaxMovesPerTick budget or the per-key cooldown.
+	Deferred int
+	// Evicted counts idle keys whose tracking state was dropped.
+	Evicted int
+}
+
+// keyTrack is the controller's per-key hysteresis state.
+type keyTrack struct {
+	current   Class
+	candidate Class
+	streak    int
+	lastMove  time.Time
+	idle      int
+}
+
+// Controller periodically drains a Sampler, classifies every active key, and
+// — after hysteresis, cooldown, and budget damping — calls the apply hook to
+// reconfigure keys whose class changed. It is the paper's "boutique
+// per-object configuration" claim made self-driving: measurement → decision
+// → reconfiguration, safe to run continuously because the damping keeps
+// churn inside the lifecycle-GC envelope.
+type Controller struct {
+	sampler *Sampler
+	policy  Policy
+	apply   func(ctx context.Context, key string, class Class) error
+	logf    func(format string, args ...any)
+	now     func() time.Time
+
+	tickMu sync.Mutex // serializes Tick: at most one decision round in flight
+
+	mu    sync.Mutex
+	state map[string]*keyTrack
+	moves int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	done      chan struct{}
+}
+
+// ControllerOption customizes a Controller.
+type ControllerOption func(*Controller)
+
+// WithLogf routes controller decisions to a logger (default: silent).
+func WithLogf(logf func(format string, args ...any)) ControllerOption {
+	return func(c *Controller) {
+		if logf != nil {
+			c.logf = logf
+		}
+	}
+}
+
+// withNow injects a clock (tests).
+func withNow(now func() time.Time) ControllerOption {
+	return func(c *Controller) { c.now = now }
+}
+
+// NewController builds a controller over sampler. apply is called once per
+// confirmed class change — typically a closure over ObjectStore.ReconfigureKey
+// or a cached Reconfigurer — and must be safe for sequential calls from the
+// controller's tick goroutine.
+func NewController(sampler *Sampler, policy Policy, apply func(ctx context.Context, key string, class Class) error, opts ...ControllerOption) *Controller {
+	c := &Controller{
+		sampler: sampler,
+		policy:  policy.withDefaults(),
+		apply:   apply,
+		logf:    func(string, ...any) {},
+		now:     time.Now,
+		state:   make(map[string]*keyTrack),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Policy returns the controller's effective (default-filled) policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Class reports the controller's current class for key.
+func (c *Controller) Class(key string) Class {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.state[key]; ok {
+		return t.current
+	}
+	return ClassDefault
+}
+
+// Moves reports how many reconfigurations the controller has applied
+// successfully since construction.
+func (c *Controller) Moves() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.moves
+}
+
+// Tick runs one decision round: drain the sampler, classify, damp, apply.
+// It is what Start calls on its cadence; tests and benches may call it
+// directly for deterministic control.
+func (c *Controller) Tick(ctx context.Context) TickReport {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+
+	window := c.sampler.Drain()
+	now := c.now()
+	rep := TickReport{Keys: len(window)}
+
+	type pendingMove struct {
+		key   string
+		track *keyTrack
+		move  Move
+	}
+	var pending []pendingMove
+
+	c.mu.Lock()
+	// Deterministic key order so budget deferral is stable under test seeds.
+	keys := make([]string, 0, len(window))
+	for key := range window {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		st := window[key]
+		t, ok := c.state[key]
+		if !ok {
+			t = &keyTrack{current: ClassDefault, candidate: ClassDefault}
+			c.state[key] = t
+		}
+		t.idle = 0
+		want := c.policy.classify(st, t.current)
+		if want == t.current {
+			t.candidate = t.current
+			t.streak = 0
+			continue
+		}
+		if want != t.candidate {
+			t.candidate = want
+			t.streak = 1
+		} else {
+			t.streak++
+		}
+		if t.streak < c.policy.ConfirmWindows {
+			continue
+		}
+		if !t.lastMove.IsZero() && now.Sub(t.lastMove) < c.policy.Cooldown {
+			rep.Deferred++
+			continue
+		}
+		if len(pending) >= c.policy.MaxMovesPerTick {
+			rep.Deferred++
+			continue
+		}
+		pending = append(pending, pendingMove{key: key, track: t, move: Move{Key: key, From: t.current, To: want, Stats: st}})
+	}
+	// Idle bookkeeping: keys tracked but silent this window.
+	for key, t := range c.state {
+		if _, active := window[key]; active {
+			continue
+		}
+		t.idle++
+		if t.idle >= c.policy.IdleEvictWindows {
+			delete(c.state, key)
+			c.sampler.Forget(key)
+			rep.Evicted++
+		}
+	}
+	c.mu.Unlock()
+
+	// Apply outside the state lock: a reconfiguration is quorum rounds of
+	// real work, and recorders must not stall behind it.
+	for _, p := range pending {
+		err := c.apply(ctx, p.key, p.move.To)
+		p.move.Err = err
+		rep.Moves = append(rep.Moves, p.move)
+		c.mu.Lock()
+		if err == nil {
+			p.track.current = p.move.To
+			p.track.candidate = p.move.To
+			p.track.streak = 0
+			p.track.lastMove = now
+			c.moves++
+		}
+		c.mu.Unlock()
+		if err != nil {
+			c.logf("adaptive: move %q %s→%s failed: %v", p.key, p.move.From, p.move.To, err)
+		} else {
+			c.logf("adaptive: moved %q %s→%s (ops=%d avg=%dB fault=%.2f)",
+				p.key, p.move.From, p.move.To, p.move.Stats.Ops(), p.move.Stats.AvgBytes(), p.move.Stats.FaultRatio())
+		}
+	}
+	return rep
+}
+
+// Start launches the controller's tick loop on the given cadence. Stop (or
+// ctx cancellation) ends it; Start is idempotent.
+func (c *Controller) Start(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	c.startOnce.Do(func() {
+		go func() {
+			defer close(c.done)
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-c.stopped:
+					return
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					c.Tick(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the tick loop and waits for any in-flight tick to finish. Safe
+// to call multiple times, and safe without a prior Start.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopped) })
+	c.startOnce.Do(func() { close(c.done) }) // never started: nothing to wait for
+	<-c.done
+}

@@ -1,0 +1,312 @@
+package adaptive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testController builds a controller over a fresh sampler with a fake clock
+// and an apply hook that records every move.
+func testController(t *testing.T, p Policy) (*Sampler, *Controller, *[]Move, func(d time.Duration)) {
+	t.Helper()
+	s := NewSampler()
+	var (
+		mu    sync.Mutex
+		moves []Move
+	)
+	clock := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
+	c := NewController(s, p, func(_ context.Context, key string, class Class) error {
+		mu.Lock()
+		moves = append(moves, Move{Key: key, To: class})
+		mu.Unlock()
+		return nil
+	}, withNow(now))
+	return s, c, &moves, advance
+}
+
+// smallHotWindow records a window that unambiguously classifies as small-hot.
+func smallHotWindow(s *Sampler, key string) {
+	for i := 0; i < 64; i++ {
+		s.RecordRead(key, 64, time.Millisecond)
+	}
+}
+
+// largeWindow records a window that unambiguously classifies as large-cold.
+func largeWindow(s *Sampler, key string) {
+	for i := 0; i < 4; i++ {
+		s.RecordWrite(key, 64<<10, 10*time.Millisecond)
+	}
+}
+
+// TestHysteresisNoOscillationOnStableWorkload is the satellite's core claim:
+// a stable workload causes at most one move per key, ever — the controller
+// must not oscillate.
+func TestHysteresisNoOscillationOnStableWorkload(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{ConfirmWindows: 2, Cooldown: time.Second})
+	ctx := context.Background()
+
+	for tick := 0; tick < 50; tick++ {
+		smallHotWindow(s, "k")
+		c.Tick(ctx)
+		advance(500 * time.Millisecond)
+	}
+	if len(*moves) != 1 {
+		t.Fatalf("stable workload produced %d moves, want exactly 1: %+v", len(*moves), *moves)
+	}
+	if (*moves)[0].To != ClassSmallHot {
+		t.Fatalf("moved to %s, want small-hot", (*moves)[0].To)
+	}
+	if got := c.Class("k"); got != ClassSmallHot {
+		t.Fatalf("class = %s", got)
+	}
+}
+
+// TestHysteresisConfirmWindows: a class change must hold for ConfirmWindows
+// consecutive windows before the controller acts, so a single-window blip
+// never triggers a reconfiguration.
+func TestHysteresisConfirmWindows(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{ConfirmWindows: 3, Cooldown: time.Millisecond})
+	ctx := context.Background()
+
+	// One blip, then back to unclassifiable traffic: no move.
+	smallHotWindow(s, "k")
+	c.Tick(ctx)
+	advance(time.Second)
+	for i := 0; i < 5; i++ {
+		s.RecordRead("k", 4096, time.Millisecond) // mid-size, below HotOps
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 0 {
+		t.Fatalf("blip caused moves: %+v", *moves)
+	}
+
+	// Three consecutive confirming windows: exactly one move, on the third.
+	for i := 0; i < 3; i++ {
+		if len(*moves) != 0 {
+			t.Fatalf("moved after %d windows, want 3", i)
+		}
+		smallHotWindow(s, "k")
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 1 {
+		t.Fatalf("moves = %d, want 1", len(*moves))
+	}
+}
+
+// TestHysteresisAlternatingNeverMoves: a borderline workload flapping between
+// classes window to window never accumulates a streak, so it never moves.
+func TestHysteresisAlternatingNeverMoves(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{ConfirmWindows: 2, Cooldown: time.Millisecond})
+	ctx := context.Background()
+	for tick := 0; tick < 40; tick++ {
+		if tick%2 == 0 {
+			smallHotWindow(s, "k")
+		} else {
+			largeWindow(s, "k")
+		}
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 0 {
+		t.Fatalf("alternating workload moved %d times: %+v", len(*moves), *moves)
+	}
+}
+
+// TestCooldownDefersRepeatMoves: after a move, a genuinely shifted workload
+// must wait out the per-key cooldown before moving again.
+func TestCooldownDefersRepeatMoves(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{ConfirmWindows: 1, Cooldown: 10 * time.Second})
+	ctx := context.Background()
+
+	smallHotWindow(s, "k")
+	c.Tick(ctx)
+	if len(*moves) != 1 {
+		t.Fatalf("first move missing: %+v", *moves)
+	}
+	// Shifted workload inside the cooldown: confirmed but deferred.
+	for i := 0; i < 5; i++ {
+		advance(time.Second)
+		largeWindow(s, "k")
+		rep := c.Tick(ctx)
+		if len(rep.Moves) != 0 {
+			t.Fatalf("moved inside cooldown at tick %d", i)
+		}
+		if rep.Deferred != 1 {
+			t.Fatalf("tick %d deferred = %d, want 1", i, rep.Deferred)
+		}
+	}
+	advance(6 * time.Second) // past the cooldown
+	largeWindow(s, "k")
+	c.Tick(ctx)
+	if len(*moves) != 2 || (*moves)[1].To != ClassLargeCold {
+		t.Fatalf("post-cooldown move missing: %+v", *moves)
+	}
+}
+
+// TestMoveBudgetRollsThroughKeyspace: a mass shift reconfigures at most
+// MaxMovesPerTick keys per tick, deterministically, until all have moved.
+func TestMoveBudgetRollsThroughKeyspace(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{ConfirmWindows: 1, Cooldown: time.Millisecond, MaxMovesPerTick: 3})
+	ctx := context.Background()
+	const keys = 10
+	feed := func() {
+		for i := 0; i < keys; i++ {
+			smallHotWindow(s, fmt.Sprintf("k%02d", i))
+		}
+	}
+	feed()
+	rep := c.Tick(ctx)
+	if len(rep.Moves) != 3 || rep.Deferred != 7 {
+		t.Fatalf("tick 1: moves=%d deferred=%d, want 3/7", len(rep.Moves), rep.Deferred)
+	}
+	for tick := 0; tick < 4; tick++ {
+		advance(time.Second)
+		feed()
+		c.Tick(ctx)
+	}
+	if len(*moves) != keys {
+		t.Fatalf("total moves = %d, want %d", len(*moves), keys)
+	}
+	seen := map[string]int{}
+	for _, m := range *moves {
+		seen[m.Key]++
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %s moved %d times", k, n)
+		}
+	}
+}
+
+// TestFaultSpikeAndRecovery: a fault spike classifies the key faulty; once
+// the spike clears and traffic carries no other signal, the controller steps
+// the key back to default (after hysteresis) instead of pinning extra
+// redundancy forever.
+func TestFaultSpikeAndRecovery(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{ConfirmWindows: 2, Cooldown: time.Millisecond})
+	ctx := context.Background()
+
+	faulty := func() {
+		for i := 0; i < 20; i++ {
+			s.RecordRead("k", 4096, time.Millisecond)
+		}
+		s.RecordRetries("k", 10)
+		s.RecordFailure("k")
+	}
+	for i := 0; i < 3; i++ {
+		faulty()
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 1 || (*moves)[0].To != ClassFaulty {
+		t.Fatalf("fault spike moves = %+v", *moves)
+	}
+	for i := 0; i < 4; i++ {
+		s.RecordRead("k", 4096, time.Millisecond) // clean, signal-free traffic
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 2 || (*moves)[1].To != ClassDefault {
+		t.Fatalf("recovery moves = %+v", *moves)
+	}
+}
+
+// TestApplyFailureRetried: a failed apply leaves the key in its old class and
+// the controller retries on a later tick.
+func TestApplyFailureRetried(t *testing.T) {
+	s := NewSampler()
+	fails := 2
+	var applied []Class
+	c := NewController(s, Policy{ConfirmWindows: 1, Cooldown: time.Millisecond}, func(_ context.Context, key string, class Class) error {
+		if fails > 0 {
+			fails--
+			return errors.New("quorum unavailable")
+		}
+		applied = append(applied, class)
+		return nil
+	})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		smallHotWindow(s, "k")
+		rep := c.Tick(ctx)
+		if fails > 0 && len(rep.Moves) > 0 && rep.Moves[0].Err == nil {
+			t.Fatal("failed move reported as success")
+		}
+	}
+	if len(applied) != 1 || c.Class("k") != ClassSmallHot {
+		t.Fatalf("applied=%v class=%s", applied, c.Class("k"))
+	}
+	if c.Moves() != 1 {
+		t.Fatalf("moves counter = %d", c.Moves())
+	}
+}
+
+// TestIdleEviction: keys silent for IdleEvictWindows windows are dropped from
+// both controller state and sampler, bounding live state per key under
+// continuous operation.
+func TestIdleEviction(t *testing.T) {
+	s, c, _, advance := testController(t, Policy{ConfirmWindows: 1, Cooldown: time.Millisecond, IdleEvictWindows: 3})
+	ctx := context.Background()
+	smallHotWindow(s, "k")
+	c.Tick(ctx)
+	if s.KeyCount() != 1 {
+		t.Fatalf("key count = %d", s.KeyCount())
+	}
+	evicted := 0
+	for i := 0; i < 4; i++ {
+		advance(time.Second)
+		evicted += c.Tick(ctx).Evicted
+	}
+	if evicted != 1 || s.KeyCount() != 0 {
+		t.Fatalf("evicted=%d keyCount=%d, want 1/0", evicted, s.KeyCount())
+	}
+	if c.Class("k") != ClassDefault {
+		t.Fatalf("evicted key class = %s", c.Class("k"))
+	}
+}
+
+// TestStartStop: the background loop ticks on its cadence and Stop is
+// idempotent, including without a Start.
+func TestStartStop(t *testing.T) {
+	s := NewSampler()
+	var ticks sync.WaitGroup
+	ticks.Add(1)
+	var once sync.Once
+	c := NewController(s, Policy{ConfirmWindows: 1, Cooldown: time.Millisecond}, func(context.Context, string, Class) error {
+		once.Do(ticks.Done)
+		return nil
+	})
+	c.Start(context.Background(), 5*time.Millisecond)
+	c.Start(context.Background(), 5*time.Millisecond) // idempotent
+	smallHotWindow(s, "k")
+	go func() {
+		for i := 0; i < 200; i++ {
+			smallHotWindow(s, "k")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	ticks.Wait()
+	c.Stop()
+	c.Stop()
+
+	// Stop without Start must not hang.
+	c2 := NewController(NewSampler(), Policy{}, func(context.Context, string, Class) error { return nil })
+	c2.Stop()
+}

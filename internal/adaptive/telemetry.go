@@ -1,0 +1,295 @@
+// Package adaptive closes ARES's measurement → decision → reconfiguration
+// loop: a lock-free per-key telemetry sampler feeds a policy controller that
+// drives per-key reconfiguration (ABD ↔ TREAS, narrow ↔ wide [n, k]) on a
+// budgeted cadence. The package is deliberately generic — it knows nothing
+// about configurations or clusters; callers hand it an apply hook and it
+// hands back class decisions — so the store layer, the chaos harness, and
+// tests can all wire it to their own reconfiguration machinery.
+package adaptive
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// samplerStripes fixes the sampler's stripe count. Telemetry is recorded on
+// the hot path of every store operation, so per-key counters live in striped
+// maps (lookup under RLock, counters bumped with atomics) exactly like the
+// keystate server maps one layer down.
+const samplerStripes = 64
+
+// keyCounters is the live, atomically-updated record for one key. Fields are
+// cumulative between drains; Drain swaps each to zero, so every recorded
+// sample lands in exactly one drain window (increments racing a drain are
+// counted in the next window, never lost).
+type keyCounters struct {
+	reads      atomic.Int64
+	writes     atomic.Int64
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+	readNanos  atomic.Int64
+	writeNanos atomic.Int64
+	readRounds atomic.Int64
+	fastReads  atomic.Int64
+	retries    atomic.Int64
+	failures   atomic.Int64
+}
+
+// KeyStats is one key's telemetry over a sampling window — the policy
+// controller's entire input.
+type KeyStats struct {
+	// Reads and Writes count completed operations.
+	Reads, Writes int64
+	// ReadBytes and WriteBytes total the value sizes moved.
+	ReadBytes, WriteBytes int64
+	// ReadNanos and WriteNanos total observed operation latency.
+	ReadNanos, WriteNanos int64
+	// ReadRounds totals data rounds spent by reads; FastReads counts reads
+	// that took the one-round fast path (per-key attribution of the
+	// process-wide transport.CodecStats read counters).
+	ReadRounds, FastReads int64
+	// Retries counts transient in-operation retries (e.g. TREAS
+	// not-yet-decodable get-data rounds); Failures counts operations that
+	// returned an error. Together they are the key's fault signal.
+	Retries, Failures int64
+}
+
+// Ops is the number of completed operations in the window.
+func (s KeyStats) Ops() int64 { return s.Reads + s.Writes }
+
+// AvgBytes is the mean value size moved per operation (0 when idle).
+func (s KeyStats) AvgBytes() int64 {
+	if s.Ops() == 0 {
+		return 0
+	}
+	return (s.ReadBytes + s.WriteBytes) / s.Ops()
+}
+
+// ReadRatio is Reads/Ops (0 when idle).
+func (s KeyStats) ReadRatio() float64 {
+	if s.Ops() == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Ops())
+}
+
+// FaultRatio is (Retries+Failures) per attempted operation — the fraction of
+// work the window spent fighting faults or contention.
+func (s KeyStats) FaultRatio() float64 {
+	attempts := s.Ops() + s.Failures
+	if attempts == 0 {
+		return 0
+	}
+	return float64(s.Retries+s.Failures) / float64(attempts)
+}
+
+// AvgLatency is the mean operation latency over the window (0 when idle).
+func (s KeyStats) AvgLatency() time.Duration {
+	if s.Ops() == 0 {
+		return 0
+	}
+	return time.Duration((s.ReadNanos + s.WriteNanos) / s.Ops())
+}
+
+// merge adds o into s.
+func (s *KeyStats) merge(o KeyStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
+	s.ReadNanos += o.ReadNanos
+	s.WriteNanos += o.WriteNanos
+	s.ReadRounds += o.ReadRounds
+	s.FastReads += o.FastReads
+	s.Retries += o.Retries
+	s.Failures += o.Failures
+}
+
+// zero reports whether the window recorded nothing at all.
+func (s KeyStats) zero() bool { return s == KeyStats{} }
+
+// samplerStripe is one lock domain of the sampler.
+type samplerStripe struct {
+	mu sync.RWMutex
+	m  map[string]*keyCounters
+}
+
+// Sampler accumulates per-key telemetry with lock-free counter updates.
+// Recording takes one RLock'd map lookup plus atomic adds; only a key's
+// first-ever sample takes the stripe write lock.
+type Sampler struct {
+	stripes [samplerStripes]samplerStripe
+}
+
+// NewSampler returns an empty sampler.
+func NewSampler() *Sampler {
+	s := &Sampler{}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[string]*keyCounters)
+	}
+	return s
+}
+
+// hashString is the same inlined FNV-1a the keyed server maps use —
+// hash/fnv's heap-allocated hasher has no place on the per-operation path.
+func hashString(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (s *Sampler) stripe(key string) *samplerStripe {
+	return &s.stripes[hashString(key)%samplerStripes]
+}
+
+// counters returns key's live counters, materializing them on first touch.
+func (s *Sampler) counters(key string) *keyCounters {
+	st := s.stripe(key)
+	st.mu.RLock()
+	c := st.m[key]
+	st.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	st.mu.Lock()
+	c = st.m[key]
+	if c == nil {
+		c = &keyCounters{}
+		st.m[key] = c
+	}
+	st.mu.Unlock()
+	return c
+}
+
+// RecordRead records one completed read of bytes value bytes taking d.
+func (s *Sampler) RecordRead(key string, bytes int, d time.Duration) {
+	c := s.counters(key)
+	c.reads.Add(1)
+	c.readBytes.Add(int64(bytes))
+	c.readNanos.Add(int64(d))
+}
+
+// RecordWrite records one completed write of bytes value bytes taking d.
+func (s *Sampler) RecordWrite(key string, bytes int, d time.Duration) {
+	c := s.counters(key)
+	c.writes.Add(1)
+	c.writeBytes.Add(int64(bytes))
+	c.writeNanos.Add(int64(d))
+}
+
+// RecordReadRounds attributes one read's data-round count (and whether it
+// took the one-round fast path) to key.
+func (s *Sampler) RecordReadRounds(key string, rounds int, fastPath bool) {
+	c := s.counters(key)
+	c.readRounds.Add(int64(rounds))
+	if fastPath {
+		c.fastReads.Add(1)
+	}
+}
+
+// RecordRetries adds n transient retries to key's fault signal.
+func (s *Sampler) RecordRetries(key string, n int) {
+	if n <= 0 {
+		return
+	}
+	s.counters(key).retries.Add(int64(n))
+}
+
+// RecordFailure records one failed operation on key.
+func (s *Sampler) RecordFailure(key string) {
+	s.counters(key).failures.Add(1)
+}
+
+// Drain atomically harvests and resets every key's window. Each counter is
+// swapped to zero individually, so a sample racing the drain is never lost —
+// it lands in this window or the next. Keys whose window is entirely zero are
+// omitted from the result (but stay materialized until Forget).
+func (s *Sampler) Drain() map[string]KeyStats {
+	out := make(map[string]KeyStats)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for key, c := range st.m {
+			ks := KeyStats{
+				Reads:      c.reads.Swap(0),
+				Writes:     c.writes.Swap(0),
+				ReadBytes:  c.readBytes.Swap(0),
+				WriteBytes: c.writeBytes.Swap(0),
+				ReadNanos:  c.readNanos.Swap(0),
+				WriteNanos: c.writeNanos.Swap(0),
+				ReadRounds: c.readRounds.Swap(0),
+				FastReads:  c.fastReads.Swap(0),
+				Retries:    c.retries.Swap(0),
+				Failures:   c.failures.Swap(0),
+			}
+			if !ks.zero() {
+				prev := out[key]
+				prev.merge(ks)
+				out[key] = prev
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+// Snapshot reads every key's current window without resetting it.
+func (s *Sampler) Snapshot() map[string]KeyStats {
+	out := make(map[string]KeyStats)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for key, c := range st.m {
+			ks := KeyStats{
+				Reads:      c.reads.Load(),
+				Writes:     c.writes.Load(),
+				ReadBytes:  c.readBytes.Load(),
+				WriteBytes: c.writeBytes.Load(),
+				ReadNanos:  c.readNanos.Load(),
+				WriteNanos: c.writeNanos.Load(),
+				ReadRounds: c.readRounds.Load(),
+				FastReads:  c.fastReads.Load(),
+				Retries:    c.retries.Load(),
+				Failures:   c.failures.Load(),
+			}
+			if !ks.zero() {
+				out[key] = ks
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+// Forget drops key's materialized counters. Only call for keys known to be
+// quiesced (the controller evicts after several idle windows): a recorder
+// racing a Forget loses at most that one sample.
+func (s *Sampler) Forget(key string) bool {
+	st := s.stripe(key)
+	st.mu.Lock()
+	_, ok := st.m[key]
+	delete(st.m, key)
+	st.mu.Unlock()
+	return ok
+}
+
+// KeyCount reports how many keys have materialized counters (for tests and
+// capacity monitoring).
+func (s *Sampler) KeyCount() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.m)
+		st.mu.RUnlock()
+	}
+	return n
+}

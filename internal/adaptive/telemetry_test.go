@@ -1,0 +1,174 @@
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplerRecordAndSnapshot(t *testing.T) {
+	s := NewSampler()
+	s.RecordRead("a", 100, 2*time.Millisecond)
+	s.RecordRead("a", 300, 4*time.Millisecond)
+	s.RecordWrite("a", 50, 6*time.Millisecond)
+	s.RecordReadRounds("a", 1, true)
+	s.RecordReadRounds("a", 2, false)
+	s.RecordRetries("a", 3)
+	s.RecordFailure("a")
+	s.RecordWrite("b", 8192, time.Millisecond)
+
+	snap := s.Snapshot()
+	a := snap["a"]
+	if a.Reads != 2 || a.Writes != 1 {
+		t.Fatalf("a ops = %d/%d, want 2/1", a.Reads, a.Writes)
+	}
+	if a.ReadBytes != 400 || a.WriteBytes != 50 {
+		t.Fatalf("a bytes = %d/%d, want 400/50", a.ReadBytes, a.WriteBytes)
+	}
+	if a.ReadRounds != 3 || a.FastReads != 1 {
+		t.Fatalf("a rounds = %d fast = %d, want 3/1", a.ReadRounds, a.FastReads)
+	}
+	if a.Retries != 3 || a.Failures != 1 {
+		t.Fatalf("a faults = %d/%d, want 3/1", a.Retries, a.Failures)
+	}
+	if got := a.AvgBytes(); got != 150 {
+		t.Fatalf("a avg bytes = %d, want 150", got)
+	}
+	if got := a.AvgLatency(); got != 4*time.Millisecond {
+		t.Fatalf("a avg latency = %v, want 4ms", got)
+	}
+	if b := snap["b"]; b.WriteBytes != 8192 || b.AvgBytes() != 8192 {
+		t.Fatalf("b = %+v", b)
+	}
+
+	// Snapshot does not reset; Drain does.
+	if again := s.Snapshot()["a"]; again.Reads != 2 {
+		t.Fatalf("snapshot reset the window: %+v", again)
+	}
+	if d := s.Drain()["a"]; d.Reads != 2 {
+		t.Fatalf("drain window = %+v", d)
+	}
+	if after := s.Drain(); len(after) != 0 {
+		t.Fatalf("second drain not empty: %v", after)
+	}
+	if s.KeyCount() != 2 {
+		t.Fatalf("key count = %d, want 2 (drain keeps counters materialized)", s.KeyCount())
+	}
+	if !s.Forget("a") || s.Forget("a") {
+		t.Fatal("Forget should drop a exactly once")
+	}
+	if s.KeyCount() != 1 {
+		t.Fatalf("key count after forget = %d, want 1", s.KeyCount())
+	}
+}
+
+// TestSamplerDrainConservesUnderRace is the -race stress test the satellite
+// asks for: many writers hammer the per-key counters while a drainer loop
+// snapshots-and-resets windows concurrently. Every recorded sample must land
+// in exactly one drain — the final accumulated totals equal what was written,
+// nothing lost to the swap, nothing double-counted.
+func TestSamplerDrainConservesUnderRace(t *testing.T) {
+	const (
+		writers = 8
+		keys    = 32
+		opsEach = 5000
+	)
+	s := NewSampler()
+
+	var (
+		totalMu sync.Mutex
+		total   = map[string]KeyStats{}
+	)
+	drainInto := func() {
+		for key, st := range s.Drain() {
+			totalMu.Lock()
+			prev := total[key]
+			prev.merge(st)
+			total[key] = prev
+			totalMu.Unlock()
+		}
+	}
+
+	stop := make(chan struct{})
+	var drainers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		drainers.Add(1)
+		go func() {
+			defer drainers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					drainInto()
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("key-%d", (w*opsEach+i)%keys)
+				switch i % 4 {
+				case 0:
+					s.RecordRead(key, 10, time.Microsecond)
+				case 1:
+					s.RecordWrite(key, 20, time.Microsecond)
+				case 2:
+					s.RecordReadRounds(key, 2, true)
+				default:
+					s.RecordRetries(key, 1)
+					s.RecordFailure(key)
+				}
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	drainers.Wait()
+	drainInto() // final harvest of anything the racing drains missed
+
+	var sum KeyStats
+	for _, st := range total {
+		sum.merge(st)
+	}
+	totalOps := int64(writers * opsEach)
+	wantReads, wantWrites := totalOps/4, totalOps/4
+	if sum.Reads != wantReads || sum.Writes != wantWrites {
+		t.Fatalf("conservation failed: reads=%d writes=%d, want %d/%d", sum.Reads, sum.Writes, wantReads, wantWrites)
+	}
+	if sum.ReadBytes != wantReads*10 || sum.WriteBytes != wantWrites*20 {
+		t.Fatalf("byte totals off: %d/%d", sum.ReadBytes, sum.WriteBytes)
+	}
+	if sum.ReadRounds != totalOps/4*2 || sum.FastReads != totalOps/4 {
+		t.Fatalf("round totals off: rounds=%d fast=%d", sum.ReadRounds, sum.FastReads)
+	}
+	if sum.Retries != totalOps/4 || sum.Failures != totalOps/4 {
+		t.Fatalf("fault totals off: retries=%d failures=%d", sum.Retries, sum.Failures)
+	}
+	if got := len(total); got != keys {
+		t.Fatalf("key cardinality = %d, want %d", got, keys)
+	}
+}
+
+func TestKeyStatsDerived(t *testing.T) {
+	st := KeyStats{Reads: 3, Writes: 1, ReadBytes: 300, WriteBytes: 100, Retries: 1, Failures: 1}
+	if got := st.Ops(); got != 4 {
+		t.Fatalf("ops = %d", got)
+	}
+	if got := st.ReadRatio(); got != 0.75 {
+		t.Fatalf("read ratio = %v", got)
+	}
+	if got := st.FaultRatio(); got != 0.4 { // (1+1)/(4+1)
+		t.Fatalf("fault ratio = %v", got)
+	}
+	var idle KeyStats
+	if idle.AvgBytes() != 0 || idle.ReadRatio() != 0 || idle.FaultRatio() != 0 || idle.AvgLatency() != 0 {
+		t.Fatal("idle stats must not divide by zero")
+	}
+}

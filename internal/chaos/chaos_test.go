@@ -47,15 +47,19 @@ func TestChaosMatrix(t *testing.T) {
 			if len(sc.Chain) > 0 && v.Reconfigs == 0 {
 				t.Errorf("scenario %s seed %d: no reconfiguration completed (%d errors)", sc.Name, seed, v.ReconfigErrors)
 			}
+			if sc.AdaptiveProfiles != nil && v.AutoReconfigs == 0 {
+				t.Errorf("scenario %s seed %d: adaptive controller never reconfigured a key (%d reconfig errors) — the workload shift went unnoticed",
+					sc.Name, seed, v.ReconfigErrors)
+			}
 			if v.StateBoundExceeded {
 				t.Errorf("scenario %s seed %d: lifecycle GC bound blown: %d retained states across %d keys (bound %d per key, %d retired); replay: %s",
 					sc.Name, seed, v.ServerStates, sc.Keys, sc.MaxStatesPerKey, v.RetiredStates, v.Replay())
 			}
-			if sc.MaxStatesPerKey > 0 && v.RetiredStates == 0 && v.Reconfigs > 0 {
-				t.Errorf("scenario %s seed %d: %d reconfigs completed but no state was retired — GC never fired", sc.Name, seed, v.Reconfigs)
+			if sc.MaxStatesPerKey > 0 && v.RetiredStates == 0 && v.Reconfigs+v.AutoReconfigs > 0 {
+				t.Errorf("scenario %s seed %d: %d reconfigs completed but no state was retired — GC never fired", sc.Name, seed, v.Reconfigs+v.AutoReconfigs)
 			}
-			t.Logf("%s: %d ops, %d incomplete, %d op errors, %d reconfigs, verdict via %s",
-				sc.Name, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, v.Keys[0].Method)
+			t.Logf("%s: %d ops, %d incomplete, %d op errors, %d reconfigs (%d auto), verdict via %s",
+				sc.Name, v.Ops, v.Incomplete, v.OpErrors, v.Reconfigs, v.AutoReconfigs, v.Keys[0].Method)
 		})
 	}
 }

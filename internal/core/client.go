@@ -86,6 +86,24 @@ func (p RetryPolicy) delayAt(attempt int, frac float64) time.Duration {
 	return time.Duration(d)
 }
 
+// OpStats is the per-operation telemetry a client reports through its sink:
+// how many data rounds the operation spent, whether a read took the one-round
+// fast path, and how many transient retries it burned. The process-wide
+// transport.CodecStats counters record the same signals without attribution;
+// the sink is what lets an ObjectStore (or the adaptive controller behind it)
+// pin them to a key.
+type OpStats struct {
+	// Read distinguishes reads from writes.
+	Read bool
+	// Rounds counts quorum data rounds (get-tag/get-data + put-data).
+	Rounds int
+	// FastPath reports a read that skipped the put-data write-back.
+	FastPath bool
+	// Retries counts transient in-operation retries (TREAS
+	// not-yet-decodable get-data rounds).
+	Retries int
+}
+
 // Client is an ARES reader/writer process (Alg. 7). A client discovers the
 // current configuration sequence through the reconfiguration service's
 // read-config action, queries every configuration from the last finalized
@@ -117,6 +135,10 @@ type Client struct {
 	retry RetryPolicy
 	jmu   sync.Mutex
 	jrng  *rand.Rand
+
+	// sink, when set, receives one OpStats per completed operation attempt.
+	// Like SetRetryPolicy, it must be installed before the client is shared.
+	sink func(OpStats)
 }
 
 // retrySeed derives the default jitter seed for a client: a stable hash of
@@ -158,6 +180,19 @@ func (c *Client) SetRetryPolicy(p RetryPolicy) {
 		seed = retrySeed(c.self)
 	}
 	c.jrng = rand.New(rand.NewSource(seed))
+}
+
+// SetOpSink installs the per-operation telemetry sink. Call before sharing
+// the client across goroutines; a nil fn disables reporting.
+func (c *Client) SetOpSink(fn func(OpStats)) {
+	c.sink = fn
+}
+
+// report delivers st to the sink, if any.
+func (c *Client) report(st OpStats) {
+	if c.sink != nil {
+		c.sink(st)
+	}
 }
 
 // retryDelay draws the next paced delay from the client's own jitter source.
@@ -219,11 +254,13 @@ func (c *Client) writeOnce(ctx context.Context, value types.Value) (tag.Tag, err
 		return tag.Tag{}, fmt.Errorf("core: write read-config: %w", err)
 	}
 	maxTag := tag.Zero
+	rounds := 0
 	for i := seq.Mu(); i <= seq.Nu(); i++ {
 		client, err := c.daps.Get(seq[i].Cfg)
 		if err != nil {
 			return tag.Tag{}, err
 		}
+		rounds++
 		t, err := client.GetTag(ctx)
 		if err != nil {
 			return tag.Tag{}, fmt.Errorf("core: write get-tag on %s: %w", seq[i].Cfg.ID, err)
@@ -231,13 +268,15 @@ func (c *Client) writeOnce(ctx context.Context, value types.Value) (tag.Tag, err
 		maxTag = tag.Max(maxTag, t)
 	}
 	newTag := maxTag.Next(c.self)
-	seq, _, err = c.propagate(ctx, seq, tag.Pair{Tag: newTag, Value: value})
+	seq, put, err := c.propagate(ctx, seq, tag.Pair{Tag: newTag, Value: value})
+	rounds += put
 	if err != nil {
 		return tag.Tag{}, err
 	}
 	if err := c.storeSeq(seq); err != nil {
 		return tag.Tag{}, err
 	}
+	c.report(OpStats{Rounds: rounds})
 	return newTag, nil
 }
 
@@ -260,11 +299,13 @@ func (c *Client) readOnce(ctx context.Context) (tag.Pair, error) {
 		return tag.Pair{}, fmt.Errorf("core: read read-config: %w", err)
 	}
 	best := tag.Pair{}
-	rounds := 0 // data rounds: get-data + put-data phases (read-config is metadata)
+	rounds := 0  // data rounds: get-data + put-data phases (read-config is metadata)
+	retries := 0 // transient not-yet-decodable re-rounds within those
 	confirmed := false
 	for i := seq.Mu(); i <= seq.Nu(); i++ {
 		pair, conf, n, err := c.getDataRetry(ctx, seq[i].Cfg)
 		rounds += n
+		retries += n - 1
 		if err != nil {
 			return tag.Pair{}, fmt.Errorf("core: read get-data on %s: %w", seq[i].Cfg.ID, err)
 		}
@@ -294,6 +335,7 @@ func (c *Client) readOnce(ctx context.Context) (tag.Pair, error) {
 				return tag.Pair{}, err
 			}
 			transport.RecordReadRounds(rounds, true)
+			c.report(OpStats{Read: true, Rounds: rounds, FastPath: true, Retries: retries})
 			return best, nil
 		}
 		seq = next
@@ -307,6 +349,7 @@ func (c *Client) readOnce(ctx context.Context) (tag.Pair, error) {
 		return tag.Pair{}, err
 	}
 	transport.RecordReadRounds(rounds, false)
+	c.report(OpStats{Read: true, Rounds: rounds, Retries: retries})
 	return best, nil
 }
 

@@ -79,6 +79,7 @@ type RecoveryStats struct {
 
 type durOptions struct {
 	fsync            bool
+	coalesceFsync    bool
 	stripes          int
 	snapshotInterval time.Duration
 	compactRetires   int64
@@ -92,6 +93,15 @@ type DurOption func(*durOptions)
 // reach the OS before acknowledging — surviving process crashes but not
 // machine crashes — which is the bench's throughput baseline.
 func WithFsync(on bool) DurOption { return func(o *durOptions) { o.fsync = on } }
+
+// WithFsyncCoalescing toggles cross-stripe fsync batching (default on, only
+// meaningful with fsync on): stripe writers hand their group commits to a
+// shared coalescer that syncs each file once per window and answers every
+// burst in it, instead of each stripe paying — and blocking its writer on —
+// its own barrier per burst. Acknowledgments still strictly follow the sync.
+// Off restores the inline sync-per-burst behavior (the bench's comparison
+// baseline).
+func WithFsyncCoalescing(on bool) DurOption { return func(o *durOptions) { o.coalesceFsync = on } }
 
 // WithWALStripes sets the WAL stripe count (default 8, rounded up to a power
 // of two). More stripes mean more group-commit writers and fewer keys per
@@ -128,6 +138,7 @@ type Durability struct {
 	metaLog    *wal
 	stripeLogs []*wal
 	stripeMask uint32
+	coal       *syncCoalescer // non-nil iff fsync coalescing is active
 
 	// gate serializes journal→apply spans against snapshot rotation: every
 	// Journal.Append / AppendInstall holds the read side until its mutation
@@ -153,6 +164,7 @@ type Durability struct {
 func OpenDurability(dir string, opts ...DurOption) (*Durability, error) {
 	o := durOptions{
 		fsync:          true,
+		coalesceFsync:  true,
 		stripes:        8,
 		compactRetires: 64,
 		logf:           func(string, ...any) {},
@@ -336,13 +348,16 @@ func (d *Durability) Recover() (RecoveryStats, error) {
 
 	// 3. Open the logs for appending (continuing the highest segment, whose
 	// torn tail — if any — was just truncated) and go live.
-	d.metaLog, err = openWAL(d.dir, "meta", metaSeq, d.opts.fsync)
+	if d.opts.fsync && d.opts.coalesceFsync {
+		d.coal = newSyncCoalescer()
+	}
+	d.metaLog, err = openWAL(d.dir, "meta", metaSeq, d.opts.fsync, d.coal)
 	if err != nil {
 		return d.stats, err
 	}
 	d.stripeLogs = make([]*wal, d.opts.stripes)
 	for i := 0; i < d.opts.stripes; i++ {
-		d.stripeLogs[i], err = openWAL(d.dir, d.stripeName(i), stripeSeqs[i], d.opts.fsync)
+		d.stripeLogs[i], err = openWAL(d.dir, d.stripeName(i), stripeSeqs[i], d.opts.fsync, d.coal)
 		if err != nil {
 			return d.stats, err
 		}
@@ -359,6 +374,17 @@ func (d *Durability) Stats() RecoveryStats { return d.stats }
 
 // Dir returns the durability directory.
 func (d *Durability) Dir() string { return d.dir }
+
+// SyncStats reports the fsync coalescer's counters: barriers is the number
+// of file syncs actually performed, bursts the number of group commits they
+// acknowledged. bursts/barriers > 1 is the cross-stripe batching win; both
+// are zero when coalescing (or fsync) is off.
+func (d *Durability) SyncStats() (barriers, bursts int64) {
+	if d.coal == nil {
+		return 0, 0
+	}
+	return d.coal.stats()
+}
 
 // WALBytes sums the active segments' sizes (bench instrumentation).
 func (d *Durability) WALBytes() int64 {
@@ -569,6 +595,11 @@ func (d *Durability) Close() error {
 			if cerr := w.close(); err == nil {
 				err = cerr
 			}
+		}
+		if d.coal != nil {
+			// Every log is closed, so no new bursts can arrive; drain the
+			// outstanding windows and stop the loop.
+			d.coal.stop()
 		}
 	}
 	return err

@@ -215,11 +215,17 @@ type wal struct {
 	dir   string
 	name  string
 	fsync bool
+	// coal, when set (and fsync is on), routes each burst's sync through the
+	// shared cross-stripe coalescer instead of syncing inline: the writer
+	// pipelines into its next burst while the coalescer folds syncs from many
+	// stripes into one barrier per file per window.
+	coal *syncCoalescer
 
-	mu   sync.Mutex // guards f, seq, size, closed
-	f    *os.File
-	seq  int
-	size int64
+	mu         sync.Mutex // guards f, seq, size, closed, fileClosed
+	f          *os.File
+	seq        int
+	size       int64
+	fileClosed bool // the final segment was synced and closed
 
 	closed bool
 	reqs   chan *walAppend
@@ -267,8 +273,9 @@ func listSegments(dir, name string) (paths []string, lastSeq int, err error) {
 
 // openWAL opens the log for appending at segment seq (creating it if
 // missing) and starts the writer goroutine. Callers replay existing segments
-// — truncating any torn tail — before opening.
-func openWAL(dir, name string, seq int, fsync bool) (*wal, error) {
+// — truncating any torn tail — before opening. A non-nil coal enrolls the
+// log in cross-stripe fsync coalescing (meaningful only with fsync on).
+func openWAL(dir, name string, seq int, fsync bool, coal *syncCoalescer) (*wal, error) {
 	if seq < 1 {
 		seq = 1
 	}
@@ -285,6 +292,7 @@ func openWAL(dir, name string, seq int, fsync bool) (*wal, error) {
 		dir:   dir,
 		name:  name,
 		fsync: fsync,
+		coal:  coal,
 		f:     f,
 		seq:   seq,
 		size:  info.Size(),
@@ -362,7 +370,10 @@ func (w *wal) writeLoop() {
 	}
 }
 
-// commit writes one burst and answers its appenders.
+// commit writes one burst and answers its appenders — directly when syncing
+// inline, through the shared coalescer when enrolled: the burst's frames are
+// on the file, so the writer hands the sync (and the acknowledgments, which
+// must not precede it) to the coalescer and pipelines into its next burst.
 func (w *wal) commit(batch []*walAppend) {
 	w.mu.Lock()
 	f := w.f
@@ -374,13 +385,31 @@ func (w *wal) commit(batch []*walAppend) {
 			w.size += int64(n)
 		}
 	}
-	if err == nil && w.fsync {
-		err = f.Sync()
-	}
 	w.mu.Unlock()
+	if err == nil && w.fsync {
+		if w.coal != nil {
+			w.coal.enqueue(w, batch)
+			return
+		}
+		err = w.syncFile()
+	}
 	for _, req := range batch {
 		req.errc <- err
 	}
+}
+
+// syncFile makes the active segment durable. A file already through its
+// final sync-and-close (or rotated away — rotate syncs before closing) needs
+// no barrier: everything written to it is durable already, so a late
+// coalescer window can answer its appenders truthfully without touching a
+// dead descriptor.
+func (w *wal) syncFile() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fileClosed {
+		return nil
+	}
+	return w.f.Sync()
 }
 
 // rotate syncs and closes the active segment, opens the next one, and
@@ -432,7 +461,118 @@ func (w *wal) close() error {
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
+	// Only now may late coalescer windows skip their barrier: the sync above
+	// made every written frame durable before any such skip can acknowledge.
+	w.fileClosed = true
 	return err
+}
+
+// syncReq is one burst awaiting its fsync barrier: the log whose file needs
+// syncing and the appenders to answer once it is durable.
+type syncReq struct {
+	w     *wal
+	batch []*walAppend
+}
+
+// syncCoalescer folds the fsync barriers of many WAL stripes into shared
+// windows: per window it snapshots everything enqueued, syncs each distinct
+// file once, and only then answers that window's appenders — so write-ahead
+// acknowledgment order is untouched, but N stripes group-committing under
+// concurrent load cost one barrier each per window instead of one per burst,
+// and a stripe's writer goroutine never idles inside another stripe's sync.
+// Bursts enqueued while a window is syncing wait for the next window.
+type syncCoalescer struct {
+	mu      sync.Mutex
+	pending []syncReq
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	barriers int64 // file syncs performed (guarded by mu)
+	bursts   int64 // append bursts answered (guarded by mu)
+}
+
+func newSyncCoalescer() *syncCoalescer {
+	c := &syncCoalescer{
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// enqueue hands one committed-but-unsynced burst to the coalescer. The batch
+// slice is the writer's reusable buffer, so the requests are copied out.
+func (c *syncCoalescer) enqueue(w *wal, batch []*walAppend) {
+	reqs := make([]*walAppend, len(batch))
+	copy(reqs, batch)
+	c.mu.Lock()
+	c.pending = append(c.pending, syncReq{w: w, batch: reqs})
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (c *syncCoalescer) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.kick:
+			c.flush()
+		case <-c.quit:
+			c.flush()
+			return
+		}
+	}
+}
+
+// flush drains windows until the queue is empty: snapshot the pending list,
+// one barrier per distinct file, answer the snapshot's appenders.
+func (c *syncCoalescer) flush() {
+	for {
+		c.mu.Lock()
+		window := c.pending
+		c.pending = nil
+		c.mu.Unlock()
+		if len(window) == 0 {
+			return
+		}
+		errs := make(map[*wal]error, 1)
+		for _, r := range window {
+			if _, ok := errs[r.w]; !ok {
+				errs[r.w] = r.w.syncFile()
+			}
+		}
+		for _, r := range window {
+			err := errs[r.w]
+			for _, req := range r.batch {
+				req.errc <- err
+			}
+		}
+		c.mu.Lock()
+		c.barriers += int64(len(errs))
+		c.bursts += int64(len(window))
+		c.mu.Unlock()
+	}
+}
+
+// stats reports (fsync barriers performed, append bursts answered) — the
+// coalescing ratio the durability bench and tests observe.
+func (c *syncCoalescer) stats() (barriers, bursts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.barriers, c.bursts
+}
+
+// stop drains outstanding windows and terminates the loop. Callers close
+// every enrolled wal first, so no new bursts can arrive.
+func (c *syncCoalescer) stop() {
+	close(c.quit)
+	<-c.done
 }
 
 // sizeBytes reports the active segment's size.

@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ares-storage/ares/internal/types"
+)
+
+// TestFlushIntervalCoalescesTrickledRequests is the deterministic pin for
+// WithFlushInterval: two Invokes spaced well apart — far beyond what the
+// cooperative-yield drain could ever pack together — land inside one flush
+// window and must ride a single FrameBatch frame. The test plays the peer on
+// the raw stream, so the frame layout is asserted byte by byte.
+func TestFlushIntervalCoalescesTrickledRequests(t *testing.T) {
+	t.Parallel()
+	serverSide := make(chan net.Conn, 1)
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": "pipe"}),
+		WithFlushInterval(300*time.Millisecond), pipeBook(serverSide))
+	defer client.Close()
+
+	const total = 2
+	results := make(chan error, total)
+	invoke := func(i int) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		resp, err := client.Invoke(ctx, "s1", Request{
+			Service: "svc", Type: "op", Payload: []byte(fmt.Sprintf("trickle-%d", i)),
+		})
+		if err == nil && !resp.OK {
+			err = fmt.Errorf("response not OK: %+v", resp)
+		}
+		results <- err
+	}
+	go invoke(0)
+	// The second request arrives mid-window: long after the first enqueued
+	// (any drain pass is over), long before the 300 ms timer fires.
+	time.Sleep(50 * time.Millisecond)
+	go invoke(1)
+
+	ss := <-serverSide
+	defer ss.Close()
+	var raw bytes.Buffer
+	dec := newFrameDecoder(WireBinary, io.TeeReader(ss, &raw))
+	enc := newFrameEncoder(WireBinary, ss)
+	for seen := 0; seen < total; seen++ {
+		var env tcpEnvelope
+		if err := dec.decodeRequest(&env); err != nil {
+			t.Fatalf("decoding request %d: %v", seen, err)
+		}
+		if err := enc.encodeReply(tcpReply{ID: env.ID, Resp: OKResponse(nil)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+
+	// Exactly one frame on the wire, and it is a two-envelope batch.
+	var prefix [4]byte
+	if _, err := io.ReadFull(&raw, prefix[:]); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, binary.BigEndian.Uint32(prefix[:]))
+	if _, err := io.ReadFull(&raw, body); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Len() != 0 {
+		t.Fatalf("stream carried %d trailing bytes after the first frame: requests were not coalesced", raw.Len())
+	}
+	if len(body) == 0 || body[0] != frameBatch {
+		t.Fatal("the single frame is not a FrameBatch")
+	}
+	c := wireCursor{b: body[1:]}
+	if n := int(c.uvarint()); c.err != nil || n != total {
+		t.Fatalf("batch frame carries %d envelopes, want %d (err %v)", n, total, c.err)
+	}
+}
+
+// TestFlushIntervalCapOverridesTimer pins the early-exit path: when the batch
+// caps are hit before the timer fires, the writer must emit immediately — the
+// interval bounds added latency, it never delays a full batch.
+func TestFlushIntervalCapOverridesTimer(t *testing.T) {
+	t.Parallel()
+	serverSide := make(chan net.Conn, 1)
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": "pipe"}),
+		WithFlushInterval(10*time.Second), WithBatchLimits(2, 1<<20), pipeBook(serverSide))
+	defer client.Close()
+
+	const total = 2
+	results := make(chan error, total)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		i := i
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, err := client.Invoke(ctx, "s1", Request{Service: "svc", Type: "op", Payload: []byte{byte(i)}})
+			results <- err
+		}()
+	}
+	ss := <-serverSide
+	defer ss.Close()
+	dec := newFrameDecoder(WireBinary, ss)
+	enc := newFrameEncoder(WireBinary, ss)
+	for seen := 0; seen < total; seen++ {
+		var env tcpEnvelope
+		if err := dec.decodeRequest(&env); err != nil {
+			t.Fatalf("decoding request %d: %v", seen, err)
+		}
+		if err := enc.encodeReply(tcpReply{ID: env.ID, Resp: OKResponse(nil)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cap-full batch waited %v — the 10 s timer gated it", elapsed)
+	}
+}
+
+// TestFlushIntervalEndToEnd runs a real server and client with timer-paced
+// flushing on both sides: sequential and concurrent echoes all resolve, so
+// neither timed writer loses frames, deadlocks, or leaks its timer across
+// bursts.
+func TestFlushIntervalEndToEnd(t *testing.T) {
+	t.Parallel()
+	srv, err := NewTCPServer("s1", "127.0.0.1:0", echoHandler(nil), WithFlushInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewTCPClient("c1", StaticBook(map[types.ProcessID]string{"s1": srv.Addr()}),
+		WithFlushInterval(5*time.Millisecond))
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ { // sequential: each op rides its own window
+		payload := []byte(fmt.Sprintf("seq-%d", i))
+		resp, err := client.Invoke(ctx, "s1", Request{Service: "svc", Type: "echo", Payload: payload})
+		if err != nil {
+			t.Fatalf("sequential invoke %d: %v", i, err)
+		}
+		if !bytes.Equal(resp.Payload, payload) {
+			t.Fatalf("sequential echo %d = %q", i, resp.Payload)
+		}
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("conc-%d", i))
+			resp, err := client.Invoke(ctx, "s1", Request{Service: "svc", Type: "echo", Payload: payload})
+			if err == nil && !bytes.Equal(resp.Payload, payload) {
+				err = fmt.Errorf("echo = %q, want %q", resp.Payload, payload)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -139,6 +139,7 @@ type tcpOptions struct {
 	batching       bool
 	batchEnvelopes int
 	batchBytes     int
+	flushInterval  time.Duration
 	dial           func(ctx context.Context, addr string) (net.Conn, error)
 	backoff        DialBackoff
 }
@@ -236,6 +237,23 @@ func WithBatchLimits(maxEnvelopes, maxBytes int) TCPOption {
 		}
 		if maxBytes > 0 {
 			o.batchBytes = maxBytes
+		}
+	}
+}
+
+// WithFlushInterval switches the writer goroutines from flush-per-burst to
+// timer-paced flushing: an open batch is held until either WithBatchLimits
+// cap is hit or d has elapsed since the batch's first envelope, whichever
+// comes first, and only then encoded and flushed. Bounded added latency (at
+// most d per op) buys bigger batches than the default cooperative-yield drain
+// can assemble when callers trickle in slower than the scheduler rotates.
+// Zero (the default) keeps the drain-and-yield behavior; the interval is
+// ignored while batching is off, since every envelope must ride — and flush —
+// its own frame there anyway.
+func WithFlushInterval(d time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if d >= 0 {
+			o.flushInterval = d
 		}
 	}
 }
@@ -374,6 +392,10 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	go func() {
 		defer writerWG.Done()
 		defer kill() // a reply-write error tears the connection down
+		if d := s.opts.flushInterval; d > 0 && s.opts.batching {
+			s.replyLoopTimed(enc, replies, done, d)
+			return
+		}
 		maxEnvelopes, maxBytes := s.opts.batchCaps()
 		flushEach := !s.opts.batching
 		batch := make([]tcpReply, 0, maxEnvelopes)
@@ -460,6 +482,70 @@ readLoop:
 	kill()
 	handlerWG.Wait()
 	writerWG.Wait()
+}
+
+// replyLoopTimed is the reply writer under WithFlushInterval: the open batch
+// is held until a cap is hit or the timer — armed when the batch's first
+// reply arrives — fires, then encoded and flushed as one burst. The timer
+// replaces the cooperative Gosched yield: handlers finishing within the
+// window share a frame no matter how the scheduler interleaves them.
+func (s *TCPServer) replyLoopTimed(enc frameEncoder, replies <-chan tcpReply, done <-chan struct{}, d time.Duration) {
+	maxEnvelopes, maxBytes := s.opts.batchCaps()
+	batch := make([]tcpReply, 0, maxEnvelopes)
+	size := 0
+	timer := time.NewTimer(d)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	armed := false
+	disarm := func() {
+		if armed {
+			armed = false
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+	}
+	emit := func() error {
+		err := enc.encodeReplyBatch(batch)
+		batch, size = batch[:0], 0
+		if err == nil {
+			err = enc.flush()
+		}
+		disarm()
+		return err
+	}
+	for {
+		var fire <-chan time.Time
+		if armed {
+			fire = timer.C
+		}
+		select {
+		case rep := <-replies:
+			batch = append(batch, rep)
+			size += replyWireSize(rep)
+			if !armed {
+				armed = true
+				timer.Reset(d)
+			}
+			if len(batch) >= maxEnvelopes || size >= maxBytes {
+				if err := emit(); err != nil {
+					return
+				}
+			}
+		case <-fire:
+			armed = false
+			if err := emit(); err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
 }
 
 // TCPClient is a transport Client over TCP. It maintains one pipelined
@@ -715,6 +801,10 @@ func replyWireSize(rep tcpReply) int {
 func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
 	enc := newFrameEncoder(c.opts.wire, tc.conn)
 	defer c.dropConn(addr, tc)
+	if d := c.opts.flushInterval; d > 0 && c.opts.batching {
+		c.writeLoopTimed(tc, enc, d)
+		return
+	}
 	maxEnvelopes, maxBytes := c.opts.batchCaps()
 	flushEach := !c.opts.batching
 	batch := make([]tcpEnvelope, 0, maxEnvelopes)
@@ -762,6 +852,70 @@ func (c *TCPClient) writeLoop(addr string, tc *tcpConn) {
 				return
 			}
 			if err := enc.flush(); err != nil {
+				return
+			}
+		case <-tc.done:
+			return
+		}
+	}
+}
+
+// writeLoopTimed is writeLoop under WithFlushInterval — the request-side
+// mirror of replyLoopTimed: hold the batch open until a cap is hit or d has
+// elapsed since its first envelope, then encode and flush once. Worst-case
+// added latency per request is d; in exchange, quorum phases that trickle in
+// slower than the scheduler rotates still pack into shared frames.
+func (c *TCPClient) writeLoopTimed(tc *tcpConn, enc frameEncoder, d time.Duration) {
+	maxEnvelopes, maxBytes := c.opts.batchCaps()
+	batch := make([]tcpEnvelope, 0, maxEnvelopes)
+	size := 0
+	timer := time.NewTimer(d)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	armed := false
+	disarm := func() {
+		if armed {
+			armed = false
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+	}
+	emit := func() error {
+		err := enc.encodeRequestBatch(batch)
+		batch, size = batch[:0], 0
+		if err == nil {
+			err = enc.flush()
+		}
+		disarm()
+		return err
+	}
+	for {
+		var fire <-chan time.Time
+		if armed {
+			fire = timer.C
+		}
+		select {
+		case env := <-tc.sendQ:
+			batch = append(batch, env)
+			size += requestWireSize(env)
+			if !armed {
+				armed = true
+				timer.Reset(d)
+			}
+			if len(batch) >= maxEnvelopes || size >= maxBytes {
+				if err := emit(); err != nil {
+					return
+				}
+			}
+		case <-fire:
+			armed = false
+			if err := emit(); err != nil {
 				return
 			}
 		case <-tc.done:

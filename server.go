@@ -2,6 +2,7 @@ package ares
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/ares-storage/ares/internal/core"
 	"github.com/ares-storage/ares/internal/keystate"
@@ -56,6 +57,13 @@ func WithBatchLimits(maxEnvelopes, maxBytes int) TCPOption {
 	return transport.WithBatchLimits(maxEnvelopes, maxBytes)
 }
 
+// WithFlushInterval switches the data-plane writers from flush-per-burst to
+// timer-paced flushing: an open batch is held until a WithBatchLimits cap is
+// hit or d has elapsed since its first envelope. Bounded added latency (at
+// most d per op) buys bigger batches under trickling load; zero (the
+// default) keeps the burst-drain behavior.
+func WithFlushInterval(d time.Duration) TCPOption { return transport.WithFlushInterval(d) }
+
 // ParseWireFormat converts a flag value ("binary", "gob") into a WireFormat.
 func ParseWireFormat(s string) (WireFormat, error) { return transport.ParseWireFormat(s) }
 
@@ -73,6 +81,13 @@ type Durability struct {
 	// throughput: acknowledged writes survive a process kill but not a
 	// machine crash.
 	Fsync bool
+	// NoFsyncCoalesce disables cross-stripe fsync batching (on by default
+	// whenever Fsync is): with coalescing, stripe group commits hand their
+	// barriers to a shared coalescer that syncs each log file once per
+	// window, so concurrent stripes share fsync cost instead of each paying
+	// one barrier per burst. Acknowledgments still strictly follow the sync;
+	// disabling only restores the inline sync-per-burst baseline.
+	NoFsyncCoalesce bool
 }
 
 // RecoveryStats describes what a server start replayed from its data
@@ -100,7 +115,8 @@ func NewServerWithDurability(id ProcessID, addr string, book AddressBook, dur Du
 	var stats RecoveryStats
 	if dur.Dir != "" {
 		var err error
-		stats, err = host.EnableDurability(dur.Dir, keystate.WithFsync(dur.Fsync))
+		stats, err = host.EnableDurability(dur.Dir,
+			keystate.WithFsync(dur.Fsync), keystate.WithFsyncCoalescing(!dur.NoFsyncCoalesce))
 		if err != nil {
 			out.Close()
 			return nil, stats, fmt.Errorf("ares: starting server %s: %w", id, err)

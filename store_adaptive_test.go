@@ -1,0 +1,194 @@
+package ares_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ares "github.com/ares-storage/ares"
+)
+
+// adaptiveFixture builds a 5-server cluster whose store starts every key on
+// TREAS [5, 3] and runs the self-driving controller with fast test cadence.
+func adaptiveFixture(t *testing.T, policy ares.AdaptivePolicy, onMove func(key string, to ares.AdaptiveClass, err error)) (*ares.ObjectStore, []ares.ProcessID) {
+	t.Helper()
+	servers := []ares.ProcessID{"ad-s1", "ad-s2", "ad-s3", "ad-s4", "ad-s5"}
+	root := ares.Config{ID: "ad/root", Algorithm: ares.ABD, Servers: servers[:3]}
+	cluster, err := ares.NewCluster(root, ares.NewSimNetwork(), servers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	store, err := ares.NewObjectStore(cluster,
+		ares.Config{Algorithm: ares.TREAS, Servers: servers, K: 3, Delta: 8},
+		ares.WithAdaptive(ares.AdaptiveSpec{
+			Interval: 25 * time.Millisecond,
+			Policy:   policy,
+			Profiles: map[ares.AdaptiveClass]ares.Config{
+				ares.ClassDefault:   {Algorithm: ares.TREAS, Servers: servers, K: 3, Delta: 8},
+				ares.ClassSmallHot:  {Algorithm: ares.ABD, Servers: servers[:3]},
+				ares.ClassLargeCold: {Algorithm: ares.TREAS, Servers: servers, K: 3, Delta: 8},
+				ares.ClassFaulty:    {Algorithm: ares.ABD, Servers: servers},
+			},
+			OnMove: onMove,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	return store, servers
+}
+
+// TestAdaptiveStoreMovesWithWorkload drives the full closed loop end to end:
+// small hot traffic must move the key to the ABD profile, a shift to large
+// values must move it on to the wide TREAS profile, and the value written
+// before each automatic reconfiguration must survive it.
+func TestAdaptiveStoreMovesWithWorkload(t *testing.T) {
+	t.Parallel()
+	var (
+		mu    sync.Mutex
+		moves []ares.AdaptiveClass
+	)
+	store, _ := adaptiveFixture(t,
+		ares.AdaptivePolicy{ConfirmWindows: 2, Cooldown: 50 * time.Millisecond, HotOps: 8},
+		func(key string, to ares.AdaptiveClass, err error) {
+			if err != nil {
+				t.Errorf("move %s → %s failed: %v", key, to, err)
+				return
+			}
+			mu.Lock()
+			moves = append(moves, to)
+			mu.Unlock()
+		})
+	ctx := context.Background()
+
+	awaitClass := func(want ares.AdaptiveClass, drive func(i int)) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for i := 0; store.AdaptiveClass("obj") != want; i++ {
+			if time.Now().After(deadline) {
+				t.Fatalf("controller never classified obj as %s", want)
+			}
+			drive(i)
+		}
+	}
+
+	if err := store.Put(ctx, "obj", ares.Value("seed-value")); err != nil {
+		t.Fatal(err)
+	}
+	awaitClass(ares.ClassSmallHot, func(i int) {
+		if _, err := store.Get(ctx, "obj"); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 0 {
+			if err := store.Put(ctx, "obj", ares.Value(fmt.Sprintf("small-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// The value written before the automatic TREAS→ABD move is still there
+	// (or a later small-N write is — never garbage, never the initial value).
+	v, err := store.Get(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 {
+		t.Fatal("value lost across automatic reconfiguration")
+	}
+
+	large := make(ares.Value, 64<<10)
+	copy(large, "large-payload")
+	awaitClass(ares.ClassLargeCold, func(i int) {
+		if err := store.Put(ctx, "obj", large); err != nil {
+			t.Fatal(err)
+		}
+	})
+	got, err := store.Get(ctx, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(large) {
+		t.Fatalf("large value truncated across reconfiguration: %d bytes", len(got))
+	}
+
+	if n := store.AdaptiveMoves(); n < 2 {
+		t.Fatalf("AdaptiveMoves = %d, want ≥ 2", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(moves) < 2 || moves[0] != ares.ClassSmallHot {
+		t.Fatalf("move sequence = %v", moves)
+	}
+}
+
+// TestAdaptiveStoreStableWorkloadDoesNotChurn pins the hysteresis claim at
+// the store level: after the one legitimate move, a steady workload causes no
+// further reconfigurations no matter how long it runs.
+func TestAdaptiveStoreStableWorkloadDoesNotChurn(t *testing.T) {
+	t.Parallel()
+	store, _ := adaptiveFixture(t,
+		ares.AdaptivePolicy{ConfirmWindows: 2, Cooldown: 50 * time.Millisecond, HotOps: 8},
+		nil)
+	ctx := context.Background()
+	if err := store.Put(ctx, "steady", ares.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for store.AdaptiveMoves() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never moved the steady key")
+		}
+		if _, err := store.Get(ctx, "steady"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep the same workload going through many more controller windows.
+	settle := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(settle) {
+		if _, err := store.Get(ctx, "steady"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := store.AdaptiveMoves(); n != 1 {
+		t.Fatalf("stable workload caused %d moves, want exactly 1", n)
+	}
+}
+
+// TestAdaptiveStoreTelemetryAttribution checks the per-key plumbing: sizes,
+// mix, and read rounds land under the right key in the sampler.
+func TestAdaptiveStoreTelemetryAttribution(t *testing.T) {
+	t.Parallel()
+	store, _ := adaptiveFixture(t, ares.AdaptivePolicy{
+		// Thresholds high enough that the controller never moves anything:
+		// this test is about the sampler, not the policy.
+		HotOps: 1 << 30, ConfirmWindows: 1 << 30,
+	}, nil)
+	ctx := context.Background()
+	if err := store.Put(ctx, "a", make(ares.Value, 100)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := store.Get(ctx, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Put(ctx, "b", make(ares.Value, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Telemetry().Snapshot()
+	a, b := snap["a"], snap["b"]
+	if a.Writes < 1 || a.Reads < 3 {
+		t.Fatalf("a ops = %d/%d", a.Reads, a.Writes)
+	}
+	if a.WriteBytes < 100 || a.ReadBytes < 300 {
+		t.Fatalf("a bytes = %d/%d", a.ReadBytes, a.WriteBytes)
+	}
+	if a.ReadRounds < 3 {
+		t.Fatalf("a read rounds = %d, want ≥ 3 (per-key attribution missing)", a.ReadRounds)
+	}
+	if b.WriteBytes < 2000 || b.Reads != 0 {
+		t.Fatalf("b = %+v", b)
+	}
+}

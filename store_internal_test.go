@@ -1,6 +1,8 @@
 package ares
 
 import (
+	"context"
+	"fmt"
 	"hash/fnv"
 	"testing"
 	"time"
@@ -103,5 +105,80 @@ func TestClientIdleTTLEvictsOpportunistically(t *testing.T) {
 	sh.mu.Unlock()
 	if _, ok := sh.clients["idle2"]; ok {
 		t.Fatal("idle client survived the next-window sweep")
+	}
+}
+
+// TestReconfigureKeyReusesCachedReconfigurer pins the per-key reconfigurer
+// cache the adaptive controller's cadence depends on: repeated ReconfigureKey
+// calls on one key must reuse the same cached *Reconfigurer (no per-call
+// setup, and — more importantly — never a second live consensus proposer
+// under the derived identity), and the cache stays bounded through the
+// idle-TTL/EvictIdle machinery.
+func TestReconfigureKeyReusesCachedReconfigurer(t *testing.T) {
+	t.Parallel()
+	servers := []ProcessID{"rc-s1", "rc-s2", "rc-s3", "rc-s4", "rc-s5"}
+	root := Config{ID: "rc/root", Algorithm: ABD, Servers: servers[:3]}
+	cluster, err := NewCluster(root, NewSimNetwork(), servers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	store, err := NewObjectStore(cluster, Config{Algorithm: ABD, Servers: servers[:3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := store.Put(ctx, "k", Value("v0")); err != nil {
+		t.Fatal(err)
+	}
+
+	reconFor := func(key string) *Reconfigurer {
+		sh := store.shard(key)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		e, ok := sh.recons[key]
+		if !ok {
+			return nil
+		}
+		if e.inflight != 0 {
+			t.Fatalf("reconfigurer inflight = %d after Reconfig returned", e.inflight)
+		}
+		return e.recon
+	}
+
+	walk := func(n int) {
+		next := Config{
+			ID:        ConfigID(fmt.Sprintf("store/k/walk%d", n)),
+			Algorithm: TREAS, Servers: servers, K: 3, Delta: 8,
+		}
+		if err := store.ReconfigureKey(ctx, "k", next, ReconOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walk(1)
+	first := reconFor("k")
+	if first == nil {
+		t.Fatal("no cached reconfigurer after first ReconfigureKey")
+	}
+	walk(2)
+	walk(3)
+	if again := reconFor("k"); again != first {
+		t.Fatal("ReconfigureKey rebuilt the reconfigurer instead of reusing the cache")
+	}
+	if v, err := store.Get(ctx, "k"); err != nil || string(v) != "v0" {
+		t.Fatalf("value after walks = %q, %v", v, err)
+	}
+
+	// The cache is bounded: an explicit eviction drops the idle entry, and
+	// the next reconfiguration transparently rebuilds a fresh one.
+	if n := store.EvictIdle(0); n == 0 {
+		t.Fatal("EvictIdle dropped nothing")
+	}
+	if reconFor("k") != nil {
+		t.Fatal("reconfigurer survived EvictIdle(0)")
+	}
+	walk(4)
+	if rebuilt := reconFor("k"); rebuilt == nil || rebuilt == first {
+		t.Fatal("post-eviction walk did not rebuild a fresh reconfigurer")
 	}
 }
