@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -46,6 +47,7 @@ import (
 	"github.com/ares-storage/ares/internal/benchutil"
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/core"
+	"github.com/ares-storage/ares/internal/obs"
 	"github.com/ares-storage/ares/internal/spec"
 	"github.com/ares-storage/ares/internal/tag"
 	"github.com/ares-storage/ares/internal/transport"
@@ -55,7 +57,9 @@ import (
 
 // tcpSuiteVersion versions the BENCH_tcp.json schema (bent-style: the suite
 // is a name plus a version, so downstream tooling can detect shape changes).
-const tcpSuiteVersion = 1
+// v2 added per-phase obs-registry counter deltas ("phases") and the
+// mid-bench ops-surface scrape (METRICS_snapshot.json).
+const tcpSuiteVersion = 2
 
 // tcpSuiteParams parameterizes one -tcp invocation.
 type tcpSuiteParams struct {
@@ -208,6 +212,11 @@ type tcpSuiteSummary struct {
 	FastRead   *tcpFastReadResult   `json:"fast_read,omitempty"`
 	Durability *tcpDurabilityResult `json:"durability,omitempty"`
 	Workloads  []workloadResult     `json:"workloads"`
+	// Phases maps each phase name to the bench-process obs-registry counter
+	// deltas it produced (zero deltas dropped). Counter attribution is
+	// exact: a snapshot is taken at every phase boundary, so e.g. the
+	// fast-read phase's wire bytes are its own, not the suite's total.
+	Phases map[string]map[string]int64 `json:"phases,omitempty"`
 }
 
 // --- multi-process cluster management ---
@@ -267,9 +276,14 @@ func resolveServerBin(flagValue, dir string) (string, error) {
 
 // spawnTCPCluster starts n ares-server processes with a shared address book
 // and the given bootstrap spec, and waits until every one answers on its
-// control service. extraArgs are appended to every server's command line
-// (the coalescing phase passes -nobatch for its baseline cluster).
-func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstrap string, extraArgs ...string) (*tcpCluster, error) {
+// control service. A non-empty opsAddr puts the first server's ops HTTP
+// surface (-ops-addr) there, so the suite can scrape /metrics mid-run. A
+// non-empty dataRoot gives each server its own data directory
+// dataRoot/<id> — per server, because WAL segment names collide if two
+// processes share one directory. extraArgs are appended to every server's
+// command line (the coalescing phase passes -nobatch for its baseline
+// cluster; the durability legs pass their -fsync flags).
+func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstrap, opsAddr, dataRoot string, extraArgs ...string) (*tcpCluster, error) {
 	addrs, err := freeLoopbackAddrs(p.servers)
 	if err != nil {
 		return nil, err
@@ -294,6 +308,12 @@ func spawnTCPCluster(p tcpSuiteParams, bin string, wire ares.WireFormat, bootstr
 		}
 		if bootstrap != "" {
 			args = append(args, "-bootstrap", bootstrap)
+		}
+		if i == 0 && opsAddr != "" {
+			args = append(args, "-ops-addr", opsAddr)
+		}
+		if dataRoot != "" {
+			args = append(args, "-data-dir", filepath.Join(dataRoot, string(id)))
 		}
 		args = append(args, extraArgs...)
 		c.argv = append(c.argv, args)
@@ -603,7 +623,7 @@ func runTCPPipelining(rpc transport.Client, dst types.ProcessID, d time.Duration
 // runs the fixed op mix, and attributes the client-side wire-counter deltas
 // to it.
 func runCodecLeg(p tcpSuiteParams, bin string, wire ares.WireFormat) (*tcpCodecSample, error) {
-	cluster, err := spawnTCPCluster(p, bin, wire, "") // keyed template only; no bootstrap register
+	cluster, err := spawnTCPCluster(p, bin, wire, "", "", "") // keyed template only; no bootstrap register
 	if err != nil {
 		return nil, err
 	}
@@ -772,7 +792,7 @@ func setupCoalesceLeg(p tcpSuiteParams, bin string, batched bool, keys []string,
 		serverArgs = append(serverArgs, "-nobatch")
 		clientOpts = append(clientOpts, ares.WithBatching(false))
 	}
-	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, "", serverArgs...)
+	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, "", "", "", serverArgs...)
 	if err != nil {
 		return nil, err
 	}
@@ -1003,10 +1023,11 @@ func (l *durabilityLeg) finish() tcpDurabilitySample {
 	return s
 }
 
-// setupDurabilityLeg spawns one cluster with the given persistence flags,
+// setupDurabilityLeg spawns one cluster with the given persistence flags
+// (each server journals under its own dataRoot/<id> when dataRoot is set),
 // installs the keyed template, and warms every key.
-func setupDurabilityLeg(p tcpSuiteParams, bin, name string, keys []string, value types.Value, serverArgs ...string) (*durabilityLeg, error) {
-	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, "", serverArgs...)
+func setupDurabilityLeg(p tcpSuiteParams, bin, name, dataRoot string, keys []string, value types.Value, serverArgs ...string) (*durabilityLeg, error) {
+	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, "", "", dataRoot, serverArgs...)
 	if err != nil {
 		return nil, err
 	}
@@ -1057,25 +1078,25 @@ func runTCPDurability(p tcpSuiteParams, bin, tmpDir string) (*tcpDurabilityResul
 	}
 	value := make(types.Value, p.valSize)
 
-	mem, err := setupDurabilityLeg(p, bin, "mem", keys, value)
+	mem, err := setupDurabilityLeg(p, bin, "mem", "", keys, value)
 	if err != nil {
 		return nil, err
 	}
 	defer mem.close()
-	off, err := setupDurabilityLeg(p, bin, "nofsync", keys, value,
-		"-data-dir", filepath.Join(tmpDir, "dur-nofsync"), "-fsync=false")
+	off, err := setupDurabilityLeg(p, bin, "nofsync", filepath.Join(tmpDir, "dur-nofsync"), keys, value,
+		"-fsync=false")
 	if err != nil {
 		return nil, err
 	}
 	defer off.close()
-	on, err := setupDurabilityLeg(p, bin, "fsync", keys, value,
-		"-data-dir", filepath.Join(tmpDir, "dur-fsync"), "-fsync=true")
+	on, err := setupDurabilityLeg(p, bin, "fsync", filepath.Join(tmpDir, "dur-fsync"), keys, value,
+		"-fsync=true")
 	if err != nil {
 		return nil, err
 	}
 	defer on.close()
-	noco, err := setupDurabilityLeg(p, bin, "fsync-nocoalesce", keys, value,
-		"-data-dir", filepath.Join(tmpDir, "dur-fsync-nocoalesce"), "-fsync=true", "-fsync-coalesce=false")
+	noco, err := setupDurabilityLeg(p, bin, "fsync-nocoalesce", filepath.Join(tmpDir, "dur-fsync-nocoalesce"), keys, value,
+		"-fsync=true", "-fsync-coalesce=false")
 	if err != nil {
 		return nil, err
 	}
@@ -1151,6 +1172,39 @@ func runTCPDurability(p tcpSuiteParams, bin, tmpDir string) (*tcpDurabilityResul
 	return res, nil
 }
 
+// writeOpsSnapshot scrapes the server's /metrics.json and writes the
+// METRICS_snapshot.json artifact: the server-process registry snapshot
+// paired with the bench-process one, each attributed to its side.
+func writeOpsSnapshot(opsAddr, path string) error {
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Get("http://" + opsAddr + "/metrics.json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics.json: HTTP %d", resp.StatusCode)
+	}
+	var server obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&server); err != nil {
+		return fmt.Errorf("decoding /metrics.json: %w", err)
+	}
+	artifact := struct {
+		Generated string       `json:"generated"`
+		Server    obs.Snapshot `json:"server"`
+		Client    obs.Snapshot `json:"client"`
+	}{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Server:    server,
+		Client:    obs.Default.Snapshot(),
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // runTCPSuite is the -tcp entry point.
 func runTCPSuite(p tcpSuiteParams) error {
 	if p.servers < 3 {
@@ -1193,7 +1247,16 @@ func runTCPSuite(p tcpSuiteParams) error {
 
 	fmt.Printf("== TCP: multi-process suite (%d ares-server processes on loopback, wire=%s)\n",
 		p.servers, summary.Wire)
-	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, bootstrapSpec)
+	// The main cluster is durable (per-server WAL dirs, fsync on) and
+	// exposes s1's ops surface, so the mid-run scrape sees live wire AND
+	// WAL counters from a real server process.
+	opsAddrs, err := freeLoopbackAddrs(1)
+	if err != nil {
+		return err
+	}
+	opsAddr := opsAddrs[0]
+	cluster, err := spawnTCPCluster(p, bin, ares.WireBinary, bootstrapSpec, opsAddr,
+		filepath.Join(tmpDir, "main"), "-fsync=true")
 	if err != nil {
 		return err
 	}
@@ -1202,12 +1265,23 @@ func runTCPSuite(p tcpSuiteParams) error {
 	rpc := ares.NewTCPClient("bench-tcp", cluster.book)
 	defer rpc.Close()
 
+	// Per-phase counter attribution: snapshot the bench-process registry at
+	// every phase boundary and record the deltas under the phase's name.
+	summary.Phases = make(map[string]map[string]int64)
+	phaseSnap := obs.Default.Snapshot()
+	markPhase := func(name string) {
+		cur := obs.Default.Snapshot()
+		summary.Phases[name] = obs.CounterDelta(phaseSnap, cur)
+		phaseSnap = cur
+	}
+
 	// Phase: smoke.
 	smoke, err := runTCPSmoke(rpc, c0)
 	if err != nil {
 		return fmt.Errorf("tcp suite smoke: %w\n%s", err, cluster.tail())
 	}
 	summary.Smoke = smoke
+	markPhase("smoke-rw")
 	fmt.Printf("  smoke-rw: write %.0fµs, read %.0fµs (bootstrap register, %d-server ABD quorum)\n",
 		smoke.WriteMicros, smoke.ReadMicros, p.servers)
 
@@ -1217,6 +1291,7 @@ func runTCPSuite(p tcpSuiteParams) error {
 		return fmt.Errorf("tcp suite pipelining: %w", err)
 	}
 	summary.Pipelining = pipe
+	markPhase("pipelining")
 	fmt.Printf("  pipelining: 1 worker %.0f ops/s → %d workers %.0f ops/s over one connection (%.1fx)\n",
 		pipe.SequentialOpsPerSec, pipe.Workers, pipe.PipelinedOpsPerSec, pipe.Speedup)
 
@@ -1270,6 +1345,7 @@ func runTCPSuite(p tcpSuiteParams) error {
 	}
 	fmt.Println()
 	table.Render(os.Stdout)
+	markPhase("workloads")
 
 	// Phase: fast-read (on the main cluster, over the installed template;
 	// counter attribution is by delta, so earlier phases don't pollute it).
@@ -1281,6 +1357,20 @@ func runTCPSuite(p tcpSuiteParams) error {
 	}
 	if err != nil {
 		return fmt.Errorf("tcp suite: %w", err)
+	}
+	markPhase("fast-read")
+
+	// Mid-run ops scrape: the suite is still going (codec, coalescing and
+	// durability follow), so s1's counters are live, not post-mortem. The
+	// artifact pairs the server-side snapshot with the bench process's own
+	// registry — wire and WAL activity live on the server, client rounds
+	// and fast-path counters live here.
+	if p.jsonPath != "" {
+		snapPath := filepath.Join(filepath.Dir(p.jsonPath), "METRICS_snapshot.json")
+		if err := writeOpsSnapshot(opsAddr, snapPath); err != nil {
+			return fmt.Errorf("tcp suite: ops scrape: %w", err)
+		}
+		fmt.Printf("\n  ops scrape: s1 /metrics.json (mid-run) → %s\n", snapPath)
 	}
 
 	// Phase: codec comparison (spawns its own clusters, one per format, so
@@ -1294,6 +1384,7 @@ func runTCPSuite(p tcpSuiteParams) error {
 	if err != nil {
 		return fmt.Errorf("tcp suite: %w", err)
 	}
+	markPhase("codec")
 
 	// Phase: coalescing comparison (its own batched and -nobatch clusters).
 	coalescing, err := runTCPCoalescing(p, bin)
@@ -1306,6 +1397,7 @@ func runTCPSuite(p tcpSuiteParams) error {
 	if err != nil {
 		return fmt.Errorf("tcp suite: %w", err)
 	}
+	markPhase("coalescing")
 
 	// Phase: durability (its own in-memory, fsync-off, fsync-on, and
 	// fsync-uncoalesced clusters, plus a SIGKILL + recovery measurement on
@@ -1323,6 +1415,7 @@ func runTCPSuite(p tcpSuiteParams) error {
 	if err != nil {
 		return fmt.Errorf("tcp suite: %w", err)
 	}
+	markPhase("durability")
 
 	if p.jsonPath != "" {
 		data, err := json.MarshalIndent(summary, "", "  ")

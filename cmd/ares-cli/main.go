@@ -12,13 +12,28 @@
 //
 //	ares-cli -id g1 -peers ... -root ... -direct \
 //	  reconfig "id=c1;alg=treas;servers=s4,s5,s6;k=2;delta=4"
+//
+// Against a server started with -ops-addr, the ops verbs talk to the admin
+// HTTP API instead of the data plane (no -peers/-root needed):
+//
+//	ares-cli -ops 127.0.0.1:9090 metrics
+//	ares-cli -ops 127.0.0.1:9090 chain k1
+//	ares-cli -ops 127.0.0.1:9090 keystate k1
+//	ares-cli -ops 127.0.0.1:9090 reconfigure k1 "id=c1-k1;alg=abd;servers=s1,s2,s3"
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
 	"time"
 
 	ares "github.com/ares-storage/ares"
@@ -38,8 +53,19 @@ func run() error {
 		root    = flag.String("root", "", "bootstrap configuration spec (required)")
 		direct  = flag.Bool("direct", false, "use §5 direct state transfer for reconfig")
 		timeout = flag.Duration("timeout", 30*time.Second, "operation timeout")
+		opsAddr = flag.String("ops", "", "ops HTTP address of a server started with -ops-addr (for metrics|chain|keystate|reconfigure)")
 	)
 	flag.Parse()
+
+	// The ops verbs go over the admin HTTP API and need only -ops.
+	switch flag.Arg(0) {
+	case "metrics", "chain", "keystate", "reconfigure":
+		if *opsAddr == "" {
+			return fmt.Errorf("%s requires -ops (the server's -ops-addr address)", flag.Arg(0))
+		}
+		return runOps(*opsAddr, *timeout, flag.Args())
+	}
+
 	if *peers == "" || *root == "" || flag.NArg() < 1 {
 		flag.Usage()
 		return fmt.Errorf("-peers, -root and an operation (write|read|reconfig) are required")
@@ -101,7 +127,91 @@ func run() error {
 		}
 		fmt.Printf("ok installed=%s sequence=%v\n", installed.ID, g.Sequence())
 	default:
-		return fmt.Errorf("unknown operation %q (want write|read|reconfig)", op)
+		return fmt.Errorf("unknown operation %q (want write|read|reconfig, or an ops verb with -ops)", op)
 	}
+	return nil
+}
+
+// runOps executes one admin-API verb against a server's ops surface.
+func runOps(addr string, timeout time.Duration, args []string) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: timeout}
+
+	get := func(path string, q url.Values) ([]byte, int, error) {
+		u := base + path
+		if len(q) > 0 {
+			u += "?" + q.Encode()
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return body, resp.StatusCode, err
+	}
+
+	verb := args[0]
+	switch verb {
+	case "metrics":
+		body, status, err := get("/metrics", nil)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("metrics: HTTP %d", status)
+		}
+		_, err = os.Stdout.Write(body)
+		return err
+	case "chain", "keystate":
+		if len(args) < 2 {
+			return fmt.Errorf("%s requires a key argument", verb)
+		}
+		body, _, err := get("/admin/"+verb, url.Values{"key": {args[1]}})
+		if err != nil {
+			return err
+		}
+		return printAdminResult(body)
+	case "reconfigure":
+		if len(args) < 3 {
+			return fmt.Errorf("reconfigure requires key and spec arguments")
+		}
+		resp, err := client.PostForm(base+"/admin/reconfigure",
+			url.Values{"key": {args[1]}, "spec": {args[2]}})
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return printAdminResult(body)
+	}
+	return fmt.Errorf("unknown ops verb %q", verb)
+}
+
+// printAdminResult renders one admin verb response: the result JSON
+// (indented) on success, the error message as a failure otherwise.
+func printAdminResult(body []byte) error {
+	var vr struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &vr); err != nil {
+		return fmt.Errorf("malformed admin response %q: %w", body, err)
+	}
+	if !vr.OK {
+		return fmt.Errorf("admin: %s", vr.Error)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, vr.Result, "", "  "); err != nil {
+		return err
+	}
+	fmt.Println(pretty.String())
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	ares "github.com/ares-storage/ares"
+	"github.com/ares-storage/ares/internal/ops"
 	"github.com/ares-storage/ares/internal/spec"
 )
 
@@ -42,6 +43,7 @@ func run() error {
 		dataDir   = flag.String("data-dir", "", "data directory for WAL + snapshots (empty = in-memory server, no crash recovery)")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every group commit (only meaningful with -data-dir)")
 		coalesce  = flag.Bool("fsync-coalesce", true, "batch fsync barriers across WAL stripes (only meaningful with -fsync); false restores sync-per-burst")
+		opsAddr   = flag.String("ops-addr", "", "ops HTTP listen address: /metrics, /metrics.json, pprof, /healthz, and the /admin API (empty = disabled)")
 	)
 	flag.Parse()
 	if *id == "" || *peers == "" {
@@ -57,6 +59,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// The ops listener binds before recovery so probes can distinguish a
+	// server replaying a long WAL (healthz 503 "starting", metrics live)
+	// from a dead one. Readiness flips when the data plane is up.
+	var bindOps func(*ares.Server)
+	if *opsAddr != "" {
+		surface, bind := ares.NewOpsServer()
+		bound, stopOps, err := ops.Listen(*opsAddr, surface)
+		if err != nil {
+			return err
+		}
+		defer stopOps()
+		bindOps = bind
+		log.Printf("ops surface on http://%s", bound)
+	}
+
 	srv, stats, err := ares.NewServerWithDurability(ares.ProcessID(*id), *listen, book,
 		ares.Durability{Dir: *dataDir, Fsync: *fsync, NoFsyncCoalesce: !*coalesce},
 		ares.WithWireFormat(wireFormat), ares.WithBatching(!*nobatch))
@@ -83,6 +101,9 @@ func run() error {
 			return err
 		}
 		log.Printf("installed bootstrap configuration %s (%s, n=%d)", c0.ID, c0.Algorithm, c0.N())
+	}
+	if bindOps != nil {
+		bindOps(srv)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -56,10 +56,14 @@ func TestCmdBinariesEndToEnd(t *testing.T) {
 			_ = s.Wait()
 		}
 	}()
+	opsAddr := fmt.Sprintf("127.0.0.1:%d", base+100)
 	for _, id := range ids {
 		args := []string{"-id", id, "-listen", addr[id], "-peers", book}
 		if id == "s1" || id == "s2" || id == "s3" {
 			args = append(args, "-bootstrap", rootSpec)
+		}
+		if id == "s1" {
+			args = append(args, "-ops-addr", opsAddr)
 		}
 		cmd := exec.Command(serverBin, args...)
 		if err := cmd.Start(); err != nil {
@@ -92,6 +96,13 @@ func TestCmdBinariesEndToEnd(t *testing.T) {
 	// A fresh client rooted at c0 discovers c1 and reads through it.
 	if out := cli("r2", "read"); !strings.Contains(out, `value="multi process"`) {
 		t.Fatalf("read after reconfig: %s", out)
+	}
+
+	// The ops surface of s1, scraped through the CLI's metrics verb: the
+	// traffic above must show up as nonzero wire counters on the server.
+	out := cli("m1", "-ops", opsAddr, "metrics")
+	if !strings.Contains(out, "ares_wire_encodes_total") || strings.Contains(out, "ares_wire_encodes_total 0\n") {
+		t.Fatalf("ops metrics scrape missing live wire counters:\n%s", out)
 	}
 }
 

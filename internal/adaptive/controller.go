@@ -80,6 +80,17 @@ type Policy struct {
 	// (default 16; the store's client-cache TTL machinery handles the
 	// client side).
 	IdleEvictWindows int
+	// P99Degraded, when positive, adds tail latency to the fault signal: a
+	// key whose windowed p99 reaches this threshold (with at least
+	// MinP99Samples operations backing the estimate) classifies as faulty
+	// even when its retry/failure ratio is clean — a degraded replica
+	// often shows up as tail latency long before it shows up as errors.
+	// Zero disables the signal (the default; it is opt-in per deployment).
+	P99Degraded time.Duration
+	// MinP99Samples is the minimum window operation count before the
+	// P99Degraded signal fires (default 20): a bucketed p99 over a handful
+	// of samples is one straggler, not a tail.
+	MinP99Samples int64
 }
 
 // withDefaults fills unset fields.
@@ -108,6 +119,9 @@ func (p Policy) withDefaults() Policy {
 	if p.IdleEvictWindows <= 0 {
 		p.IdleEvictWindows = 16
 	}
+	if p.MinP99Samples <= 0 {
+		p.MinP99Samples = 20
+	}
 	return p
 }
 
@@ -119,6 +133,9 @@ func (p Policy) classify(st KeyStats, current Class) Class {
 		return current
 	}
 	if st.FaultRatio() >= p.FaultRatio {
+		return ClassFaulty
+	}
+	if p.P99Degraded > 0 && st.Ops() >= p.MinP99Samples && st.P99() >= p.P99Degraded {
 		return ClassFaulty
 	}
 	avg := st.AvgBytes()
@@ -346,6 +363,25 @@ func (c *Controller) Tick(ctx context.Context) TickReport {
 		} else {
 			c.logf("adaptive: moved %q %s→%s (ops=%d avg=%dB fault=%.2f)",
 				p.key, p.move.From, p.move.To, p.move.Stats.Ops(), p.move.Stats.AvgBytes(), p.move.Stats.FaultRatio())
+		}
+	}
+
+	controllerDeferred.Add(int64(rep.Deferred))
+	controllerEvicted.Add(int64(rep.Evicted))
+	counts := make(map[Class]int64, len(classKeys))
+	c.mu.Lock()
+	for _, t := range c.state {
+		counts[t.current]++
+	}
+	c.mu.Unlock()
+	for cls, g := range classKeys {
+		g.Set(counts[cls])
+	}
+	for _, m := range rep.Moves {
+		if m.Err == nil {
+			controllerMoves.Inc()
+		} else {
+			controllerMoveFailures.Inc()
 		}
 	}
 	return rep

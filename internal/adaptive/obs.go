@@ -1,0 +1,30 @@
+package adaptive
+
+import "github.com/ares-storage/ares/internal/obs"
+
+// Process-wide adaptive-loop instruments, aggregated across every sampler
+// and controller in the process. The per-class key gauges reflect the
+// most recent controller tick (one controller per server process).
+var (
+	samplerDrains = obs.Default.Counter("ares_adaptive_drains_total",
+		"Sampler drain windows harvested")
+	samplerDrainedKeys = obs.Default.Counter("ares_adaptive_drained_keys_total",
+		"Keys with traffic across all drain windows")
+	controllerMoves = obs.Default.Counter("ares_adaptive_moves_total",
+		"Reconfigurations applied by controllers")
+	controllerMoveFailures = obs.Default.Counter("ares_adaptive_move_failures_total",
+		"Controller reconfiguration attempts that failed")
+	controllerDeferred = obs.Default.Counter("ares_adaptive_deferred_total",
+		"Confirmed moves pushed to a later tick by budget or cooldown")
+	controllerEvicted = obs.Default.Counter("ares_adaptive_evicted_total",
+		"Idle keys whose tracking state was dropped")
+	classKeys = func() map[Class]*obs.Gauge {
+		m := make(map[Class]*obs.Gauge)
+		for _, c := range []Class{ClassDefault, ClassSmallHot, ClassLargeCold, ClassFaulty} {
+			m[c] = obs.Default.Gauge(
+				`ares_adaptive_keys{class="`+c.String()+`"}`,
+				"Tracked keys by current class, as of the last controller tick")
+		}
+		return m
+	}()
+)

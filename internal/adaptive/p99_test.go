@@ -1,0 +1,127 @@
+package adaptive
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// degradedWindow records a window whose throughput is healthy but whose
+// tail is not: 97 fast operations and 3 stragglers, so p99 lands in the
+// stragglers' bucket while the average stays low.
+func degradedWindow(s *Sampler, key string) {
+	for i := 0; i < 97; i++ {
+		s.RecordRead(key, 4096, time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		s.RecordRead(key, 4096, 200*time.Millisecond)
+	}
+}
+
+// healthyWindow records the same traffic with the tail gone.
+func healthyWindow(s *Sampler, key string) {
+	for i := 0; i < 100; i++ {
+		s.RecordRead(key, 4096, time.Millisecond)
+	}
+}
+
+func TestLatencyQuantileFromBuckets(t *testing.T) {
+	s := NewSampler()
+	degradedWindow(s, "k")
+	st := s.Snapshot()["k"]
+	if p50 := st.LatencyQuantile(0.50); p50 != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms", p50)
+	}
+	// 3 of 100 samples at 200ms: rank 99 falls among the stragglers, whose
+	// bucket upper bound is 500ms.
+	if p99 := st.P99(); p99 != 500*time.Millisecond {
+		t.Fatalf("p99 = %v, want 500ms", p99)
+	}
+	if idle := (KeyStats{}).P99(); idle != 0 {
+		t.Fatalf("idle p99 = %v, want 0", idle)
+	}
+}
+
+// TestP99DegradedHysteresis is the satellite's claim: with P99Degraded
+// set, a degraded tail counts toward faulty classification — but only
+// after ConfirmWindows consecutive degraded windows, and the key steps
+// back out of faulty once the tail clears.
+func TestP99DegradedHysteresis(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{
+		P99Degraded:    50 * time.Millisecond,
+		ConfirmWindows: 2,
+		Cooldown:       time.Millisecond,
+	})
+	ctx := context.Background()
+
+	// One degraded window is a blip, not a verdict: no move.
+	degradedWindow(s, "k")
+	c.Tick(ctx)
+	advance(time.Second)
+	if len(*moves) != 0 {
+		t.Fatalf("single degraded window caused moves: %+v", *moves)
+	}
+
+	// The second consecutive degraded window confirms the candidate.
+	degradedWindow(s, "k")
+	c.Tick(ctx)
+	advance(time.Second)
+	if len(*moves) != 1 || (*moves)[0].To != ClassFaulty {
+		t.Fatalf("moves after confirmation = %+v, want one move to faulty", *moves)
+	}
+	if got := c.Class("k"); got != ClassFaulty {
+		t.Fatalf("class = %s, want faulty", got)
+	}
+
+	// Tail clears: the same traffic minus the stragglers steps the key
+	// back to default (after the same confirmation depth), not pinned to
+	// extra redundancy forever.
+	for i := 0; i < 4; i++ {
+		healthyWindow(s, "k")
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 2 || (*moves)[1].To != ClassDefault {
+		t.Fatalf("moves after recovery = %+v, want a second move to default", *moves)
+	}
+}
+
+// TestP99NeedsSamples: a handful of slow operations is one straggler, not
+// a tail — below MinP99Samples the signal must not fire.
+func TestP99NeedsSamples(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{
+		P99Degraded:    50 * time.Millisecond,
+		ConfirmWindows: 2,
+		Cooldown:       time.Millisecond,
+		MinP99Samples:  20,
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 10; j++ { // 10 ops < MinP99Samples, all slow
+			s.RecordRead("k", 4096, 200*time.Millisecond)
+		}
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 0 {
+		t.Fatalf("sub-sample windows caused moves: %+v", *moves)
+	}
+}
+
+// TestP99DisabledByDefault: the zero policy must ignore tail latency
+// entirely — the signal is opt-in.
+func TestP99DisabledByDefault(t *testing.T) {
+	s, c, moves, advance := testController(t, Policy{
+		ConfirmWindows: 2,
+		Cooldown:       time.Millisecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		degradedWindow(s, "k")
+		c.Tick(ctx)
+		advance(time.Second)
+	}
+	if len(*moves) != 0 {
+		t.Fatalf("disabled p99 signal caused moves: %+v", *moves)
+	}
+}

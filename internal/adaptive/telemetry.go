@@ -19,6 +19,29 @@ import (
 // keystate server maps one layer down.
 const samplerStripes = 64
 
+// LatBucketCount is the number of per-key latency buckets (the last is
+// the implicit +Inf overflow bucket).
+const LatBucketCount = len(latBounds) + 1
+
+// latBounds are the per-key latency bucket upper bounds in nanoseconds.
+// Deliberately coarser than the registry's histogram bounds: the sampler
+// pays these counters per key, and the policy only needs to resolve "is
+// this key's tail above the degraded threshold", not a full distribution.
+var latBounds = [...]int64{
+	500_000, 1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 25_000_000, 50_000_000, 100_000_000, 500_000_000,
+}
+
+// latBucket maps one observed latency to its bucket index.
+func latBucket(d time.Duration) int {
+	for i, b := range latBounds {
+		if int64(d) <= b {
+			return i
+		}
+	}
+	return len(latBounds)
+}
+
 // keyCounters is the live, atomically-updated record for one key. Fields are
 // cumulative between drains; Drain swaps each to zero, so every recorded
 // sample lands in exactly one drain window (increments racing a drain are
@@ -34,6 +57,7 @@ type keyCounters struct {
 	fastReads  atomic.Int64
 	retries    atomic.Int64
 	failures   atomic.Int64
+	lat        [LatBucketCount]atomic.Int64
 }
 
 // KeyStats is one key's telemetry over a sampling window — the policy
@@ -53,6 +77,10 @@ type KeyStats struct {
 	// not-yet-decodable get-data rounds); Failures counts operations that
 	// returned an error. Together they are the key's fault signal.
 	Retries, Failures int64
+	// LatBuckets histograms operation latency over latBounds (last bucket
+	// is the +Inf overflow) — the input to the policy's tail-latency
+	// signal. A fixed array so KeyStats stays comparable and copyable.
+	LatBuckets [LatBucketCount]int64
 }
 
 // Ops is the number of completed operations in the window.
@@ -92,6 +120,39 @@ func (s KeyStats) AvgLatency() time.Duration {
 	return time.Duration((s.ReadNanos + s.WriteNanos) / s.Ops())
 }
 
+// LatencyQuantile estimates the q-quantile (0 < q <= 1) of the window's
+// operation latency from the bucket counts, reported as the upper bound
+// of the bucket where the cumulative count crosses q. Samples in the
+// overflow bucket report the last finite bound — a floor, which is all
+// the degraded-tail policy signal needs. Zero when the window is idle.
+func (s KeyStats) LatencyQuantile(q float64) time.Duration {
+	var total int64
+	for _, n := range s.LatBuckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.LatBuckets {
+		cum += n
+		if cum >= rank {
+			if i < len(latBounds) {
+				return time.Duration(latBounds[i])
+			}
+			break
+		}
+	}
+	return time.Duration(latBounds[len(latBounds)-1])
+}
+
+// P99 is the window's tail latency: LatencyQuantile(0.99).
+func (s KeyStats) P99() time.Duration { return s.LatencyQuantile(0.99) }
+
 // merge adds o into s.
 func (s *KeyStats) merge(o KeyStats) {
 	s.Reads += o.Reads
@@ -104,6 +165,9 @@ func (s *KeyStats) merge(o KeyStats) {
 	s.FastReads += o.FastReads
 	s.Retries += o.Retries
 	s.Failures += o.Failures
+	for i := range s.LatBuckets {
+		s.LatBuckets[i] += o.LatBuckets[i]
+	}
 }
 
 // zero reports whether the window recorded nothing at all.
@@ -175,6 +239,7 @@ func (s *Sampler) RecordRead(key string, bytes int, d time.Duration) {
 	c.reads.Add(1)
 	c.readBytes.Add(int64(bytes))
 	c.readNanos.Add(int64(d))
+	c.lat[latBucket(d)].Add(1)
 }
 
 // RecordWrite records one completed write of bytes value bytes taking d.
@@ -183,6 +248,7 @@ func (s *Sampler) RecordWrite(key string, bytes int, d time.Duration) {
 	c.writes.Add(1)
 	c.writeBytes.Add(int64(bytes))
 	c.writeNanos.Add(int64(d))
+	c.lat[latBucket(d)].Add(1)
 }
 
 // RecordReadRounds attributes one read's data-round count (and whether it
@@ -230,6 +296,9 @@ func (s *Sampler) Drain() map[string]KeyStats {
 				Retries:    c.retries.Swap(0),
 				Failures:   c.failures.Swap(0),
 			}
+			for i := range c.lat {
+				ks.LatBuckets[i] = c.lat[i].Swap(0)
+			}
 			if !ks.zero() {
 				prev := out[key]
 				prev.merge(ks)
@@ -238,6 +307,8 @@ func (s *Sampler) Drain() map[string]KeyStats {
 		}
 		st.mu.RUnlock()
 	}
+	samplerDrains.Inc()
+	samplerDrainedKeys.Add(int64(len(out)))
 	return out
 }
 
@@ -259,6 +330,9 @@ func (s *Sampler) Snapshot() map[string]KeyStats {
 				FastReads:  c.fastReads.Load(),
 				Retries:    c.retries.Load(),
 				Failures:   c.failures.Load(),
+			}
+			for i := range c.lat {
+				ks.LatBuckets[i] = c.lat[i].Load()
 			}
 			if !ks.zero() {
 				out[key] = ks

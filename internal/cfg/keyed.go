@@ -316,6 +316,18 @@ func (r *Resolver) RetiredSuccessor(key string, id ID) (ID, bool) {
 	return r.successor[key], true
 }
 
+// Templates returns a copy of the registered template configurations, in
+// installation order — the per-key families this resolver can instantiate.
+// Operational tooling uses it to derive a key's initial configuration
+// without knowing the deployment's bootstrap spec.
+func (r *Resolver) Templates() []Configuration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Configuration, len(r.templates))
+	copy(out, r.templates)
+	return out
+}
+
 // RetiredCount returns how many (key, config) tombstones the resolver holds
 // (for tests and the bench harness's retired_states accounting).
 func (r *Resolver) RetiredCount() int {

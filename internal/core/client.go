@@ -188,8 +188,17 @@ func (c *Client) SetOpSink(fn func(OpStats)) {
 	c.sink = fn
 }
 
-// report delivers st to the sink, if any.
+// report delivers st to the sink, if any, and mirrors it into the
+// process-wide registry (reads are attributed by RecordReadRounds at the
+// call sites, so only the write path and retries are counted here).
 func (c *Client) report(st OpStats) {
+	if !st.Read {
+		clientWrites.Inc()
+		clientWriteRounds.Add(int64(st.Rounds))
+	}
+	if st.Retries > 0 {
+		clientRetries.Add(int64(st.Retries))
+	}
 	if c.sink != nil {
 		c.sink(st)
 	}
@@ -400,6 +409,7 @@ func (c *Client) getDataRetry(ctx context.Context, conf cfg.Configuration) (tag.
 		if !errors.Is(err, treas.ErrNotDecodable) {
 			return tag.Pair{}, false, rounds, err
 		}
+		clientBackoffs.Inc()
 		select {
 		case <-ctx.Done():
 			return tag.Pair{}, false, rounds, fmt.Errorf("%w (last: %v)", ctx.Err(), err)

@@ -111,6 +111,7 @@ func NewHost(n *node.Node, rpc transport.Client) *Host {
 		}
 		return dropped
 	})
+	registerHostGauges(h)
 	return h
 }
 

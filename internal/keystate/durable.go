@@ -366,6 +366,9 @@ func (d *Durability) Recover() (RecoveryStats, error) {
 	for _, svc := range d.services {
 		svc.SetJournal(&Journal{d: d, family: svc.DurableFamily()})
 	}
+	recoveries.Inc()
+	recoveredApplies.Add(int64(d.stats.Applies))
+	recoveredTornBytes.Add(d.stats.TornBytes)
 	return d.stats, nil
 }
 
@@ -476,6 +479,8 @@ func (d *Durability) Snapshot() error {
 	if !d.recovered || d.closed.Load() {
 		return errWALClosed
 	}
+	walSnapshots.Inc()
+	defer walSnapshotSeconds.ObserveSince(time.Now())
 
 	// Rotate every log to a fresh segment with no journal→apply span in
 	// flight.

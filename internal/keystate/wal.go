@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Record kinds. Apply/install/retire records live in log segments; state and
@@ -307,6 +308,9 @@ func openWAL(dir, name string, seq int, fsync bool, coal *syncCoalescer) (*wal, 
 // append blocks until the framed record is written — and, with fsync
 // enabled, durable — or the log is closed.
 func (w *wal) append(frame []byte) error {
+	defer walAppendSeconds.ObserveSince(time.Now())
+	walAppends.Inc()
+	walAppendedBytes.Add(int64(len(frame)))
 	req := &walAppend{frame: frame, errc: make(chan error, 1)}
 	select {
 	case w.reqs <- req:
@@ -375,6 +379,7 @@ func (w *wal) writeLoop() {
 // on the file, so the writer hands the sync (and the acknowledgments, which
 // must not precede it) to the coalescer and pipelines into its next burst.
 func (w *wal) commit(batch []*walAppend) {
+	walCommits.Inc()
 	w.mu.Lock()
 	f := w.f
 	var err error
@@ -409,7 +414,16 @@ func (w *wal) syncFile() error {
 	if w.fileClosed {
 		return nil
 	}
-	return w.f.Sync()
+	return timedSync(w.f)
+}
+
+// timedSync performs one fsync barrier, attributing it to the registry.
+func timedSync(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	walFsyncs.Inc()
+	walFsyncSeconds.ObserveSince(start)
+	return err
 }
 
 // rotate syncs and closes the active segment, opens the next one, and
@@ -421,7 +435,7 @@ func (w *wal) rotate() (oldSegments []string, err error) {
 	if w.closed {
 		return nil, errWALClosed
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := timedSync(w.f); err != nil {
 		return nil, err
 	}
 	if err := w.f.Close(); err != nil {
@@ -457,7 +471,7 @@ func (w *wal) close() error {
 	<-w.done
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	err := w.f.Sync()
+	err := timedSync(w.f)
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
@@ -553,6 +567,7 @@ func (c *syncCoalescer) flush() {
 				req.errc <- err
 			}
 		}
+		walSyncBursts.Add(int64(len(window)))
 		c.mu.Lock()
 		c.barriers += int64(len(errs))
 		c.bursts += int64(len(window))

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ares_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("ares_test_ops_total", "ops"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+
+	g := r.Gauge("ares_test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	r.GaugeFunc("ares_test_depth", "depth", func() int64 { return 42 })
+	if got := g.Load(); got != 42 {
+		t.Fatalf("func gauge = %d, want 42", got)
+	}
+	g.SetFunc(nil)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("reverted gauge = %d, want 5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ares_test_x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("ares_test_x", "x")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ares_test_lat_seconds", "lat", []int64{100, 1000, 10000})
+	for _, v := range []int64{50, 100, 101, 999, 5000, 99999} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1} // <=100, <=1000, <=10000, +Inf
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], n, s)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 50+100+101+999+5000+99999 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if q := s.Quantile(0.5); q != 1000 {
+		t.Fatalf("p50 = %d, want 1000", q)
+	}
+	// p99 lands in the +Inf bucket -> last finite bound.
+	if q := s.Quantile(0.99); q != 10000 {
+		t.Fatalf("p99 = %d, want 10000", q)
+	}
+	if q := (HistSnapshot{}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+// TestScrapeUnderLoad is the -race scrape-under-load contract: concurrent
+// writers hammer a counter and a histogram while a scraper loops over
+// Prometheus renders and snapshots. Counters must be monotone scrape over
+// scrape, and histogram snapshots must never tear: with every observation
+// equal to V, a snapshot's bucket-derived Count must always cover its Sum
+// (Sum is loaded first), and Count*V >= Sum exactly.
+func TestScrapeUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ares_test_load_total", "load")
+	const obsV = 1000
+	h := r.Histogram("ares_test_load_seconds", "load", []int64{500, 1500, 5000})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				c.Inc()
+				h.Observe(obsV)
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var lastCount, lastHist int64
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+		if !strings.Contains(sb.String(), "ares_test_load_total") {
+			t.Fatal("scrape lost the counter")
+		}
+
+		snap := r.Snapshot()
+		cur := snap.Counters["ares_test_load_total"]
+		if cur < lastCount {
+			t.Fatalf("counter went backwards: %d -> %d", lastCount, cur)
+		}
+		lastCount = cur
+
+		hs := snap.Histograms["ares_test_load_seconds"]
+		if hs.Count < lastHist {
+			t.Fatalf("histogram count went backwards: %d -> %d", lastHist, hs.Count)
+		}
+		lastHist = hs.Count
+		var bucketTotal int64
+		for _, n := range hs.Counts {
+			bucketTotal += n
+		}
+		if bucketTotal != hs.Count {
+			t.Fatalf("torn snapshot: Count %d != bucket total %d", hs.Count, bucketTotal)
+		}
+		if hs.Count*obsV < hs.Sum {
+			t.Fatalf("torn snapshot: %d observations cannot account for sum %d",
+				hs.Count, hs.Sum)
+		}
+		scrapes++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if scrapes < 10 {
+		t.Fatalf("only %d scrapes completed", scrapes)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ares_test_msgs_total", "messages").Add(3)
+	r.Counter(`ares_test_frames_total{bucket="1"}`, "frames").Add(2)
+	r.Counter(`ares_test_frames_total{bucket="2"}`, "frames").Add(5)
+	r.Gauge("ares_test_live", "live states").Set(9)
+	h := r.Histogram(`ares_test_lat_seconds{phase="abd/get-tag"}`, "latency",
+		[]int64{1_000_000, 1_000_000_000})
+	h.Observe(500_000)
+	h.Observe(2_000_000_000)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE ares_test_msgs_total counter\n",
+		"ares_test_msgs_total 3\n",
+		`ares_test_frames_total{bucket="1"} 2` + "\n",
+		`ares_test_frames_total{bucket="2"} 5` + "\n",
+		"# TYPE ares_test_live gauge\n",
+		"ares_test_live 9\n",
+		"# TYPE ares_test_lat_seconds histogram\n",
+		`ares_test_lat_seconds_bucket{phase="abd/get-tag",le="0.001"} 1` + "\n",
+		`ares_test_lat_seconds_bucket{phase="abd/get-tag",le="1"} 1` + "\n",
+		`ares_test_lat_seconds_bucket{phase="abd/get-tag",le="+Inf"} 2` + "\n",
+		`ares_test_lat_seconds_count{phase="abd/get-tag"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE block per base name, even with two labeled series.
+	if n := strings.Count(out, "# TYPE ares_test_frames_total"); n != 1 {
+		t.Fatalf("frames_total TYPE blocks = %d, want 1", n)
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ares_test_delta_total", "d")
+	c.Add(10)
+	before := r.Snapshot()
+	c.Add(7)
+	r.Counter("ares_test_new_total", "n").Add(3)
+	d := CounterDelta(before, r.Snapshot())
+	if d["ares_test_delta_total"] != 7 || d["ares_test_new_total"] != 3 {
+		t.Fatalf("delta = %v", d)
+	}
+	if _, ok := d["ares_test_zero"]; ok {
+		t.Fatalf("zero deltas must be dropped: %v", d)
+	}
+}
+
+// The hot path must not allocate: instrument handles are resolved once,
+// then Add/Observe are pure atomics.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ares_test_alloc_total", "a")
+	h := r.Histogram("ares_test_alloc_seconds", "a", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123_456) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("ares_bench_total", "b")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("ares_bench_seconds", "b", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(750_000)
+		}
+	})
+}

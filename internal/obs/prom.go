@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a registered name into its Prometheus base name and
+// the inner label list (without braces): "a_total{k=\"v\"}" -> ("a_total",
+// "k=\"v\"").
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// joinLabels merges an instrument's own labels with extra rendered pairs
+// (histogram "le") into one {…} block, or "" when both are empty.
+func joinLabels(own, extra string) string {
+	switch {
+	case own == "" && extra == "":
+		return ""
+	case own == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + own + "}"
+	default:
+		return "{" + own + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4). Instruments sharing a base name
+// share one HELP/TYPE block; histograms render cumulative buckets with
+// le labels in seconds, plus _sum (seconds) and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	lastBase := ""
+	for _, m := range r.sorted() {
+		base, labels := splitName(m.name)
+		if base != lastBase {
+			typ := "counter"
+			switch m.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHist:
+				typ = "histogram"
+			}
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, m.help, base, typ)
+			lastBase = base
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), m.c.Load())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), m.g.Load())
+		case kindHist:
+			s := m.h.Snapshot()
+			var cum int64
+			for i, n := range s.Counts {
+				cum += n
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatSeconds(s.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n",
+					base, joinLabels(labels, `le="`+le+`"`), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", base, joinLabels(labels, ""),
+				formatSeconds(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels, ""), cum)
+		}
+	}
+}
+
+// formatSeconds renders a nanosecond quantity as seconds with no
+// trailing-zero noise ("0.00025", "1", "2.5").
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}

@@ -2,9 +2,30 @@ package transport
 
 import (
 	"context"
+	"sync"
+	"time"
 
+	"github.com/ares-storage/ares/internal/obs"
 	"github.com/ares-storage/ares/internal/types"
 )
+
+// phaseHists caches the per-(service, type) quorum-phase latency
+// histograms, keyed "service/type". After a phase's first execution the
+// lookup is one lock-free sync.Map load; the observation itself is two
+// atomic adds, which is noise against a quorum round-trip.
+var phaseHists sync.Map // string -> *obs.Histogram
+
+func phaseHist(service, typ string) *obs.Histogram {
+	key := service + "/" + typ
+	if h, ok := phaseHists.Load(key); ok {
+		return h.(*obs.Histogram)
+	}
+	h := obs.Default.Histogram(
+		`ares_phase_seconds{phase="`+key+`"}`,
+		"Quorum-phase latency by service/type, Broadcast entry to quorum", nil)
+	phaseHists.Store(key, h)
+	return h
+}
 
 // Phase describes one quorum phase of a protocol: a typed request fanned out
 // to a destination set under Gather's cancellation and quorum semantics.
@@ -51,6 +72,7 @@ func Broadcast[RespT any](
 	p Phase[RespT],
 	enough func([]GatherResult[RespT]) bool,
 ) ([]GatherResult[RespT], error) {
+	defer phaseHist(p.Service, p.Type).ObserveSince(time.Now())
 	var shared []byte
 	if p.BodyFor == nil {
 		var err error

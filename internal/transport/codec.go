@@ -5,7 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"github.com/ares-storage/ares/internal/obs"
 )
 
 // The codec layer is the hot path of every quorum phase: each request and
@@ -107,26 +108,52 @@ func RecordReadRounds(rounds int, fastPath bool) {
 	}
 }
 
+// codecCounters holds the transport's named instruments. The fields are
+// obs registry handles (resolved once at init), so every hot-path bump
+// is the same single atomic add the old hand-rolled struct did; the
+// CodecUsage type below is now a thin view over the registry.
 type codecCounters struct {
-	encodes      atomic.Int64
-	decodes      atomic.Int64
-	encodedBytes atomic.Int64
-	decodedBytes atomic.Int64
+	encodes      *obs.Counter
+	decodes      *obs.Counter
+	encodedBytes *obs.Counter
+	decodedBytes *obs.Counter
 
-	wireEncodes      atomic.Int64
-	wireDecodes      atomic.Int64
-	wireEncodedBytes atomic.Int64
-	wireDecodedBytes atomic.Int64
+	wireEncodes      *obs.Counter
+	wireDecodes      *obs.Counter
+	wireEncodedBytes *obs.Counter
+	wireDecodedBytes *obs.Counter
 
-	framesBatched     atomic.Int64
-	envelopesPerFrame [batchBucketCount]atomic.Int64
+	framesBatched     *obs.Counter
+	envelopesPerFrame [batchBucketCount]*obs.Counter
 
-	readOps       atomic.Int64
-	readRounds    atomic.Int64
-	readFastPaths atomic.Int64
+	readOps       *obs.Counter
+	readRounds    *obs.Counter
+	readFastPaths *obs.Counter
 }
 
-var codecStats codecCounters
+var codecStats = func() codecCounters {
+	r := obs.Default
+	c := codecCounters{
+		encodes:          r.Counter("ares_codec_encodes_total", "Marshal operations (message bodies encoded)"),
+		decodes:          r.Counter("ares_codec_decodes_total", "Unmarshal operations (message bodies decoded)"),
+		encodedBytes:     r.Counter("ares_codec_encoded_bytes_total", "Payload bytes produced by Marshal"),
+		decodedBytes:     r.Counter("ares_codec_decoded_bytes_total", "Payload bytes consumed by Unmarshal"),
+		wireEncodes:      r.Counter("ares_wire_encodes_total", "TCP frames written"),
+		wireDecodes:      r.Counter("ares_wire_decodes_total", "TCP frames read"),
+		wireEncodedBytes: r.Counter("ares_wire_encoded_bytes_total", "Socket bytes written, framing included"),
+		wireDecodedBytes: r.Counter("ares_wire_decoded_bytes_total", "Socket bytes read, framing included"),
+		framesBatched:    r.Counter("ares_wire_frames_batched_total", "Data frames that coalesced more than one envelope"),
+		readOps:          r.Counter("ares_client_read_ops_total", "Completed core.Client reads"),
+		readRounds:       r.Counter("ares_client_read_rounds_total", "Data rounds taken by completed reads"),
+		readFastPaths:    r.Counter("ares_client_read_fastpaths_total", "Reads that skipped the put-data write-back"),
+	}
+	for i, label := range BatchBucketLabels {
+		c.envelopesPerFrame[i] = r.Counter(
+			`ares_wire_envelopes_per_frame_total{envelopes="`+label+`"}`,
+			"Encoded data frames by envelope count")
+	}
+	return c
+}()
 
 // CodecStats reports codec work performed process-wide since the last
 // ResetCodecStats. The Broadcast marshal-once tests and the bench harness
@@ -154,21 +181,21 @@ func CodecStats() CodecUsage {
 
 // ResetCodecStats zeroes the codec counters.
 func ResetCodecStats() {
-	codecStats.encodes.Store(0)
-	codecStats.decodes.Store(0)
-	codecStats.encodedBytes.Store(0)
-	codecStats.decodedBytes.Store(0)
-	codecStats.wireEncodes.Store(0)
-	codecStats.wireDecodes.Store(0)
-	codecStats.wireEncodedBytes.Store(0)
-	codecStats.wireDecodedBytes.Store(0)
-	codecStats.framesBatched.Store(0)
+	codecStats.encodes.Reset()
+	codecStats.decodes.Reset()
+	codecStats.encodedBytes.Reset()
+	codecStats.decodedBytes.Reset()
+	codecStats.wireEncodes.Reset()
+	codecStats.wireDecodes.Reset()
+	codecStats.wireEncodedBytes.Reset()
+	codecStats.wireDecodedBytes.Reset()
+	codecStats.framesBatched.Reset()
 	for i := range codecStats.envelopesPerFrame {
-		codecStats.envelopesPerFrame[i].Store(0)
+		codecStats.envelopesPerFrame[i].Reset()
 	}
-	codecStats.readOps.Store(0)
-	codecStats.readRounds.Store(0)
-	codecStats.readFastPaths.Store(0)
+	codecStats.readOps.Reset()
+	codecStats.readRounds.Reset()
+	codecStats.readFastPaths.Reset()
 }
 
 // Marshal gob-encodes a message body for use as a Request or Response

@@ -1,0 +1,19 @@
+package ares
+
+import "github.com/ares-storage/ares/internal/obs"
+
+// Store-layer instruments, aggregated across every ObjectStore in the
+// process. Each store additionally registers a per-store cached-client
+// gauge under its own name label in NewObjectStore.
+var (
+	storeReads = obs.Default.Counter("ares_store_read_ops_total",
+		"Completed ObjectStore reads")
+	storeWrites = obs.Default.Counter("ares_store_write_ops_total",
+		"Completed ObjectStore writes")
+	storeFailures = obs.Default.Counter("ares_store_failures_total",
+		"ObjectStore operations that returned an error")
+	storeEvictions = obs.Default.Counter("ares_store_evictions_total",
+		"Cached per-key clients and reconfigurers evicted (TTL sweep or EvictIdle)")
+	storeForgets = obs.Default.Counter("ares_store_forgets_total",
+		"Explicit Forget calls that dropped cached per-key entries")
+)

@@ -1,0 +1,289 @@
+package ares
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ares-storage/ares/internal/cfg"
+	"github.com/ares-storage/ares/internal/core"
+	"github.com/ares-storage/ares/internal/obs"
+	"github.com/ares-storage/ares/internal/ops"
+	"github.com/ares-storage/ares/internal/recon"
+	"github.com/ares-storage/ares/internal/spec"
+)
+
+// This file binds the hook-based internal/ops HTTP surface to a live Server.
+// Every admin verb routes through the ordinary client paths — chain is a
+// read-config, reconfigure and retire are Paxos reconfigurations through
+// recon.Client, keystate is the host's own introspection — so the admin API
+// can never put a server into a state normal operation couldn't.
+
+// OpsServer builds the server's operational HTTP surface: /metrics (the
+// process-wide obs registry), pprof, /healthz gated on ready, and the admin
+// verbs bound to this server. Serve it with ops.Listen / ops.Serve; a nil
+// ready reads as always-ready.
+func (s *Server) OpsServer(ready func() bool) *ops.Server {
+	return &ops.Server{
+		Registry: obs.Default,
+		Ready:    ready,
+		Info: func() map[string]any {
+			return map[string]any{
+				"id":   string(s.ID()),
+				"addr": s.Addr(),
+			}
+		},
+		Admin: ops.AdminHooks{
+			Chain:       s.adminChain,
+			KeyState:    s.adminKeyState,
+			Reconfigure: s.adminReconfigure,
+			Retire:      s.adminRetire,
+			Forget:      s.adminForget,
+		},
+	}
+}
+
+// NewOpsServer builds an ops surface that can be served before the data
+// plane exists — the lifecycle in which the ops listener binds first, so a
+// probe can tell "starting" from "dead" while WAL recovery runs. /metrics
+// and pprof work immediately (recovery counters are exactly what an
+// operator wants to watch during a long replay); /healthz answers 503 and
+// the admin verbs answer 400 until bind attaches the started Server.
+func NewOpsServer() (surface *ops.Server, bind func(*Server)) {
+	var live atomic.Pointer[Server]
+	get := func() (*Server, error) {
+		if s := live.Load(); s != nil {
+			return s, nil
+		}
+		return nil, ops.BadRequestError{Msg: "server still starting"}
+	}
+	surface = &ops.Server{
+		Registry: obs.Default,
+		Ready:    func() bool { return live.Load() != nil },
+		Info: func() map[string]any {
+			info := map[string]any{}
+			if s := live.Load(); s != nil {
+				info["id"] = string(s.ID())
+				info["addr"] = s.Addr()
+			}
+			return info
+		},
+		Admin: ops.AdminHooks{
+			Chain: func(ctx context.Context, key string) (any, error) {
+				s, err := get()
+				if err != nil {
+					return nil, err
+				}
+				return s.adminChain(ctx, key)
+			},
+			KeyState: func(key string) (any, error) {
+				s, err := get()
+				if err != nil {
+					return nil, err
+				}
+				return s.adminKeyState(key)
+			},
+			Reconfigure: func(ctx context.Context, key, specStr string) (any, error) {
+				s, err := get()
+				if err != nil {
+					return nil, err
+				}
+				return s.adminReconfigure(ctx, key, specStr)
+			},
+			Retire: func(ctx context.Context, key string) (any, error) {
+				s, err := get()
+				if err != nil {
+					return nil, err
+				}
+				return s.adminRetire(ctx, key)
+			},
+			Forget: func(key string) (any, error) {
+				s, err := get()
+				if err != nil {
+					return nil, err
+				}
+				return s.adminForget(key)
+			},
+		},
+	}
+	return surface, func(s *Server) { live.Store(s) }
+}
+
+// opsAdmin holds the server's admin-verb state: one cached reconfiguration
+// client per key. Caching is not an optimization — a recon client owns a
+// consensus proposer identity per configuration, and the same identity must
+// never be live twice, so each (server, key) pair gets exactly one client
+// for its lifetime (until Forget drops it).
+type opsAdmin struct {
+	mu     sync.Mutex
+	recons map[string]*recon.Client
+}
+
+// reconFor returns (building if needed) the admin reconfiguration client
+// for key, rooted at the key's initial configuration derived from the first
+// installed template. The client rides the server's own outbound transport;
+// its proposer identity is derived from the server ID and key, so admin
+// proposals from different servers never collide.
+func (s *Server) reconFor(key string) (*recon.Client, error) {
+	s.admin.mu.Lock()
+	defer s.admin.mu.Unlock()
+	if rc, ok := s.admin.recons[key]; ok {
+		return rc, nil
+	}
+	templates := s.host.Resolver().Templates()
+	if len(templates) == 0 {
+		return nil, ops.BadRequestError{Msg: "no configuration template installed on this server"}
+	}
+	c0 := templates[0].ForKey(key)
+	self := ProcessID(fmt.Sprintf("%s-admin/%s", s.ID(), key))
+	rc, err := recon.NewClient(self, c0, s.out, core.NewRegistry(), core.RemoteInstaller(s.out), recon.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if s.admin.recons == nil {
+		s.admin.recons = make(map[string]*recon.Client)
+	}
+	s.admin.recons[key] = rc
+	return rc, nil
+}
+
+// adminChain reads key's configuration chain through the ordinary
+// read-config path and renders each entry as its spec string plus status.
+func (s *Server) adminChain(ctx context.Context, key string) (any, error) {
+	rc, err := s.reconFor(key)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := rc.ReadConfig(ctx, rc.Sequence())
+	if err != nil {
+		return nil, err
+	}
+	return renderChain(key, seq), nil
+}
+
+func renderChain(key string, seq cfg.Sequence) map[string]any {
+	entries := make([]map[string]any, len(seq))
+	for i, e := range seq {
+		status := "pending"
+		if e.Status == cfg.Finalized {
+			status = "finalized"
+		}
+		entries[i] = map[string]any{
+			"id":     string(e.Cfg.ID),
+			"spec":   spec.Format(e.Cfg),
+			"status": status,
+		}
+	}
+	return map[string]any{
+		"key":   key,
+		"mu":    seq.Mu(),
+		"nu":    seq.Nu(),
+		"chain": entries,
+	}
+}
+
+// adminKeyState reports the server-local view: host-wide state counters
+// plus the key's derived initial configuration and any locally-recorded
+// retirement redirect for it.
+func (s *Server) adminKeyState(key string) (any, error) {
+	res := s.host.Resolver()
+	exact, templates := res.Known()
+	info := map[string]any{
+		"key":                 key,
+		"server":              string(s.ID()),
+		"materialized_states": s.host.MaterializedStates(),
+		"retired_states":      s.host.RetiredStates(),
+		"service_instances":   s.host.ServiceInstances(),
+		"storage_bytes":       s.host.StorageBytes(),
+		"known_configs":       exact,
+		"known_templates":     templates,
+		"retired_configs":     s.host.RetiredConfigs(),
+	}
+	if ts := res.Templates(); len(ts) > 0 {
+		c0 := ts[0].ForKey(key)
+		info["initial_config"] = string(c0.ID)
+		// Follow the local tombstone trail so an operator sees where the
+		// chain went without a quorum round. Bounded: the successor record
+		// is per-key and tombstones only accrete forward.
+		id := c0.ID
+		var trail []string
+		for i := 0; i < 16; i++ {
+			succ, ok := res.RetiredSuccessor(key, id)
+			if !ok || succ == "" || succ == id {
+				break
+			}
+			trail = append(trail, string(succ))
+			id = succ
+		}
+		if len(trail) > 0 {
+			info["retired_trail"] = trail
+		}
+	}
+	return info, nil
+}
+
+// adminReconfigure proposes the spec string as key's next configuration
+// through the ordinary Paxos path and reports what consensus decided (which
+// may be another reconfigurer's concurrent proposal).
+func (s *Server) adminReconfigure(ctx context.Context, key, specStr string) (any, error) {
+	if specStr == "" {
+		return nil, ops.BadRequestError{Msg: "missing ?spec="}
+	}
+	proposal, err := spec.Parse(specStr)
+	if err != nil {
+		return nil, ops.BadRequestError{Msg: err.Error()}
+	}
+	rc, err := s.reconFor(key)
+	if err != nil {
+		return nil, err
+	}
+	decided, err := rc.Reconfig(ctx, proposal.ForKey(key))
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"proposed": string(proposal.ForKey(key).ID),
+		"decided":  string(decided.ID),
+		"spec":     spec.Format(decided),
+	}, nil
+}
+
+// adminRetire re-proposes key's current configuration parameters under a
+// fresh ID. Installing the twin finalizes it through the ordinary
+// reconfiguration path, which retires the predecessor — state transfer,
+// tombstone, GC — exactly as any planned migration would.
+func (s *Server) adminRetire(ctx context.Context, key string) (any, error) {
+	rc, err := s.reconFor(key)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := rc.ReadConfig(ctx, rc.Sequence())
+	if err != nil {
+		return nil, err
+	}
+	last := seq[seq.Nu()].Cfg
+	proposal := last
+	proposal.ID = cfg.ID(fmt.Sprintf("%s/retire-%d", last.ID, seq.Nu()+1))
+	proposal.Key = key
+	decided, err := rc.Reconfig(ctx, proposal)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"retired": string(last.ID),
+		"decided": string(decided.ID),
+	}, nil
+}
+
+// adminForget drops the cached admin reconfiguration client for key, so a
+// later verb rebuilds one from the chain's current state. The proposer
+// identity it retires is never reused concurrently: the drop happens under
+// the same lock that builds clients.
+func (s *Server) adminForget(key string) (any, error) {
+	s.admin.mu.Lock()
+	defer s.admin.mu.Unlock()
+	_, ok := s.admin.recons[key]
+	delete(s.admin.recons, key)
+	return map[string]any{"dropped": ok}, nil
+}

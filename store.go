@@ -13,6 +13,7 @@ import (
 	"github.com/ares-storage/ares/internal/cfg"
 	"github.com/ares-storage/ares/internal/core"
 	"github.com/ares-storage/ares/internal/keystate"
+	"github.com/ares-storage/ares/internal/obs"
 	"github.com/ares-storage/ares/internal/transport"
 	"github.com/ares-storage/ares/internal/treas"
 )
@@ -229,6 +230,11 @@ func NewObjectStore(cluster *Cluster, template Config, opts ...StoreOption) (*Ob
 		s.shards[i].clients = make(map[string]*clientEntry)
 		s.shards[i].recons = make(map[string]*reconEntry)
 	}
+	// Per-store cached-client gauge, polled at scrape time. A re-created
+	// store with the same name simply re-points the gauge (last wins).
+	obs.Default.GaugeFunc(`ares_store_clients{store="`+sc.name+`"}`,
+		"Cached per-key clients and reconfigurers, by store",
+		func() int64 { return int64(s.ClientCount()) })
 	if sc.adaptive != nil {
 		if err := s.startAdaptive(*sc.adaptive); err != nil {
 			return nil, err
@@ -385,15 +391,21 @@ func (s *ObjectStore) sweepLocked(sh *storeShard, now time.Time) {
 		return
 	}
 	sh.lastSweep = now
+	evicted := int64(0)
 	for k, e := range sh.clients {
 		if e.inflight == 0 && now.Sub(e.lastUse) >= s.idleTTL {
 			delete(sh.clients, k)
+			evicted++
 		}
 	}
 	for k, e := range sh.recons {
 		if e.inflight == 0 && now.Sub(e.lastUse) >= s.idleTTL {
 			delete(sh.recons, k)
+			evicted++
 		}
+	}
+	if evicted > 0 {
+		storeEvictions.Add(evicted)
 	}
 }
 
@@ -411,14 +423,17 @@ func (s *ObjectStore) WriteKey(ctx context.Context, key string, value Value) (Ta
 		return Tag{}, err
 	}
 	defer release()
-	if s.telemetry == nil {
-		return c.Write(ctx, value)
-	}
 	start := time.Now()
 	t, err := c.Write(ctx, value)
 	if err != nil {
-		s.telemetry.RecordFailure(key)
-	} else {
+		storeFailures.Inc()
+		if s.telemetry != nil {
+			s.telemetry.RecordFailure(key)
+		}
+		return t, err
+	}
+	storeWrites.Inc()
+	if s.telemetry != nil {
 		s.telemetry.RecordWrite(key, len(value), time.Since(start))
 	}
 	return t, err
@@ -441,14 +456,17 @@ func (s *ObjectStore) ReadKey(ctx context.Context, key string) (Pair, error) {
 		return Pair{}, err
 	}
 	defer release()
-	if s.telemetry == nil {
-		return c.Read(ctx)
-	}
 	start := time.Now()
 	pair, err := c.Read(ctx)
 	if err != nil {
-		s.telemetry.RecordFailure(key)
-	} else {
+		storeFailures.Inc()
+		if s.telemetry != nil {
+			s.telemetry.RecordFailure(key)
+		}
+		return pair, err
+	}
+	storeReads.Inc()
+	if s.telemetry != nil {
 		s.telemetry.RecordRead(key, len(pair.Value), time.Since(start))
 	}
 	return pair, err
@@ -637,6 +655,9 @@ func (s *ObjectStore) Forget(key string) bool {
 		delete(sh.recons, key)
 		dropped = true
 	}
+	if dropped {
+		storeForgets.Inc()
+	}
 	return dropped
 }
 
@@ -665,6 +686,7 @@ func (s *ObjectStore) EvictIdle(olderThan time.Duration) int {
 		}
 		sh.mu.Unlock()
 	}
+	storeEvictions.Add(int64(evicted))
 	return evicted
 }
 
